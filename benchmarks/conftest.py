@@ -1,0 +1,65 @@
+"""Shared fixtures for the per-figure benchmarks.
+
+Each benchmark regenerates one paper table/figure: heavy intermediates
+(datasets, trained models, simulation runs) are built once per session in
+fixtures; the benchmarked callable is the experiment's analysis step.  The
+rendered rows/series are printed and appended to
+``benchmarks/results/<figure>.txt`` so the paper-vs-measured comparison is
+inspectable after a ``--benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.data import DatasetSpec, build_dataset
+from repro.eval.experiments import DispatchExperiments, MeasurementSuite
+from repro.eval.harness import ExperimentHarness, HarnessConfig
+
+#: Scaled-down population (paper: 8,590).  Shapes are stable from roughly a
+#: thousand people; full scale works but multiplies benchmark wall-clock.
+BENCH_POPULATION = 1_500
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a figure's series and persist them under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n=== {name} ===\n{text}")
+
+
+@pytest.fixture(scope="session")
+def florence_bench():
+    return build_dataset(DatasetSpec(storm="florence", population_size=BENCH_POPULATION))
+
+
+@pytest.fixture(scope="session")
+def michael_bench():
+    return build_dataset(DatasetSpec(storm="michael", population_size=BENCH_POPULATION))
+
+
+@pytest.fixture(scope="session")
+def suite(florence_bench) -> MeasurementSuite:
+    s = MeasurementSuite(*florence_bench)
+    # Materialize the shared pipeline products once.
+    s.flow
+    s.labeled_deliveries
+    return s
+
+
+@pytest.fixture(scope="session")
+def harness(florence_bench, michael_bench) -> ExperimentHarness:
+    h = ExperimentHarness(
+        florence_bench, michael_bench, HarnessConfig(mobirescue_episodes=6)
+    )
+    h.run_all()  # simulate all three methods once
+    return h
+
+
+@pytest.fixture(scope="session")
+def dispatch_experiments(harness) -> DispatchExperiments:
+    return DispatchExperiments(harness)

@@ -1,0 +1,48 @@
+"""Ablation — SVM kernel for the request predictor.
+
+The paper motivates kernels by non-linear separability; this bench compares
+RBF (default) against linear and polynomial on the rescue-decision training
+distribution (held-out split).
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.core.predictor import RequestPredictor, TrainingSet, build_training_set
+from repro.eval.tables import format_table
+
+
+def test_ablation_svm_kernel(benchmark, michael_bench):
+    scenario, bundle = michael_bench
+    full = build_training_set(scenario, bundle, negatives_per_positive=4, seed=0)
+    n = len(full.y)
+    split = int(0.7 * n)
+    train = TrainingSet(x=full.x[:split], y=full.y[:split])
+    test = TrainingSet(x=full.x[split:], y=full.y[split:])
+
+    def fit_all():
+        out = {}
+        for kernel in ("rbf", "linear", "poly"):
+            p = RequestPredictor(scenario, kernel=kernel, c=8.0, gamma=0.5).fit(train)
+            out[kernel] = p.evaluate(test)
+        return out
+
+    results = benchmark(fit_all)
+
+    rows = [
+        [k, c.accuracy, c.precision, c.recall, c.f1] for k, c in results.items()
+    ]
+    emit(
+        "ablation_svm_kernel",
+        format_table(
+            ["kernel", "accuracy", "precision", "recall", "f1"],
+            rows,
+            title=f"SVM kernel ablation (train={split}, test={n - split})",
+        ),
+    )
+
+    for counts in results.values():
+        assert counts.accuracy > 0.6
+    # The default kernel must be competitive with the best alternative.
+    best = max(c.f1 for c in results.values())
+    assert results["rbf"].f1 >= best - 0.1

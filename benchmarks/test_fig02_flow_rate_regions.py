@@ -1,0 +1,24 @@
+"""Fig. 2 — average vehicle flow rate of R1 vs R2, before vs after disaster.
+
+Paper shape: R1's before/after difference is small; R2's is much larger
+(R2 is lower and rainier, so the flooding hits its road use harder).
+"""
+
+from conftest import emit
+
+from repro.eval.tables import format_series
+
+
+def test_fig02_flow_rate_regions(benchmark, suite):
+    data = benchmark(suite.fig2_flow_before_after)
+
+    lines = [format_series(name, series) for name, series in data.items()]
+    drop_r1 = data["R1 Aug 25"].mean() - data["R1 Sep 20"].mean()
+    drop_r2 = data["R2 Aug 25"].mean() - data["R2 Sep 20"].mean()
+    lines.append(
+        f"day-mean drop: R1 {drop_r1:.3f}  R2 {drop_r2:.3f} (paper: R2 >> R1)"
+    )
+    emit("fig02_flow_rate_regions", "\n".join(lines))
+
+    assert all(series.shape == (24,) for series in data.values())
+    assert drop_r2 > drop_r1

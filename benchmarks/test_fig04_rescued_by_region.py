@@ -1,0 +1,26 @@
+"""Fig. 4 — region distribution of rescued people.
+
+Paper shape: most rescue requests appear in Region 3 (downtown), the most
+severely impacted region.
+"""
+
+from conftest import emit
+
+from repro.eval.tables import format_table
+
+
+def test_fig04_rescued_by_region(benchmark, suite):
+    counts = benchmark(suite.fig4_rescued_by_region)
+
+    total = sum(counts.values())
+    rows = [
+        [f"R{rid}", n, f"{100.0 * n / total:.1f}%"] for rid, n in sorted(counts.items())
+    ]
+    emit(
+        "fig04_rescued_by_region",
+        format_table(["region", "rescued", "share"], rows,
+                     title="Region distribution of rescued people (paper: R3 hottest)"),
+    )
+
+    assert max(counts, key=counts.get) == 3
+    assert counts[3] > 0.3 * total

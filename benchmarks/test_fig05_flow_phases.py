@@ -1,0 +1,33 @@
+"""Fig. 5 — per-region vehicle flow before / during / after the disaster.
+
+Paper shape: flow collapses during the disaster in every region (Region 3,
+downtown, from the highest base), and the after-disaster level stays well
+below the before level.
+"""
+
+from conftest import emit
+
+from repro.eval.tables import format_table
+
+
+def test_fig05_flow_phases(benchmark, suite):
+    phases = benchmark(suite.fig5_flow_phases)
+
+    rows = [
+        [f"R{rid}", row["before"], row["during"], row["after"]]
+        for rid, row in sorted(phases.items())
+    ]
+    emit(
+        "fig05_flow_phases",
+        format_table(
+            ["region", "before (Sep10-13)", "during (Sep14-16)", "after (Sep17-19)"],
+            rows,
+            title="Average vehicle flow rate per phase (vehicles/hour)",
+        ),
+    )
+
+    for row in phases.values():
+        assert row["during"] < row["before"]
+        assert row["after"] < row["before"]
+    before = {rid: row["before"] for rid, row in phases.items()}
+    assert max(before, key=before.get) == 3  # downtown busiest pre-disaster

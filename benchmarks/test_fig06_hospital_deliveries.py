@@ -1,0 +1,32 @@
+"""Fig. 6 — number of people delivered to hospitals per day.
+
+Paper shape: a steep jump at the start of the hurricane impact (Sep 13),
+sustained high deliveries through Sep 16, then decline.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.eval.tables import format_series
+from repro.weather.storms import day_label
+
+
+def test_fig06_hospital_deliveries(benchmark, suite):
+    data = benchmark(suite.fig6_deliveries_per_day)
+    total, rescued = data["total"], data["rescued"]
+    timeline = suite.scenario.timeline
+
+    labels = [day_label(timeline, d) for d in range(timeline.total_days)]
+    lines = [
+        "day:      " + " ".join(f"{lbl.split()[1]:>4}" for lbl in labels),
+        format_series("total", total, fmt="%4.0f"),
+        format_series("rescued", rescued, fmt="%4.0f"),
+    ]
+    emit("fig06_hospital_deliveries", "\n".join(lines))
+
+    before = total[8:17].mean()  # Sep 2-10 baseline
+    disaster = total[20:24].mean()  # Sep 14-17
+    assert disaster > 2.0 * before
+    # The rescued series drives the jump.
+    assert rescued[20:24].sum() > rescued[8:17].sum()
+    assert int(np.argmax(rescued)) >= 19  # peak on/after Sep 13

@@ -1,0 +1,20 @@
+"""Fig. 9 — total timely served rescue requests per hour, by method.
+
+Paper shape: MobiRescue > Rescue > Schedule in total served.
+"""
+
+from conftest import emit
+
+from repro.eval.tables import format_series
+
+
+def test_fig09_served_per_hour(benchmark, dispatch_experiments):
+    data = benchmark(dispatch_experiments.fig9_served_per_hour)
+
+    lines = [format_series(name, series, fmt="%3.0f") for name, series in data.items()]
+    totals = {name: int(series.sum()) for name, series in data.items()}
+    lines.append(f"totals: {totals} (paper: MobiRescue > Rescue > Schedule)")
+    emit("fig09_served_per_hour", "\n".join(lines))
+
+    assert totals["MobiRescue"] > totals["Rescue"]
+    assert totals["MobiRescue"] > totals["Schedule"]

@@ -1,0 +1,23 @@
+"""Fig. 10 — CDF of timely served requests per rescue team.
+
+Paper shape: MobiRescue's per-team service counts stochastically dominate
+the baselines' (its CDF sits to the right).
+"""
+
+from conftest import emit
+
+from repro.eval.tables import format_cdf_quantiles
+
+
+def test_fig10_served_cdf(benchmark, dispatch_experiments):
+    data = benchmark(dispatch_experiments.fig10_served_per_team)
+
+    lines = [format_cdf_quantiles(name, vals) for name, vals in data.items()]
+    emit("fig10_served_cdf", "\n".join(lines))
+
+    mr, re_, sc = data["MobiRescue"], data["Rescue"], data["Schedule"]
+    assert mr.sum() > re_.sum()
+    assert mr.sum() > sc.sum()
+    # MobiRescue concentrates work on fewer, busier teams: its busiest team
+    # serves at least as much as any baseline team.
+    assert mr.max() >= max(re_.max(), sc.max())

@@ -1,0 +1,26 @@
+"""Fig. 11 — average driving delay to requests per hour, by method.
+
+Paper shape: MobiRescue < Rescue < Schedule during most hours (flood-aware
+routing + proactive positioning shorten the drives).
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.eval.tables import format_series
+
+
+def test_fig11_delay_per_hour(benchmark, dispatch_experiments):
+    data = benchmark(dispatch_experiments.fig11_delay_per_hour)
+
+    lines = [format_series(name, series, fmt="%5.0f") for name, series in data.items()]
+    means = {name: float(np.nanmean(series)) for name, series in data.items()}
+    lines.append(
+        "hourly-mean of means (s): "
+        + " ".join(f"{k}={v:.0f}" for k, v in means.items())
+        + " (paper: MobiRescue lowest)"
+    )
+    emit("fig11_delay_per_hour", "\n".join(lines))
+
+    assert means["MobiRescue"] < means["Rescue"]
+    assert means["MobiRescue"] < means["Schedule"]

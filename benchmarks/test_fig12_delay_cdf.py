@@ -1,0 +1,26 @@
+"""Fig. 12 — CDF of driving delays over all served requests.
+
+Paper shape: MobiRescue's delay CDF sits left of (below) the baselines'.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.eval.stats import cdf_at
+from repro.eval.tables import format_cdf_quantiles
+
+
+def test_fig12_delay_cdf(benchmark, dispatch_experiments):
+    data = benchmark(dispatch_experiments.fig12_delay_values)
+
+    lines = [format_cdf_quantiles(name, vals) for name, vals in data.items()]
+    for bound in (300.0, 900.0, 1_800.0):
+        fr = {name: f"{cdf_at(vals, bound):.2f}" for name, vals in data.items()}
+        lines.append(f"P(delay <= {bound:.0f}s): {fr}")
+    emit("fig12_delay_cdf", "\n".join(lines))
+
+    mr, re_, sc = data["MobiRescue"], data["Rescue"], data["Schedule"]
+    assert np.median(mr) < np.median(re_)
+    assert np.median(mr) < np.median(sc)
+    # More of MobiRescue's pickups happen within 15 minutes of response.
+    assert cdf_at(mr, 900.0) > max(cdf_at(re_, 900.0), cdf_at(sc, 900.0))

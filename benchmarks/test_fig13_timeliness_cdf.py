@@ -1,0 +1,28 @@
+"""Fig. 13 — CDF of the timeliness of rescuing (rescue time − request
+time, including the dispatching method's computation delay).
+
+Paper shape: MobiRescue << Schedule < Rescue — the trained RL model answers
+in < 0.5 s while the integer programs take ~300 s (and Rescue's programs,
+covering predicted demand too, are the biggest).
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.eval.tables import format_cdf_quantiles
+
+
+def test_fig13_timeliness_cdf(benchmark, dispatch_experiments):
+    data = benchmark(dispatch_experiments.fig13_timeliness_values)
+
+    lines = [format_cdf_quantiles(name, vals) for name, vals in data.items()]
+    means = {name: float(vals.mean()) for name, vals in data.items()}
+    lines.append(
+        "means (s): " + " ".join(f"{k}={v:.0f}" for k, v in means.items())
+        + " (paper: MobiRescue << Schedule < Rescue)"
+    )
+    emit("fig13_timeliness_cdf", "\n".join(lines))
+
+    assert means["MobiRescue"] < 0.7 * means["Schedule"]
+    assert means["MobiRescue"] < 0.7 * means["Rescue"]
+    assert np.median(data["MobiRescue"]) < np.median(data["Rescue"])

@@ -1,0 +1,27 @@
+"""Fig. 14 — number of serving rescue teams per hour, by method.
+
+Paper shape: Rescue = Schedule = constant (their IPs never minimize fleet
+size); MobiRescue varies with demand and stays below.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.eval.tables import format_series
+
+
+def test_fig14_serving_teams(benchmark, dispatch_experiments):
+    data = benchmark(dispatch_experiments.fig14_serving_teams_per_hour)
+
+    lines = [format_series(name, series, fmt="%4.0f") for name, series in data.items()]
+    emit("fig14_serving_teams", "\n".join(lines))
+
+    n = dispatch_experiments.harness.num_teams()
+    sched, resc, mobi = data["Schedule"], data["Rescue"], data["MobiRescue"]
+    # Baselines pin the whole fleet, every hour.
+    assert np.nanstd(sched) < 0.05 * n
+    assert np.nanstd(resc) < 0.05 * n
+    assert np.nanmean(sched) > 0.95 * n
+    # MobiRescue adapts: fewer teams on average, and it actually varies.
+    assert np.nanmean(mobi) < 0.8 * n
+    assert np.nanstd(mobi) > np.nanstd(sched)

@@ -1,0 +1,25 @@
+"""Fig. 16 — CDF of per-road-segment prediction precision, MobiRescue vs
+Rescue.
+
+Paper shape: MobiRescue > Rescue across segments — the time series has no
+notion of where the danger is, so it predicts at yesterday's (burned-out)
+segments while the flood wave has moved on.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.eval.tables import format_cdf_quantiles
+
+
+def test_fig16_precision_cdf(benchmark, dispatch_experiments):
+    data = benchmark(lambda: dispatch_experiments.fig16_precisions())
+
+    lines = [format_cdf_quantiles(name, vals) for name, vals in data.items()]
+    hit = {name: f"{(vals > 0).mean():.2f}" for name, vals in data.items()}
+    lines.append(f"fraction of segments with any correct prediction: {hit}")
+    emit("fig16_precision_cdf", "\n".join(lines))
+
+    mr, re_ = data["MobiRescue"], data["Rescue"]
+    assert (mr > 0).mean() > (re_ > 0).mean()
+    assert mr.mean() >= re_.mean() * 0.9

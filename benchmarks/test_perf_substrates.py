@@ -1,0 +1,83 @@
+"""Performance benchmarks of the substrates themselves.
+
+Not a paper figure — these watch the cost of the operations the system runs
+continuously: routing, dispatch-cycle building blocks, SVM training, DQN
+updates and the stage-1 trace pipeline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geo.regions import charlotte_regions
+from repro.ml.dqn import DQNAgent, DQNConfig
+from repro.ml.svm import SVC
+from repro.mobility.cleaning import clean_trace
+from repro.mobility.mapmatch import map_match
+from repro.roadnet.generator import RoadNetworkConfig, generate_road_network
+from repro.roadnet.matrix import TravelTimeOracle
+from repro.roadnet.routing import shortest_path, shortest_time_to
+
+
+@pytest.fixture(scope="module")
+def city():
+    part = charlotte_regions(70_000.0, 45_000.0)
+    return generate_road_network(part, RoadNetworkConfig())
+
+
+def test_perf_dijkstra_point_to_point(benchmark, city):
+    nodes = city.landmark_ids()
+    rng = np.random.default_rng(0)
+    pairs = [tuple(rng.choice(nodes, size=2, replace=False)) for _ in range(32)]
+
+    def run():
+        return sum(
+            shortest_path(city, int(a), int(b)).travel_time_s for a, b in pairs
+        )
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def test_perf_reverse_dijkstra(benchmark, city):
+    result = benchmark(lambda: shortest_time_to(city, 0))
+    assert len(result) == city.num_landmarks
+
+
+def test_perf_travel_time_oracle_build(benchmark, city):
+    oracle = benchmark(lambda: TravelTimeOracle(city))
+    assert oracle.node_to_node_s(0, 1) > 0
+
+
+def test_perf_svm_smo_fit(benchmark):
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=(400, 3))
+    y = (x @ np.array([1.5, -1.0, 0.5]) + rng.normal(0, 0.3, 400) > 0).astype(int)
+
+    clf = benchmark(lambda: SVC(kernel="rbf", gamma=0.5, c=2.0).fit(x, y))
+    assert clf.is_fitted
+
+
+def test_perf_dqn_learn_step(benchmark):
+    cfg = DQNConfig(state_dim=27, num_actions=9, batch_size=64, seed=0)
+    agent = DQNAgent(cfg)
+    rng = np.random.default_rng(2)
+    for _ in range(256):
+        agent.remember(rng.normal(size=27), int(rng.integers(9)), 1.0,
+                       rng.normal(size=27), False)
+
+    loss = benchmark(agent.learn)
+    assert loss is not None
+
+
+def test_perf_stage1_pipeline(benchmark, florence_bench):
+    """Cleaning + map matching of the full benchmark trace."""
+    scenario, bundle = florence_bench
+
+    def run():
+        clean, _ = clean_trace(
+            bundle.trace, scenario.partition.width_m, scenario.partition.height_m
+        )
+        return map_match(clean, scenario.network)
+
+    matched = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(matched.trajectories) == len(bundle.persons)

@@ -1,0 +1,30 @@
+"""Table I — Pearson correlation between disaster factors and vehicle flow.
+
+Paper values: precipitation -0.897, wind speed -0.781, altitude +0.739,
+with |precipitation| > |wind| > |altitude|.  We reproduce the signs, the
+magnitudes' scale and precipitation's dominance.
+"""
+
+from conftest import emit
+
+from repro.eval.tables import format_table
+
+
+def test_table1_correlations(benchmark, suite):
+    corr = benchmark(suite.table1_correlations)
+
+    table = format_table(
+        ["factor", "measured", "paper"],
+        [
+            ["precipitation", corr["precipitation"], -0.897],
+            ["wind speed", corr["wind"], -0.781],
+            ["altitude", corr["altitude"], 0.739],
+        ],
+        title="Correlation between disaster-related factors and vehicle flow rate",
+    )
+    emit("table1_correlations", table)
+
+    assert corr["precipitation"] < -0.5
+    assert corr["wind"] < -0.3
+    assert corr["altitude"] > 0.3
+    assert abs(corr["precipitation"]) >= abs(corr["wind"])

@@ -1,0 +1,84 @@
+"""Dataset measurement study — the paper's Section III on synthetic data.
+
+Reproduces the analysis that motivates MobiRescue: regional heterogeneity
+of disaster impact (Figs. 2-3, Table I), the relationship between impact
+and rescue requests (Figs. 4-6), and the full stage-1 pipeline (cleaning,
+map matching, flow-rate derivation, hospital-delivery detection).
+
+Run:  python examples/dataset_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import build_florence_dataset
+from repro.eval.experiments import MeasurementSuite
+from repro.eval.tables import format_series, format_table
+from repro.mobility import clean_trace
+from repro.weather.storms import day_label
+
+POPULATION = 800
+
+
+def main() -> None:
+    print("Building the Florence dataset...")
+    scenario, bundle = build_florence_dataset(population_size=POPULATION)
+    suite = MeasurementSuite(scenario, bundle)
+
+    _, report = clean_trace(
+        bundle.trace, scenario.partition.width_m, scenario.partition.height_m
+    )
+    print(f"\n--- Stage-1 pipeline ---")
+    print(f"raw fixes:        {report.input_fixes:,}")
+    print(f"out of range:     {report.dropped_out_of_range:,}")
+    print(f"duplicates:       {report.dropped_duplicates:,}")
+    print(f"speed gate:       {report.dropped_speed_gate:,}")
+    print(f"clean fixes:      {report.output_fixes:,}")
+
+    print("\n--- Fig 2: R1/R2 flow, before vs after (vehicles/hour) ---")
+    for name, series in suite.fig2_flow_before_after().items():
+        print(format_series(name, series))
+
+    print("\n--- Fig 3: per-segment |before-after| flow difference ---")
+    diffs = suite.fig3_flow_diff()
+    print(f"median {np.median(diffs):.3f}, p90 {np.percentile(diffs, 90):.3f}, "
+          f"nonzero on {(diffs > 0).mean() * 100:.0f}% of segments")
+
+    print("\n--- Table I: factor/flow correlations ---")
+    corr = suite.table1_correlations()
+    print(format_table(
+        ["factor", "measured", "paper"],
+        [
+            ["precipitation", corr["precipitation"], -0.897],
+            ["wind speed", corr["wind"], -0.781],
+            ["altitude", corr["altitude"], 0.739],
+        ],
+    ))
+
+    print("\n--- Fig 4: rescued people per region ---")
+    counts = suite.fig4_rescued_by_region()
+    print(format_table(
+        ["region", "rescued"], [[f"R{r}", n] for r, n in sorted(counts.items())]
+    ))
+
+    print("\n--- Fig 5: region flow by phase (vehicles/hour) ---")
+    phases = suite.fig5_flow_phases()
+    print(format_table(
+        ["region", "before", "during", "after"],
+        [
+            [f"R{r}", row["before"], row["during"], row["after"]]
+            for r, row in sorted(phases.items())
+        ],
+    ))
+
+    print("\n--- Fig 6: hospital deliveries per day ---")
+    data = suite.fig6_deliveries_per_day()
+    for d in range(scenario.timeline.total_days):
+        bar = "#" * int(data["total"][d])
+        print(f"{day_label(scenario.timeline, d):>7}: {bar} "
+              f"({int(data['total'][d])}, rescued {int(data['rescued'][d])})")
+
+
+if __name__ == "__main__":
+    main()

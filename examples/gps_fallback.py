@@ -1,0 +1,75 @@
+"""Extension example — dispatching with degraded GPS (Section IV-C5).
+
+"Under severe situations, the GPS locations of some people may not be
+readily available" — dead phones, downed cell towers.  This example deploys
+the same trained MobiRescue system twice on Florence's Sep 16:
+
+1. with the plain last-fix position feed;
+2. with :class:`HistoricalFallbackFeed`, which places stale devices at
+   their pre-disaster hour-of-day habitual position.
+
+Run:  python examples/gps_fallback.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import MobiRescueSystem
+from repro.data import build_florence_dataset, build_michael_dataset
+from repro.sim import RescueSimulator, SimulationConfig
+from repro.sim.metrics import SimulationMetrics
+from repro.sim.requests import remap_to_operable, requests_from_rescues
+from repro.weather.storms import SECONDS_PER_DAY, day_index
+
+POPULATION = 600
+
+
+def run_once(system, scenario, bundle, gps_fallback: bool):
+    dispatcher = system.deploy(scenario, bundle, gps_fallback=gps_fallback)
+    day = day_index(scenario.timeline, "Sep 16")
+    t0, t1 = day * SECONDS_PER_DAY, (day + 1) * SECONDS_PER_DAY
+    requests = remap_to_operable(
+        requests_from_rescues(bundle.rescues, t0, t1),
+        scenario.network,
+        scenario.flood,
+    )
+    sim = RescueSimulator(
+        scenario,
+        requests,
+        dispatcher,
+        SimulationConfig(t0_s=t0, t1_s=t1, num_teams=max(10, len(requests)), seed=0),
+    )
+    result = sim.run()
+    metrics = SimulationMetrics(result)
+    fallback_uses = getattr(dispatcher.positions_fn, "fallback_uses", 0)
+    return result, metrics, fallback_uses
+
+
+def main() -> None:
+    print("Building datasets and training...")
+    train = build_michael_dataset(population_size=POPULATION)
+    scenario, bundle = build_florence_dataset(population_size=POPULATION)
+    system = MobiRescueSystem.train(*train, episodes=3)
+
+    print("Deploying with the plain last-fix feed...")
+    r_plain, m_plain, _ = run_once(system, scenario, bundle, gps_fallback=False)
+    print("Deploying with the historical-fallback feed...")
+    r_fb, m_fb, uses = run_once(system, scenario, bundle, gps_fallback=True)
+
+    print()
+    print(f"{'feed':<22} {'served':>6} {'timely':>6} {'median timeliness':>18}")
+    for name, (r, m) in (
+        ("last fix", (r_plain, m_plain)),
+        ("historical fallback", (r_fb, m_fb)),
+    ):
+        tl = m.timeliness_values()
+        med = f"{np.median(tl) / 60:.1f} min" if len(tl) else "-"
+        print(f"{name:<22} {r.num_served:>6} {m.total_timely_served:>6} {med:>18}")
+    print(f"\nfallback position estimates used: {uses}")
+    print("With a healthy trace both feeds agree; the fallback matters when")
+    print("fix gaps exceed the staleness bound (e.g. powered-off phones).")
+
+
+if __name__ == "__main__":
+    main()

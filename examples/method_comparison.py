@@ -1,0 +1,69 @@
+"""Method comparison — the paper's Section V on synthetic data.
+
+Runs MobiRescue against the two comparison methods ("Rescue" and
+"Schedule") plus a greedy-nearest sanity baseline over the Sep 16
+evaluation day, printing the quantities behind Figs. 9-14.
+
+Run:  python examples/method_comparison.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import build_florence_dataset, build_michael_dataset
+from repro.eval.harness import ExperimentHarness, HarnessConfig
+from repro.eval.tables import format_table
+
+POPULATION = 800
+METHODS = ("MobiRescue", "Rescue", "Schedule", "Nearest")
+
+
+def main() -> None:
+    print("Building datasets...")
+    florence = build_florence_dataset(population_size=POPULATION)
+    michael = build_michael_dataset(population_size=POPULATION)
+    harness = ExperimentHarness(
+        florence, michael, HarnessConfig(mobirescue_episodes=4)
+    )
+    print(f"Evaluation day: {harness.config.eval_day_label}, "
+          f"{len(harness.eval_requests())} requests, "
+          f"{harness.num_teams()} rescue teams "
+          f"(the paper's max-daily-requests fleet rule)")
+
+    rows = []
+    for name in METHODS:
+        print(f"Running {name}...")
+        run = harness.run_method(name)
+        m = run.metrics
+        delays = m.driving_delays()
+        tl = m.timeliness_values()
+        serving = [n for _, n in run.result.serving_samples]
+        rows.append([
+            name,
+            run.result.num_served,
+            m.total_timely_served,
+            f"{np.median(delays) / 60:.1f}" if len(delays) else "-",
+            f"{np.mean(tl) / 60:.1f}" if len(tl) else "-",
+            f"{np.mean(serving):.0f}",
+        ])
+
+    print()
+    print(format_table(
+        [
+            "method",
+            "served",
+            "timely(<=30m)",
+            "median delay (min)",
+            "mean timeliness (min)",
+            "avg serving teams",
+        ],
+        rows,
+        title="Dispatching comparison (paper: MobiRescue best on every column)",
+    ))
+    print("\nPaper shape: served MR>Rescue>Schedule; delay MR lowest;")
+    print("timeliness MR<<IP baselines; serving teams MR adaptive, baselines pinned.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+This offline environment has no `wheel` package, so PEP-517 editable
+installs fail with `invalid command 'bdist_wheel'`.  The shim lets
+`pip install -e . --no-build-isolation --no-use-pep517` work via the legacy
+setuptools develop path.  All real metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,24 @@
+"""MobiRescue (ICDCS 2020) — a from-scratch reproduction.
+
+Rescue-team dispatching in a flooding disaster: SVM prediction of potential
+rescue requests from disaster-related factors, plus reinforcement-learning
+dispatching over a simulated city.  Start with
+:class:`repro.core.MobiRescueSystem` and the dataset builders in
+:mod:`repro.data`; see README.md for a tour.
+
+Subpackages
+-----------
+``geo``        coordinates, regions, terrain, flood model
+``roadnet``    road-network graph, generator, routing
+``weather``    storm timelines and weather fields
+``mobility``   synthetic GPS traces and the stage-1 pipeline
+``hospitals``  hospital placement and delivery detection
+``ml``         SVM (SMO), MLP, replay buffer, DQN
+``sim``        the rescue-dispatching simulator
+``dispatch``   dispatcher interface and comparison baselines
+``core``       the MobiRescue system itself
+``data``       scenario/dataset assembly
+``eval``       experiment harness, one entry per paper table/figure
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,266 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``measure``
+    The paper's Section-III measurement study on the Florence dataset
+    (Figs. 2-6, Table I).
+
+``compare``
+    The Section-V dispatching comparison over the Sep 16 evaluation day
+    (Figs. 9-14 summary table).
+
+``predict``
+    Train the SVM request predictor on Michael, score it on Florence
+    (Figs. 15-16 summary).
+
+``simulate``
+    Train and deploy the full MobiRescue system, optionally saving the
+    trained models with ``--save``.
+
+All commands accept ``--population`` (default 800) and ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--population", type=int, default=800,
+        help="synthetic population size (paper: 8590)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+    parser.add_argument(
+        "--episodes", type=int, default=4, help="MobiRescue training episodes"
+    )
+
+
+def _datasets(args):
+    from repro.data import build_florence_dataset, build_michael_dataset
+
+    florence = build_florence_dataset(population_size=args.population)
+    michael = build_michael_dataset(population_size=args.population)
+    return florence, michael
+
+
+def cmd_measure(args) -> int:
+    from repro.eval.experiments import MeasurementSuite
+    from repro.eval.tables import format_series, format_table
+    from repro.weather.storms import day_label
+
+    florence, _ = _datasets(args)
+    suite = MeasurementSuite(*florence)
+
+    print("--- Fig 2: R1/R2 hourly flow, before vs after ---")
+    for name, series in suite.fig2_flow_before_after().items():
+        print(format_series(name, series))
+
+    print("\n--- Table I: factor/flow correlations ---")
+    corr = suite.table1_correlations()
+    print(format_table(
+        ["factor", "measured", "paper"],
+        [
+            ["precipitation", corr["precipitation"], -0.897],
+            ["wind speed", corr["wind"], -0.781],
+            ["altitude", corr["altitude"], 0.739],
+        ],
+    ))
+
+    print("\n--- Fig 4: rescued per region ---")
+    counts = suite.fig4_rescued_by_region()
+    print(format_table(["region", "rescued"],
+                       [[f"R{r}", n] for r, n in sorted(counts.items())]))
+
+    print("\n--- Fig 6: hospital deliveries per day ---")
+    data = suite.fig6_deliveries_per_day()
+    timeline = suite.scenario.timeline
+    for d in range(timeline.total_days):
+        print(f"{day_label(timeline, d):>7}: total {int(data['total'][d]):3d} "
+              f"rescued {int(data['rescued'][d]):3d}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    from repro.eval.harness import ExperimentHarness, HarnessConfig
+    from repro.eval.tables import format_table
+
+    florence, michael = _datasets(args)
+    harness = ExperimentHarness(
+        florence, michael,
+        HarnessConfig(mobirescue_episodes=args.episodes, seed=args.seed),
+    )
+    print(f"eval day {harness.config.eval_day_label}: "
+          f"{len(harness.eval_requests())} requests, {harness.num_teams()} teams")
+
+    rows = []
+    for name in ("MobiRescue", "Rescue", "Schedule"):
+        print(f"running {name}...", file=sys.stderr)
+        run = harness.run_method(name)
+        m = run.metrics
+        delays = m.driving_delays()
+        tl = m.timeliness_values()
+        serving = [n for _, n in run.result.serving_samples]
+        rows.append([
+            name,
+            run.result.num_served,
+            m.total_timely_served,
+            f"{np.median(delays) / 60:.1f}" if len(delays) else "-",
+            f"{np.mean(tl) / 60:.1f}" if len(tl) else "-",
+            f"{np.mean(serving):.0f}",
+        ])
+    print(format_table(
+        ["method", "served", "timely", "med delay (min)",
+         "mean timeliness (min)", "avg serving"],
+        rows,
+    ))
+    return 0
+
+
+def cmd_predict(args) -> int:
+    from repro.eval.experiments import DispatchExperiments
+    from repro.eval.harness import ExperimentHarness, HarnessConfig
+    from repro.eval.tables import format_table
+
+    florence, michael = _datasets(args)
+    harness = ExperimentHarness(
+        florence, michael,
+        HarnessConfig(mobirescue_episodes=args.episodes, seed=args.seed),
+    )
+    quality = DispatchExperiments(harness).prediction_quality()
+    rows = [
+        [
+            name,
+            f"{q.mean_accuracy:.3f}",
+            f"{q.mean_precision:.3f}",
+            f"{(q.precisions > 0).mean():.2f}",
+        ]
+        for name, q in quality.items()
+    ]
+    print(format_table(
+        ["method", "mean accuracy", "mean precision", "segments hit"],
+        rows,
+        title="Per-segment rescue-request prediction (Figs 15-16)",
+    ))
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    from repro.core import MobiRescueSystem, save_trained
+    from repro.sim import RescueSimulator, SimulationConfig
+    from repro.sim.metrics import SimulationMetrics
+    from repro.sim.requests import remap_to_operable, requests_from_rescues
+    from repro.weather.storms import SECONDS_PER_DAY, day_index
+
+    florence, michael = _datasets(args)
+    print("training MobiRescue...", file=sys.stderr)
+    system = MobiRescueSystem.train(*michael, episodes=args.episodes)
+    if args.save:
+        save_trained(system.trained, args.save)
+        print(f"saved trained models to {args.save}")
+
+    eval_scen, eval_bundle = florence
+    day = day_index(eval_scen.timeline, "Sep 16")
+    t0, t1 = day * SECONDS_PER_DAY, (day + 1) * SECONDS_PER_DAY
+    requests = remap_to_operable(
+        requests_from_rescues(eval_bundle.rescues, t0, t1),
+        eval_scen.network, eval_scen.flood,
+    )
+    dispatcher = system.deploy(eval_scen, eval_bundle)
+    sim = RescueSimulator(
+        eval_scen, requests, dispatcher,
+        SimulationConfig(
+            t0_s=t0, t1_s=t1, num_teams=max(10, len(requests)), seed=args.seed
+        ),
+    )
+    result = sim.run()
+    metrics = SimulationMetrics(result)
+    print(f"requests {len(requests)}  served {result.num_served}  "
+          f"timely {metrics.total_timely_served}  "
+          f"delivered {metrics.delivered_count()}")
+    return 0
+
+
+FIGURES = {
+    "fig9": ("fig9_served_per_hour", "timely served requests per hour"),
+    "fig11": ("fig11_delay_per_hour", "average driving delay per hour (s)"),
+    "fig14": ("fig14_serving_teams_per_hour", "serving rescue teams per hour"),
+}
+CDF_FIGURES = {
+    "fig12": ("fig12_delay_values", "driving delay CDF (s)"),
+    "fig13": ("fig13_timeliness_values", "timeliness CDF (s)"),
+}
+
+
+def cmd_figure(args) -> int:
+    from repro.eval.ascii import ascii_cdf, ascii_chart
+    from repro.eval.experiments import DispatchExperiments
+    from repro.eval.harness import ExperimentHarness, HarnessConfig
+
+    fig = args.figure
+    if fig not in FIGURES and fig not in CDF_FIGURES:
+        known = ", ".join(sorted([*FIGURES, *CDF_FIGURES]))
+        print(f"unknown figure {fig!r}; choose from: {known}", file=sys.stderr)
+        return 2
+
+    florence, michael = _datasets(args)
+    harness = ExperimentHarness(
+        florence, michael,
+        HarnessConfig(mobirescue_episodes=args.episodes, seed=args.seed),
+    )
+    experiments = DispatchExperiments(harness)
+    if fig in FIGURES:
+        method_name, title = FIGURES[fig]
+        data = getattr(experiments, method_name)()
+        print(ascii_chart(data, title=f"{fig}: {title}", x_label="hour of day"))
+    else:
+        method_name, title = CDF_FIGURES[fig]
+        data = getattr(experiments, method_name)()
+        print(ascii_cdf(data, title=f"{fig}: {title}"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MobiRescue (ICDCS 2020) reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("measure", help="Section III measurement study")
+    _add_common(p)
+    p.set_defaults(func=cmd_measure)
+
+    p = sub.add_parser("compare", help="Section V dispatching comparison")
+    _add_common(p)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("predict", help="Figs 15-16 prediction quality")
+    _add_common(p)
+    p.set_defaults(func=cmd_predict)
+
+    p = sub.add_parser("simulate", help="train + deploy the full system")
+    _add_common(p)
+    p.add_argument("--save", type=str, default="", help="save trained models (.npz)")
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("figure", help="render one dispatching figure as ASCII")
+    p.add_argument("figure", help="fig9, fig11, fig12, fig13 or fig14")
+    _add_common(p)
+    p.set_defaults(func=cmd_figure)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,36 @@
+"""MobiRescue — the paper's primary contribution.
+
+The three-stage pipeline of Fig. 7:
+
+1. human-mobility information derivation (in :mod:`repro.mobility`);
+2. SVM prediction of the distribution of potential rescue requests
+   (:mod:`repro.core.predictor`, Eqs. 1-2);
+3. RL-based rescue-team dispatching (:mod:`repro.core.rl_dispatcher`,
+   Eqs. 3-5), trained offline on a previous disaster and continually
+   online (:mod:`repro.core.training`).
+
+:class:`repro.core.system.MobiRescueSystem` bundles the stages behind one
+facade.
+"""
+
+from repro.core.config import MobiRescueConfig
+from repro.core.predictor import RequestPredictor, TrainingSet, build_training_set
+from repro.core.positions import HistoricalFallbackFeed, PopulationFeed
+from repro.core.rl_dispatcher import MobiRescueDispatcher
+from repro.core.training import train_mobirescue
+from repro.core.system import MobiRescueSystem
+from repro.core.persistence import load_trained, save_trained
+
+__all__ = [
+    "HistoricalFallbackFeed",
+    "MobiRescueConfig",
+    "MobiRescueDispatcher",
+    "MobiRescueSystem",
+    "PopulationFeed",
+    "RequestPredictor",
+    "TrainingSet",
+    "build_training_set",
+    "load_trained",
+    "save_trained",
+    "train_mobirescue",
+]

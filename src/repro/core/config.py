@@ -1,0 +1,64 @@
+"""MobiRescue configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MobiRescueConfig:
+    """Knobs of the MobiRescue system (paper defaults where given)."""
+
+    # -- SVM request predictor (Section IV-B) --
+    svm_kernel: str = "rbf"
+    svm_c: float = 8.0
+    svm_gamma: float = 0.5
+    #: Negative training examples sampled per positive.  Ground-truth
+    #: rescues are rare, and the paper trains on all persons; a strongly
+    #: unbalanced set keeps the decision surface calibrated to that rarity
+    #: (a balanced set makes the SVM flag a third of the city).
+    negatives_per_positive: int = 4
+
+    # -- RL dispatcher (Section IV-C) --
+    #: Candidate destination segments scored per team each cycle.
+    num_candidates: int = 8
+    #: Reward weights of Eq. 5: served requests (alpha), driving delay
+    #: (beta, per hour of driving), serving-team cost (gamma).  Serving must
+    #: stay individually worthwhile at realistic request volumes, so the
+    #: delay/fleet costs are small against the pickup reward.
+    alpha: float = 2.0
+    beta: float = 0.3
+    gamma: float = 0.03
+    #: Called-in pending requests are certain demand; predicted potential
+    #: requests are not.  Pending counts get this weight in the demand map.
+    pending_weight: float = 3.0
+    hidden_sizes: tuple[int, ...] = (64, 64)
+    learning_rate: float = 1e-3
+    discount: float = 0.9
+    #: Gradient steps per dispatch cycle while training.
+    learn_steps_per_cycle: int = 4
+    #: Online continual training during deployment (Section IV-C4).
+    online_training: bool = True
+
+    #: Inference wall-clock of the trained model (paper: < 0.5 s).
+    computation_delay_s: float = 0.4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_candidates < 1:
+            raise ValueError("need at least one candidate segment")
+        if min(self.alpha, self.beta, self.gamma) < 0:
+            raise ValueError("reward weights must be non-negative")
+        if not (0 < self.discount <= 1):
+            raise ValueError("discount must be in (0, 1]")
+
+    @property
+    def state_dim(self) -> int:
+        """Per-team state: 3 features per candidate (pending, predicted,
+        travel time) + 3 team features."""
+        return 3 * self.num_candidates + 3
+
+    @property
+    def num_actions(self) -> int:
+        """One action per candidate plus the depot action (x_mk = 0)."""
+        return self.num_candidates + 1

@@ -1,0 +1,121 @@
+"""Saving and loading trained MobiRescue models.
+
+A disaster-response system trains ahead of time (on previous disasters) and
+deploys under pressure; the trained artifacts — the SVM request predictor
+and the DQN policy — must survive process boundaries.  Everything is packed
+into a single ``.npz`` archive: numpy arrays directly, configuration as a
+JSON sidecar string.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.core.config import MobiRescueConfig
+from repro.core.predictor import RequestPredictor
+from repro.core.rl_dispatcher import make_agent
+from repro.core.training import TrainedMobiRescue
+from repro.data.charlotte import CharlotteScenario
+
+FORMAT_VERSION = 1
+
+
+def _config_to_json(config: MobiRescueConfig) -> str:
+    d = {
+        k: (list(v) if isinstance(v, tuple) else v)
+        for k, v in config.__dict__.items()
+    }
+    return json.dumps(d)
+
+
+def _config_from_json(payload: str) -> MobiRescueConfig:
+    d = json.loads(payload)
+    for key in ("hidden_sizes",):
+        if key in d:
+            d[key] = tuple(d[key])
+    return MobiRescueConfig(**d)
+
+
+def save_trained(trained: TrainedMobiRescue, path: str | pathlib.Path) -> None:
+    """Serialize a trained system to a ``.npz`` archive."""
+    svm = trained.predictor.svm
+    if not svm.is_fitted:
+        raise ValueError("cannot save an unfitted system")
+    scaler = trained.predictor.scaler
+    arrays: dict[str, np.ndarray] = {
+        "version": np.array([FORMAT_VERSION]),
+        "config_json": np.array([_config_to_json(trained.config)]),
+        "episode_service_rates": np.array(trained.episode_service_rates),
+        # -- SVM --
+        "svm_alpha": svm._alpha,
+        "svm_b": np.array([svm._b]),
+        "svm_sv_x": svm._sv_x,
+        "svm_sv_y": svm._sv_y,
+        "svm_params": np.array(
+            [svm.kernel_name, str(svm.gamma), str(svm.degree), str(svm.c)]
+        ),
+        "scaler_mean": scaler.mean_,
+        "scaler_std": scaler.std_,
+        # -- DQN --
+        "epsilon": np.array([trained.agent.epsilon]),
+        "learn_steps": np.array([trained.agent.learn_steps]),
+    }
+    for i, (w, b) in enumerate(trained.agent.q_net.get_weights()):
+        arrays[f"q_w{i}"] = w
+        arrays[f"q_b{i}"] = b
+    np.savez(path, **arrays)
+
+
+def load_trained(
+    path: str | pathlib.Path, scenario: CharlotteScenario
+) -> TrainedMobiRescue:
+    """Load a trained system, re-anchoring its predictor to ``scenario``.
+
+    The scenario supplies node tables and the weather/flood feeds; the
+    learned decision surfaces (SVM, Q-network) come from the archive.
+    """
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["version"][0])
+        if version != FORMAT_VERSION:
+            raise ValueError(f"unsupported archive version {version}")
+        config = _config_from_json(str(data["config_json"][0]))
+
+        kernel, gamma, degree, c = data["svm_params"]
+        predictor = RequestPredictor(
+            scenario,
+            kernel=str(kernel),
+            c=float(c),
+            gamma=float(gamma),
+        )
+        predictor.svm.gamma = float(gamma)
+        predictor.svm.degree = int(degree)
+        predictor.svm._alpha = data["svm_alpha"]
+        predictor.svm._b = float(data["svm_b"][0])
+        predictor.svm._sv_x = data["svm_sv_x"]
+        predictor.svm._sv_y = data["svm_sv_y"]
+        predictor.scaler.mean_ = data["scaler_mean"]
+        predictor.scaler.std_ = data["scaler_std"]
+
+        agent = make_agent(config)
+        weights = []
+        i = 0
+        while f"q_w{i}" in data:
+            weights.append((data[f"q_w{i}"], data[f"q_b{i}"]))
+            i += 1
+        agent.q_net.set_weights(weights)
+        agent.sync_target()
+        agent.epsilon = float(data["epsilon"][0])
+        agent.learn_steps = int(data["learn_steps"][0])
+
+        rates = [float(r) for r in data["episode_service_rates"]]
+
+    return TrainedMobiRescue(
+        agent=agent,
+        predictor=predictor,
+        config=config,
+        episodes_run=len(rates),
+        episode_service_rates=rates,
+    )

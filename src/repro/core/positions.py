@@ -1,0 +1,133 @@
+"""Real-time population position feeds.
+
+The dispatch center tracks people through their cellphone GPS (Section
+IV-A); in the reproduction that feed is the map-matched trajectory set of
+the evaluation trace.  ``PopulationFeed`` answers "where is everyone right
+now" with per-cycle caching, since several consumers (the SVM predictor,
+metrics) ask at the same timestamps.
+
+``HistoricalFallbackFeed`` implements the paper's Section IV-C5 extension:
+"Under severe situations, the GPS locations of some people may not be
+readily available.  We can refer to these people's historical GPS data to
+analyze the home address / work address / preferred driving pattern and
+estimate the approximate position."  When a person's last fix is older
+than a staleness bound, their position is estimated from their historical
+hour-of-day pattern (most-visited landmark at this hour over the
+pre-disaster days).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+import numpy as np
+
+from repro.mobility.mapmatch import MatchedTrajectories
+from repro.weather.storms import SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+
+class PopulationFeed:
+    """Callable ``t_seconds -> {person_id: landmark}`` over a matched trace."""
+
+    def __init__(self, matched: MatchedTrajectories, cache_size: int = 8) -> None:
+        if cache_size < 1:
+            raise ValueError("cache_size must be positive")
+        self.matched = matched
+        self._cache: dict[float, dict[int, int]] = {}
+        self._cache_order: list[float] = []
+        self._cache_size = cache_size
+
+    def __call__(self, t_seconds: float) -> dict[int, int]:
+        if t_seconds in self._cache:
+            return self._cache[t_seconds]
+        positions = self.matched.nodes_at_time(t_seconds)
+        self._cache[t_seconds] = positions
+        self._cache_order.append(t_seconds)
+        if len(self._cache_order) > self._cache_size:
+            oldest = self._cache_order.pop(0)
+            self._cache.pop(oldest, None)
+        return positions
+
+
+class HistoricalFallbackFeed:
+    """Position feed with historical-pattern estimation for stale devices.
+
+    For each person, an hour-of-day habit profile is built from their fixes
+    over a reference window (typically the pre-disaster days): the landmark
+    they most often occupy at each hour.  At query time, a person whose
+    latest fix is older than ``staleness_s`` (dead phone, no coverage) is
+    placed at their habitual landmark for the current hour instead of their
+    last known position.
+    """
+
+    def __init__(
+        self,
+        matched: MatchedTrajectories,
+        history_start_s: float,
+        history_end_s: float,
+        staleness_s: float = 6.0 * SECONDS_PER_HOUR,
+        cache_size: int = 8,
+    ) -> None:
+        if history_end_s <= history_start_s:
+            raise ValueError("history window must be non-empty")
+        if staleness_s <= 0:
+            raise ValueError("staleness bound must be positive")
+        self.matched = matched
+        self.staleness_s = float(staleness_s)
+        self._habits = self._build_habits(history_start_s, history_end_s)
+        self._cache: dict[float, dict[int, int]] = {}
+        self._cache_order: list[float] = []
+        self._cache_size = cache_size
+        #: Query-time statistics, for observability.
+        self.fallback_uses = 0
+
+    def _build_habits(self, t0: float, t1: float) -> dict[int, dict[int, int]]:
+        """person -> {hour_of_day: habitual landmark} over [t0, t1]."""
+        habits: dict[int, dict[int, int]] = {}
+        for pid, (ts, nodes) in self.matched.trajectories.items():
+            lo = int(np.searchsorted(ts, t0, side="left"))
+            hi = int(np.searchsorted(ts, t1, side="right"))
+            if hi <= lo:
+                continue
+            per_hour: dict[int, Counter] = defaultdict(Counter)
+            for t, node in zip(ts[lo:hi], nodes[lo:hi]):
+                hour = int((t % SECONDS_PER_DAY) // SECONDS_PER_HOUR)
+                per_hour[hour][int(node)] += 1
+            habits[pid] = {
+                hour: counter.most_common(1)[0][0] for hour, counter in per_hour.items()
+            }
+        return habits
+
+    def habitual_node(self, pid: int, t_seconds: float) -> int | None:
+        """The person's habitual landmark at this hour of day, searching
+        neighbouring hours when the exact hour has no history."""
+        habit = self._habits.get(pid)
+        if not habit:
+            return None
+        hour = int((t_seconds % SECONDS_PER_DAY) // SECONDS_PER_HOUR)
+        for delta in range(0, 13):
+            for h in ((hour - delta) % 24, (hour + delta) % 24):
+                if h in habit:
+                    return habit[h]
+        return None
+
+    def __call__(self, t_seconds: float) -> dict[int, int]:
+        if t_seconds in self._cache:
+            return self._cache[t_seconds]
+        out: dict[int, int] = {}
+        for pid, (ts, nodes) in self.matched.trajectories.items():
+            i = int(np.searchsorted(ts, t_seconds, side="right")) - 1
+            if i < 0:
+                continue
+            if t_seconds - float(ts[i]) > self.staleness_s:
+                estimated = self.habitual_node(pid, t_seconds)
+                if estimated is not None:
+                    out[pid] = estimated
+                    self.fallback_uses += 1
+                    continue
+            out[pid] = int(nodes[i])
+        self._cache[t_seconds] = out
+        self._cache_order.append(t_seconds)
+        if len(self._cache_order) > self._cache_size:
+            self._cache.pop(self._cache_order.pop(0), None)
+        return out

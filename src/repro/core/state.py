@@ -1,0 +1,125 @@
+"""RL state/action encoding for the MobiRescue dispatcher.
+
+The paper's raw state (Eq. 3) is the predicted request count of *every*
+road segment plus every team's position — thousands of dimensions.  As is
+standard for fleet dispatching with a shared DNN policy (and as Pensieve
+[24]-style systems do), we factor the joint action (Eq. 4) into per-team
+decisions over a short list of *candidate* destination segments, scored by
+a shared Q-network:
+
+* candidates: the top-K segments by proximity-weighted demand, recomputed
+  per team, with demand decremented as earlier teams claim it — this is
+  what couples the per-team decisions into a joint action;
+* per-team state: for each candidate, (called-in pending demand, predicted
+  potential demand, travel time) — pending and predicted are separate
+  features because called-in requests are certain pickups while SVM
+  predictions are speculative, and the Q-function must be able to value
+  them differently — plus (capacity left, flood level, total demand);
+* actions: candidate index 0..K-1, or K = return to depot (``x_mk = 0``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import MobiRescueConfig
+from repro.dispatch.base import TeamView
+from repro.roadnet.matrix import TravelTimeOracle
+
+#: Feature scales: demand saturates at this many waiting people, travel
+#: time at this many seconds.
+DEMAND_SCALE = 10.0
+TIME_SCALE = 1_800.0
+
+FEATURES_PER_CANDIDATE = 3
+TEAM_FEATURES = 3
+
+
+@dataclass(frozen=True)
+class TeamDecisionContext:
+    """Everything the policy sees for one team's decision."""
+
+    state: np.ndarray
+    candidate_segments: tuple[int, ...]
+    valid_actions: np.ndarray  # mask over num_actions (candidates + depot)
+    travel_times: tuple[float, ...]
+
+
+def select_candidates(
+    team: TeamView,
+    pending: dict[int, float],
+    predicted: dict[int, float],
+    oracle: TravelTimeOracle,
+    closed: frozenset[int],
+    k: int,
+    pending_weight: float,
+) -> tuple[list[int], np.ndarray]:
+    """Top-k operable segments by proximity-weighted demand.
+
+    Returns (segments, travel_times); may be shorter than k when little
+    demand exists.
+    """
+    segs = sorted(
+        s
+        for s in set(pending) | set(predicted)
+        if s not in closed and (pending.get(s, 0) + predicted.get(s, 0)) > 0
+    )
+    if not segs:
+        return [], np.zeros(0)
+    times = oracle.node_to_segments_s(team.node, segs)
+    weight = np.array(
+        [pending_weight * pending.get(s, 0.0) + predicted.get(s, 0.0) for s in segs]
+    )
+    score = weight / (1.0 + times / 600.0)
+    # Called-in requests must always be *considered*, even when distant
+    # speculative clusters outscore them: reserve up to half the slots for
+    # the nearest pending segments, fill the rest by score.
+    chosen: list[int] = []
+    live_pending = [i for i, s in enumerate(segs) if pending.get(s, 0.0) > 0]
+    live_pending.sort(key=lambda i: times[i])
+    for i in live_pending[: max(1, k // 2)]:
+        chosen.append(i)
+    for i in np.argsort(-score):
+        if len(chosen) >= k:
+            break
+        if int(i) not in chosen:
+            chosen.append(int(i))
+    idx = np.array(chosen[:k])
+    return [segs[int(i)] for i in idx], times[idx]
+
+
+def build_context(
+    team: TeamView,
+    pending: dict[int, float],
+    predicted: dict[int, float],
+    oracle: TravelTimeOracle,
+    closed: frozenset[int],
+    flood_level: float,
+    config: MobiRescueConfig,
+) -> TeamDecisionContext:
+    """Encode one team's decision state (Eq. 3 restricted to the team)."""
+    k = config.num_candidates
+    cands, times = select_candidates(
+        team, pending, predicted, oracle, closed, k, config.pending_weight
+    )
+    state = np.zeros(config.state_dim)
+    valid = np.zeros(config.num_actions, dtype=bool)
+    valid[k] = True  # depot is always allowed
+    f = FEATURES_PER_CANDIDATE
+    for i, (seg, tt) in enumerate(zip(cands, times)):
+        state[f * i] = min(pending.get(seg, 0.0), DEMAND_SCALE) / DEMAND_SCALE
+        state[f * i + 1] = min(predicted.get(seg, 0.0), DEMAND_SCALE) / DEMAND_SCALE
+        state[f * i + 2] = min(tt, 2 * TIME_SCALE) / TIME_SCALE
+        valid[i] = True
+    total = sum(pending.values()) + sum(predicted.values())
+    state[f * k] = team.capacity_left / 5.0
+    state[f * k + 1] = float(np.clip(flood_level, 0.0, 1.0))
+    state[f * k + 2] = min(total, 10 * DEMAND_SCALE) / (10 * DEMAND_SCALE)
+    return TeamDecisionContext(
+        state=state,
+        candidate_segments=tuple(cands),
+        valid_actions=valid,
+        travel_times=tuple(float(t) for t in times),
+    )

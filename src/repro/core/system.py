@@ -1,0 +1,96 @@
+"""MobiRescueSystem — the full pipeline behind one facade (Fig. 7).
+
+Typical use::
+
+    from repro.data import build_florence_dataset, build_michael_dataset
+    from repro.core import MobiRescueSystem
+
+    train_scen, train_bundle = build_michael_dataset(population_size=1_500)
+    deploy_scen, deploy_bundle = build_florence_dataset(population_size=1_500)
+
+    system = MobiRescueSystem.train(train_scen, train_bundle)
+    dispatcher = system.deploy(deploy_scen, deploy_bundle)
+    # hand `dispatcher` to repro.sim.RescueSimulator
+
+The system owns the trained SVM predictor and DQN agent; ``deploy`` wires
+them to a deployment storm's real-time position feed and returns a
+simulator-ready dispatcher.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import MobiRescueConfig
+from repro.core.positions import HistoricalFallbackFeed, PopulationFeed
+from repro.core.rl_dispatcher import MobiRescueDispatcher
+from repro.core.training import TrainedMobiRescue, train_mobirescue
+from repro.data.charlotte import CharlotteScenario
+from repro.mobility.cleaning import clean_trace
+from repro.mobility.generator import TraceBundle
+from repro.mobility.mapmatch import map_match
+
+
+class MobiRescueSystem:
+    """Trained MobiRescue models, ready to deploy on a disaster."""
+
+    def __init__(self, trained: TrainedMobiRescue) -> None:
+        self.trained = trained
+
+    @classmethod
+    def train(
+        cls,
+        scenario: CharlotteScenario,
+        bundle: TraceBundle,
+        config: MobiRescueConfig | None = None,
+        episodes: int = 6,
+        num_teams: int = 40,
+    ) -> "MobiRescueSystem":
+        """Train SVM + RL on a historical disaster (paper: Michael)."""
+        return cls(
+            train_mobirescue(
+                scenario, bundle, config=config, episodes=episodes, num_teams=num_teams
+            )
+        )
+
+    @property
+    def config(self) -> MobiRescueConfig:
+        return self.trained.config
+
+    def deploy(
+        self,
+        scenario: CharlotteScenario,
+        bundle: TraceBundle,
+        online_training: bool | None = None,
+        gps_fallback: bool = False,
+    ) -> MobiRescueDispatcher:
+        """Wire the trained models to a deployment storm.
+
+        Runs the stage-1 pipeline (cleaning + map matching) on the
+        deployment trace to obtain the real-time position feed, re-targets
+        the predictor at the deployment scenario, and returns a dispatcher
+        for :class:`repro.sim.RescueSimulator`.
+
+        ``gps_fallback`` enables the paper's Section IV-C5 extension: stale
+        devices are placed at their historical hour-of-day position instead
+        of their last fix.
+        """
+        clean, _ = clean_trace(
+            bundle.trace, scenario.partition.width_m, scenario.partition.height_m
+        )
+        matched = map_match(clean, scenario.network)
+        if gps_fallback:
+            feed = HistoricalFallbackFeed(
+                matched,
+                history_start_s=0.0,
+                history_end_s=scenario.timeline.storm_start_s,
+            )
+        else:
+            feed = PopulationFeed(matched)
+        predictor = self.trained.predictor.clone_for(scenario)
+        cfg = self.config
+        if online_training is not None and online_training != cfg.online_training:
+            from dataclasses import replace
+
+            cfg = replace(cfg, online_training=online_training)
+        return MobiRescueDispatcher(
+            scenario, predictor, feed, self.trained.agent, cfg, training=False
+        )

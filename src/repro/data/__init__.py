@@ -1,0 +1,24 @@
+"""Scenario and dataset assembly.
+
+``CharlotteScenario`` wires together every substrate for one storm (road
+network, regions, terrain, hospitals, weather, flood model); the dataset
+builders generate the Florence evaluation trace and the Michael training
+trace, memoized so experiments can share them.
+"""
+
+from repro.data.charlotte import CharlotteScenario, build_charlotte_scenario
+from repro.data.datasets import (
+    DatasetSpec,
+    build_dataset,
+    build_florence_dataset,
+    build_michael_dataset,
+)
+
+__all__ = [
+    "CharlotteScenario",
+    "DatasetSpec",
+    "build_charlotte_scenario",
+    "build_dataset",
+    "build_florence_dataset",
+    "build_michael_dataset",
+]

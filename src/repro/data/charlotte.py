@@ -1,0 +1,67 @@
+"""The Charlotte scenario: all substrates wired for one storm."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geo.coords import CHARLOTTE_BBOX, BoundingBox, LocalProjection
+from repro.geo.flood import FloodModel
+from repro.geo.regions import RegionPartition, charlotte_regions
+from repro.geo.terrain import TerrainField
+from repro.hospitals.hospitals import Hospital, place_hospitals
+from repro.roadnet.generator import RoadNetworkConfig, generate_road_network
+from repro.roadnet.graph import RoadNetwork
+from repro.weather.fields import RegionWeatherField
+from repro.weather.service import WeatherService
+from repro.weather.storms import StormTimeline
+
+
+@dataclass
+class CharlotteScenario:
+    """Everything static about the city plus one storm's dynamics."""
+
+    bbox: BoundingBox
+    projection: LocalProjection
+    partition: RegionPartition
+    terrain: TerrainField
+    network: RoadNetwork
+    hospitals: list[Hospital]
+    timeline: StormTimeline
+    weather_field: RegionWeatherField
+    flood: FloodModel
+    weather: WeatherService
+
+    @property
+    def total_hours(self) -> int:
+        return int(self.timeline.total_days * 24)
+
+
+def build_charlotte_scenario(
+    timeline: StormTimeline,
+    network_config: RoadNetworkConfig | None = None,
+) -> CharlotteScenario:
+    """Build the Charlotte scenario for a given storm timeline.
+
+    Deterministic: the city (network, terrain, hospitals) depends only on
+    the network config's seed, the dynamics only on the timeline.
+    """
+    projection = LocalProjection(CHARLOTTE_BBOX)
+    partition = charlotte_regions(projection.width_m, projection.height_m)
+    terrain = TerrainField(partition)
+    network = generate_road_network(partition, network_config)
+    hospitals = place_hospitals(network, partition)
+    weather_field = RegionWeatherField(partition, timeline)
+    flood = FloodModel(terrain, weather_field.severity_fn())
+    weather = WeatherService(weather_field, terrain, flood)
+    return CharlotteScenario(
+        bbox=CHARLOTTE_BBOX,
+        projection=projection,
+        partition=partition,
+        terrain=terrain,
+        network=network,
+        hospitals=hospitals,
+        timeline=timeline,
+        weather_field=weather_field,
+        flood=flood,
+        weather=weather,
+    )

@@ -1,0 +1,90 @@
+"""Dataset builders for the two hurricanes.
+
+Florence (Sep 2018) is the paper's measurement and evaluation dataset;
+Michael (Oct 2018), which also impacted the Charlotte area, trains the SVM
+and RL models (Section V-B).  Builders are memoized by their full spec so
+the (expensive) trace generation runs once per process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.charlotte import CharlotteScenario, build_charlotte_scenario
+from repro.mobility.generator import MobilityTraceGenerator, TraceBundle, TraceConfig
+from repro.mobility.population import PopulationConfig, generate_population
+from repro.roadnet.generator import RoadNetworkConfig
+from repro.weather.storms import FLORENCE, MICHAEL, StormTimeline
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Full specification of a synthetic dataset build."""
+
+    storm: str  # "florence" | "michael"
+    population_size: int = 8_590
+    population_seed: int = 11
+    trace_seed: int = 37
+    network_config: RoadNetworkConfig | None = None
+
+    def timeline(self) -> StormTimeline:
+        if self.storm == "florence":
+            return FLORENCE
+        if self.storm == "michael":
+            return MICHAEL
+        raise ValueError(f"unknown storm {self.storm!r}")
+
+
+_SCENARIO_CACHE: dict[tuple, CharlotteScenario] = {}
+_DATASET_CACHE: dict[DatasetSpec, TraceBundle] = {}
+
+
+def scenario_for(spec: DatasetSpec) -> CharlotteScenario:
+    key = (spec.storm, spec.network_config)
+    if key not in _SCENARIO_CACHE:
+        _SCENARIO_CACHE[key] = build_charlotte_scenario(
+            spec.timeline(), spec.network_config
+        )
+    return _SCENARIO_CACHE[key]
+
+
+def build_dataset(spec: DatasetSpec) -> tuple[CharlotteScenario, TraceBundle]:
+    """Build (or return the memoized) scenario + trace bundle for a spec."""
+    scenario = scenario_for(spec)
+    if spec not in _DATASET_CACHE:
+        persons = generate_population(
+            scenario.network,
+            scenario.partition,
+            PopulationConfig(size=spec.population_size),
+            seed=spec.population_seed,
+            excluded_nodes=frozenset(h.node_id for h in scenario.hospitals),
+        )
+        generator = MobilityTraceGenerator(
+            scenario.network,
+            scenario.partition,
+            scenario.terrain,
+            scenario.weather_field,
+            scenario.flood,
+            scenario.hospitals,
+            TraceConfig(seed=spec.trace_seed),
+        )
+        _DATASET_CACHE[spec] = generator.generate(persons)
+    return scenario, _DATASET_CACHE[spec]
+
+
+def build_florence_dataset(
+    population_size: int = 8_590, **kwargs
+) -> tuple[CharlotteScenario, TraceBundle]:
+    """The Florence measurement/evaluation dataset."""
+    return build_dataset(
+        DatasetSpec(storm="florence", population_size=population_size, **kwargs)
+    )
+
+
+def build_michael_dataset(
+    population_size: int = 8_590, **kwargs
+) -> tuple[CharlotteScenario, TraceBundle]:
+    """The Michael training dataset."""
+    return build_dataset(
+        DatasetSpec(storm="michael", population_size=population_size, **kwargs)
+    )

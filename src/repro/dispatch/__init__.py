@@ -1,0 +1,39 @@
+"""Dispatching policies.
+
+``Dispatcher`` is the interface the simulator drives.  Implementations:
+
+* :class:`repro.core.rl_dispatcher.MobiRescueDispatcher` — the paper's
+  system (SVM prediction + RL policy, < 0.5 s computation delay);
+* :class:`repro.dispatch.schedule.ScheduleDispatcher` — "Schedule" [5]:
+  on-demand integer-programming assignment for normal situations (~300 s
+  computation delay, no flood awareness);
+* :class:`repro.dispatch.rescue_ts.RescueTsDispatcher` — "Rescue" [8]:
+  time-series demand prediction + periodic integer programming (~300 s
+  computation delay);
+* :class:`repro.dispatch.nearest.NearestDispatcher` — greedy
+  nearest-request baseline used for sanity checks and ablations.
+"""
+
+from repro.dispatch.base import (
+    DispatchObservation,
+    Dispatcher,
+    TeamCommand,
+    TeamView,
+    command_depot,
+    command_segment,
+)
+from repro.dispatch.nearest import NearestDispatcher
+from repro.dispatch.schedule import ScheduleDispatcher
+from repro.dispatch.rescue_ts import RescueTsDispatcher
+
+__all__ = [
+    "DispatchObservation",
+    "Dispatcher",
+    "NearestDispatcher",
+    "RescueTsDispatcher",
+    "ScheduleDispatcher",
+    "TeamCommand",
+    "TeamView",
+    "command_depot",
+    "command_segment",
+]

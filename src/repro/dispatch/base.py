@@ -1,0 +1,106 @@
+"""Dispatcher interface and observation/action types.
+
+Every dispatching period (5 minutes in the paper) the simulator hands the
+dispatcher an observation — team snapshots, called-in pending requests per
+segment, the operable network — and receives a command per team: drive to a
+destination road segment, or return to the depot (the team's nearest
+hospital) to stand by.  That is exactly the paper's action space (Eq. 4):
+``x_mk = e_j`` or ``x_mk = 0``.
+
+Commands take effect after the dispatcher's *computation delay* — the lever
+behind the paper's Fig. 13: the integer-programming baselines take ~300 s
+to solve, the trained RL model answers in < 0.5 s.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.hospitals.hospitals import Hospital
+from repro.roadnet.graph import RoadNetwork
+
+if TYPE_CHECKING:  # avoid a circular import: sim.engine imports this module
+    from repro.sim.requests import RescueRequest
+
+
+@dataclass(frozen=True)
+class TeamView:
+    """Read-only team snapshot exposed to dispatchers."""
+
+    team_id: int
+    node: int
+    state: str
+    capacity_left: int
+    assignable: bool
+    #: Lifetime pickups by this team (reward feedback for learning policies).
+    total_pickups: int = 0
+    #: Destination segment of the current leg, when driving to one.
+    target_segment: int | None = None
+
+
+@dataclass
+class DispatchObservation:
+    """What the dispatch center can see at one dispatching period."""
+
+    t_s: float
+    teams: list[TeamView]
+    #: Called-in, not-yet-picked-up requests per road segment.
+    pending: dict[int, int]
+    #: Segments currently destroyed/submerged (the complement of G̃).
+    closed: frozenset[int]
+    network: RoadNetwork
+    hospitals: list[Hospital]
+
+    def assignable_teams(self) -> list[TeamView]:
+        return [t for t in self.teams if t.assignable]
+
+
+@dataclass(frozen=True)
+class TeamCommand:
+    """One team's order: drive to ``segment_id``, or depot when ``None``."""
+
+    segment_id: int | None
+
+    @property
+    def is_depot(self) -> bool:
+        return self.segment_id is None
+
+
+def command_segment(segment_id: int) -> TeamCommand:
+    return TeamCommand(segment_id=segment_id)
+
+
+def command_depot() -> TeamCommand:
+    return TeamCommand(segment_id=None)
+
+
+class Dispatcher(abc.ABC):
+    """Base class for dispatching policies."""
+
+    #: Wall-clock the method needs to produce guidance (paper Section V-C3).
+    computation_delay_s: float = 0.0
+    name: str = "dispatcher"
+    #: Whether the method plans with the satellite flood feed (the operable
+    #: network G̃).  Flood-unaware methods plan on the full network; their
+    #: teams discover destroyed segments by driving into them and stall
+    #: until re-dispatched — the paper's "waste time on routes with
+    #: unavailable road segments".
+    flood_aware: bool = True
+
+    @abc.abstractmethod
+    def dispatch(self, obs: DispatchObservation) -> dict[int, TeamCommand]:
+        """Commands keyed by team id.  Teams without an entry keep doing
+        whatever they were doing."""
+
+    def observe_requests(self, requests: "list[RescueRequest]") -> None:
+        """Hook: the simulator reports newly called-in requests.
+
+        History-based methods (the "Rescue" baseline's time series, online
+        RL training) accumulate these; the default is to ignore them.
+        """
+
+    def on_cycle_end(self, obs: DispatchObservation) -> None:
+        """Hook invoked after commands are applied; used by learning
+        dispatchers for online training.  Default: no-op."""

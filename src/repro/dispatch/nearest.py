@@ -1,0 +1,53 @@
+"""Greedy nearest-request dispatcher.
+
+Not in the paper's comparison set; a transparent sanity baseline used in
+tests and ablations: every cycle, match assignable teams to pending-request
+segments greedily by estimated travel time, and send everyone else to the
+depot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dispatch.base import (
+    DispatchObservation,
+    Dispatcher,
+    TeamCommand,
+    command_depot,
+    command_segment,
+)
+from repro.roadnet.matrix import travel_time_oracle
+
+
+class NearestDispatcher(Dispatcher):
+    """Greedy nearest-pending-request assignment."""
+
+    name = "Nearest"
+    computation_delay_s = 1.0
+
+    def dispatch(self, obs: DispatchObservation) -> dict[int, TeamCommand]:
+        oracle = travel_time_oracle(obs.network)
+        teams = obs.assignable_teams()
+        commands: dict[int, TeamCommand] = {t.team_id: command_depot() for t in teams}
+        remaining = {
+            seg: n for seg, n in obs.pending.items() if seg not in obs.closed and n > 0
+        }
+        free = {t.team_id: t for t in teams}
+        while remaining and free:
+            # Globally closest (team, segment) pair first.
+            best: tuple[float, int, int] | None = None
+            segs = list(remaining)
+            for t in free.values():
+                times = oracle.node_to_segments_s(t.node, segs)
+                j = int(np.argmin(times))
+                if best is None or times[j] < best[0]:
+                    best = (float(times[j]), t.team_id, segs[j])
+            assert best is not None
+            _, team_id, seg = best
+            team = free.pop(team_id)
+            commands[team_id] = command_segment(seg)
+            remaining[seg] -= max(1, team.capacity_left)
+            if remaining[seg] <= 0:
+                del remaining[seg]
+        return commands

@@ -1,0 +1,30 @@
+"""Standby coverage positions for the baseline dispatchers.
+
+Van den Berg et al. [5] deploy emergency vehicles at standby locations
+covering the city; our baselines keep surplus teams posted at the segments
+adjacent to each hospital, round-robin.  Because surplus teams always hold
+a *segment* command, the baselines' serving-team count stays constant —
+exactly the paper's Fig. 14 observation (``Rescue = Schedule = const``).
+"""
+
+from __future__ import annotations
+
+from repro.hospitals.hospitals import Hospital
+from repro.roadnet.graph import RoadNetwork
+
+
+def standby_segments(network: RoadNetwork, hospitals: list[Hospital]) -> list[int]:
+    """One outgoing segment per hospital, deduplicated, stable order."""
+    if not hospitals:
+        raise ValueError("hospital list is empty")
+    out: list[int] = []
+    for h in hospitals:
+        segs = network.out_segments(h.node_id)
+        if not segs:
+            continue
+        sid = min(s.segment_id for s in segs)
+        if sid not in out:
+            out.append(sid)
+    if not out:
+        raise ValueError("no hospital has outgoing segments")
+    return out

@@ -1,0 +1,20 @@
+"""Evaluation: statistics helpers, the method-comparison harness, and one
+entry point per paper table/figure."""
+
+from repro.eval.stats import cdf, cdf_at, pearson
+from repro.eval.harness import ExperimentHarness, HarnessConfig, MethodRun
+from repro.eval.ascii import ascii_cdf, ascii_chart
+from repro.eval.experiments import DispatchExperiments, MeasurementSuite
+
+__all__ = [
+    "DispatchExperiments",
+    "ExperimentHarness",
+    "HarnessConfig",
+    "MeasurementSuite",
+    "MethodRun",
+    "ascii_cdf",
+    "ascii_chart",
+    "cdf",
+    "cdf_at",
+    "pearson",
+]

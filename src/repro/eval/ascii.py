@@ -1,0 +1,111 @@
+"""ASCII rendering of experiment series — terminal-friendly "figures".
+
+Matplotlib is unavailable offline, so the CLI and examples render the
+paper's line/CDF figures as fixed-height character charts.  One glyph per
+series, shared axes, a numeric legend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+GLYPHS = "*o+x#@%&"
+
+
+def _scale(values: np.ndarray, lo: float, hi: float, height: int) -> np.ndarray:
+    span = hi - lo
+    if span <= 0:
+        return np.zeros(len(values), dtype=int)
+    rows = np.round((values - lo) / span * (height - 1)).astype(int)
+    return np.clip(rows, 0, height - 1)
+
+
+def ascii_chart(
+    series: dict[str, np.ndarray],
+    height: int = 12,
+    title: str = "",
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Render aligned series as a character chart.
+
+    All series must share the same x grid (their indices).  NaNs are
+    skipped.  Returns a multi-line string.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if height < 3:
+        raise ValueError("height must be at least 3")
+    lengths = {len(v) for v in series.values()}
+    if len(lengths) != 1:
+        raise ValueError("all series must have the same length")
+    width = lengths.pop()
+    if width == 0:
+        raise ValueError("series are empty")
+
+    stacked = np.concatenate([np.asarray(v, dtype=float) for v in series.values()])
+    finite = stacked[np.isfinite(stacked)]
+    if finite.size == 0:
+        raise ValueError("series contain no finite values")
+    lo, hi = float(finite.min()), float(finite.max())
+    if lo == hi:
+        lo, hi = lo - 1.0, hi + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, values), glyph in zip(series.items(), GLYPHS):
+        values = np.asarray(values, dtype=float)
+        ok = np.isfinite(values)
+        rows = _scale(values[ok], lo, hi, height)
+        for x, r in zip(np.nonzero(ok)[0], rows):
+            grid[height - 1 - int(r)][int(x)] = glyph
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{hi:.4g}"
+    bottom_label = f"{lo:.4g}"
+    margin = max(len(top_label), len(bottom_label), len(y_label)) + 1
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = top_label
+        elif i == height - 1:
+            label = bottom_label
+        elif i == height // 2 and y_label:
+            label = y_label
+        else:
+            label = ""
+        lines.append(f"{label:>{margin}} |" + "".join(row))
+    lines.append(" " * margin + " +" + "-" * width)
+    if x_label:
+        lines.append(" " * (margin + 2) + x_label)
+    legend = "  ".join(
+        f"{glyph}={name}" for (name, _), glyph in zip(series.items(), GLYPHS)
+    )
+    lines.append(" " * (margin + 2) + legend)
+    return "\n".join(lines)
+
+
+def ascii_cdf(
+    samples: dict[str, np.ndarray],
+    points: int = 60,
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """Render empirical CDFs of sample sets on a shared x grid."""
+    if not samples:
+        raise ValueError("need at least one sample set")
+    finite = np.concatenate(
+        [np.asarray(v, dtype=float) for v in samples.values() if len(v)]
+    )
+    if finite.size == 0:
+        raise ValueError("sample sets are empty")
+    xs = np.linspace(float(finite.min()), float(finite.max()), points)
+    series = {}
+    for name, vals in samples.items():
+        vals = np.sort(np.asarray(vals, dtype=float))
+        if vals.size == 0:
+            series[name] = np.full(points, np.nan)
+        else:
+            series[name] = np.searchsorted(vals, xs, side="right") / vals.size
+    chart = ascii_chart(series, height=height, title=title, y_label="P", x_label="")
+    return chart + f"\n  x: {xs[0]:.4g} .. {xs[-1]:.4g}"

@@ -1,0 +1,260 @@
+"""One entry point per paper table/figure.
+
+Two groups:
+
+* **Measurement experiments** (Section III: Figs. 2-6, Table I) run the
+  stage-1 pipeline on the Florence trace — cleaning, map matching,
+  flow-rate derivation, delivery detection — through
+  :class:`MeasurementSuite`, which caches the shared intermediates.
+* **Dispatching experiments** (Section V: Figs. 9-16) run the method
+  comparison through :class:`repro.eval.harness.ExperimentHarness` and the
+  prediction-quality scorer.
+
+Every function returns plain data (dicts of numpy arrays), so benches can
+both assert shapes and print the same rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.core.positions import PopulationFeed
+from repro.data.charlotte import CharlotteScenario
+from repro.dispatch.rescue_ts import TimeSeriesDemandPredictor
+from repro.eval.harness import ExperimentHarness
+from repro.eval.prediction import SegmentPredictionQuality, prediction_quality
+from repro.eval.stats import pearson
+from repro.hospitals.delivery import detect_deliveries, label_rescued
+from repro.mobility.cleaning import clean_trace
+from repro.mobility.flow import FlowRateTable, compute_flow_rates
+from repro.mobility.generator import TraceBundle
+from repro.mobility.mapmatch import map_match, reconstruct_traversals
+from repro.weather.storms import SECONDS_PER_DAY, day_index
+
+
+@dataclass
+class MeasurementSuite:
+    """Shared stage-1 pipeline products for the Section-III experiments."""
+
+    scenario: CharlotteScenario
+    bundle: TraceBundle
+
+    @cached_property
+    def clean(self):
+        trace, _ = clean_trace(
+            self.bundle.trace, self.scenario.partition.width_m, self.scenario.partition.height_m
+        )
+        return trace
+
+    @cached_property
+    def matched(self):
+        return map_match(self.clean, self.scenario.network)
+
+    @cached_property
+    def flow(self) -> FlowRateTable:
+        traversals = reconstruct_traversals(self.matched, self.scenario.network)
+        return compute_flow_rates(traversals, self.scenario.network, self.scenario.total_hours)
+
+    @cached_property
+    def deliveries(self):
+        return detect_deliveries(self.clean, self.scenario.network, self.scenario.hospitals)
+
+    @cached_property
+    def labeled_deliveries(self):
+        return label_rescued(self.deliveries, self.scenario.flood)
+
+    def day(self, label: str) -> int:
+        return day_index(self.scenario.timeline, label)
+
+    # -- Fig 2: R1/R2 hourly flow, before vs after the disaster ------------
+
+    def fig2_flow_before_after(
+        self,
+        regions: tuple[int, int] = (1, 2),
+        before_label: str = "Aug 25",
+        after_label: str = "Sep 20",
+    ) -> dict[str, np.ndarray]:
+        """Hourly region flow on the paper's before/after days."""
+        out: dict[str, np.ndarray] = {}
+        for rid in regions:
+            out[f"R{rid} {before_label}"] = self.flow.region_hour_of_day(
+                rid, self.day(before_label)
+            )
+            out[f"R{rid} {after_label}"] = self.flow.region_hour_of_day(
+                rid, self.day(after_label)
+            )
+        return out
+
+    # -- Fig 3: CDF of per-segment flow difference --------------------------
+
+    def fig3_flow_diff(
+        self, before_label: str = "Aug 25", after_label: str = "Sep 20"
+    ) -> np.ndarray:
+        """|before - after| day-average flow per segment (CDF support)."""
+        before = self.flow.segment_day_average(self.day(before_label))
+        after = self.flow.segment_day_average(self.day(after_label))
+        return np.abs(before - after)
+
+    # -- Table I: factor/flow correlations -----------------------------------
+
+    def table1_correlations(self) -> dict[str, float]:
+        """Pearson correlation of disaster-normalized flow with each factor.
+
+        One data point per region, as in the paper: the region's average
+        flow over the disaster window (normalized by its own pre-disaster
+        baseline, so the downtown's larger absolute traffic does not
+        confound the comparison) against the region's disaster factors
+        (Fig. 1 values).
+        """
+        timeline = self.scenario.timeline
+        part = self.scenario.partition
+        first = int(timeline.storm_start_day)
+        last = min(
+            timeline.total_days - 1,
+            int(timeline.storm_end_day + timeline.crest_lag_days) + 2,
+        )
+        baseline_days = list(range(max(0, first - 7), first))
+
+        ratios, precs, winds, alts = [], [], [], []
+        for rid in part.region_ids:
+            base = float(
+                np.mean([self.flow.region_day_average(rid, d) for d in baseline_days])
+            )
+            if base <= 0:
+                continue
+            window = np.mean(
+                [self.flow.region_day_average(rid, d) for d in range(first, last + 1)]
+            )
+            profile = part.profile(rid)
+            ratios.append(window / base)
+            precs.append(profile.precipitation_mm)
+            winds.append(profile.wind_mph)
+            alts.append(profile.altitude_m)
+        flow = np.array(ratios)
+        return {
+            "precipitation": pearson(flow, np.array(precs)),
+            "wind": pearson(flow, np.array(winds)),
+            "altitude": pearson(flow, np.array(alts)),
+        }
+
+    # -- Fig 4: region distribution of rescued people --------------------------
+
+    def fig4_rescued_by_region(self) -> dict[int, int]:
+        counts: dict[int, int] = {rid: 0 for rid in self.scenario.partition.region_ids}
+        for r in self.bundle.rescues:
+            counts[r.region_id] += 1
+        return counts
+
+    # -- Fig 5: region flow before/during/after ----------------------------------
+
+    def fig5_flow_phases(
+        self,
+        before: tuple[str, str] = ("Sep 10", "Sep 13"),
+        during: tuple[str, str] = ("Sep 14", "Sep 16"),
+        after: tuple[str, str] = ("Sep 17", "Sep 19"),
+    ) -> dict[int, dict[str, float]]:
+        phases = {"before": before, "during": during, "after": after}
+        out: dict[int, dict[str, float]] = {}
+        for rid in self.scenario.partition.region_ids:
+            out[rid] = {}
+            for phase, (lo, hi) in phases.items():
+                ds = range(self.day(lo), self.day(hi) + 1)
+                out[rid][phase] = float(
+                    np.mean([self.flow.region_day_average(rid, d) for d in ds])
+                )
+        return out
+
+    # -- Fig 6: hospital deliveries per day -----------------------------------------
+
+    def fig6_deliveries_per_day(self) -> dict[str, np.ndarray]:
+        """Detected deliveries (and the rescued subset) per scenario day."""
+        n_days = self.scenario.timeline.total_days
+        total = np.zeros(n_days)
+        rescued = np.zeros(n_days)
+        for ev, is_rescued in self.labeled_deliveries:
+            d = min(n_days - 1, int(ev.arrival_time_s // SECONDS_PER_DAY))
+            total[d] += 1
+            if is_rescued:
+                rescued[d] += 1
+        return {"total": total, "rescued": rescued}
+
+
+@dataclass
+class DispatchExperiments:
+    """Section-V experiments over an :class:`ExperimentHarness`."""
+
+    harness: ExperimentHarness
+    methods: tuple[str, ...] = ("MobiRescue", "Rescue", "Schedule")
+
+    def _runs(self):
+        return {name: self.harness.run_method(name) for name in self.methods}
+
+    # -- Fig 9 / Fig 10 --------------------------------------------------------
+
+    def fig9_served_per_hour(self) -> dict[str, np.ndarray]:
+        return {n: r.metrics.timely_served_per_hour() for n, r in self._runs().items()}
+
+    def fig10_served_per_team(self) -> dict[str, np.ndarray]:
+        return {n: r.metrics.served_per_team() for n, r in self._runs().items()}
+
+    # -- Fig 11 / Fig 12 ----------------------------------------------------------
+
+    def fig11_delay_per_hour(self) -> dict[str, np.ndarray]:
+        return {n: r.metrics.avg_delay_per_hour() for n, r in self._runs().items()}
+
+    def fig12_delay_values(self) -> dict[str, np.ndarray]:
+        return {n: r.metrics.driving_delays() for n, r in self._runs().items()}
+
+    # -- Fig 13 ----------------------------------------------------------------------
+
+    def fig13_timeliness_values(self) -> dict[str, np.ndarray]:
+        return {n: r.metrics.timeliness_values() for n, r in self._runs().items()}
+
+    # -- Fig 14 -----------------------------------------------------------------------
+
+    def fig14_serving_teams_per_hour(self) -> dict[str, np.ndarray]:
+        return {n: r.metrics.serving_teams_per_hour() for n, r in self._runs().items()}
+
+    # -- Fig 15 / Fig 16 ------------------------------------------------------------------
+
+    @cached_property
+    def _prediction_quality(self) -> dict[str, SegmentPredictionQuality]:
+        return self._compute_prediction_quality()
+
+    def prediction_quality(self) -> dict[str, SegmentPredictionQuality]:
+        return self._prediction_quality
+
+    def _compute_prediction_quality(self) -> dict[str, SegmentPredictionQuality]:
+        """Per-segment prediction accuracy/precision, MobiRescue vs Rescue."""
+        h = self.harness
+        system = h.system()
+        predictor = system.trained.predictor.clone_for(h.florence_scenario)
+        clean, _ = clean_trace(
+            h.florence_bundle.trace,
+            h.florence_scenario.partition.width_m,
+            h.florence_scenario.partition.height_m,
+        )
+        matched = map_match(clean, h.florence_scenario.network)
+        feed = PopulationFeed(matched, cache_size=32)
+        ts = TimeSeriesDemandPredictor()
+        t0, _ = h.eval_window
+        for r in h.florence_bundle.rescues:
+            if r.request_time_s < t0:
+                ts.record(r.request_time_s, r.trap_segment)
+        return prediction_quality(
+            h.florence_scenario,
+            h.florence_bundle.rescues,
+            feed,
+            predictor,
+            ts,
+            h.eval_day,
+        )
+
+    def fig15_accuracies(self) -> dict[str, np.ndarray]:
+        return {m: q.accuracies for m, q in self.prediction_quality().items()}
+
+    def fig16_precisions(self) -> dict[str, np.ndarray]:
+        return {m: q.precisions for m, q in self.prediction_quality().items()}

@@ -1,0 +1,160 @@
+"""Method-comparison harness for the dispatching experiments (Figs. 9-14).
+
+Runs MobiRescue, Rescue, Schedule (and optionally Nearest) over the same
+evaluation window — the paper's Sep 16, 24 hours — with the same request
+stream, fleet size and initial conditions, and hands back per-method
+metrics.  The fleet size follows the paper's rule: "the number of
+ambulances is equal to the maximum daily number of requests over all days
+during the hurricane."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import MobiRescueConfig
+from repro.core.system import MobiRescueSystem
+from repro.data.charlotte import CharlotteScenario
+from repro.dispatch.base import Dispatcher
+from repro.dispatch.nearest import NearestDispatcher
+from repro.dispatch.rescue_ts import RescueTsDispatcher
+from repro.dispatch.schedule import ScheduleDispatcher
+from repro.mobility.generator import TraceBundle
+from repro.sim.engine import RescueSimulator, SimulationConfig, SimulationResult
+from repro.sim.metrics import SimulationMetrics
+from repro.sim.requests import remap_to_operable, requests_from_rescues
+from repro.weather.storms import SECONDS_PER_DAY, day_index
+
+
+@dataclass(frozen=True)
+class HarnessConfig:
+    """Evaluation parameters shared across methods."""
+
+    eval_day_label: str = "Sep 16"
+    num_teams: int | None = None  # None -> the paper's max-daily-requests rule
+    team_capacity: int = 5
+    dispatch_period_s: float = 300.0
+    step_s: float = 60.0
+    mobirescue_episodes: int = 6
+    mobirescue_config: MobiRescueConfig = field(default_factory=MobiRescueConfig)
+    seed: int = 0
+
+
+@dataclass
+class MethodRun:
+    """One method's simulation outcome."""
+
+    name: str
+    result: SimulationResult
+    metrics: SimulationMetrics
+    dispatcher: Dispatcher
+
+
+class ExperimentHarness:
+    """Shared setup + memoized per-method runs."""
+
+    METHODS = ("MobiRescue", "Rescue", "Schedule", "Nearest")
+
+    def __init__(
+        self,
+        florence: tuple[CharlotteScenario, TraceBundle],
+        michael: tuple[CharlotteScenario, TraceBundle],
+        config: HarnessConfig | None = None,
+    ) -> None:
+        self.florence_scenario, self.florence_bundle = florence
+        self.michael_scenario, self.michael_bundle = michael
+        self.config = config or HarnessConfig()
+        self._system: MobiRescueSystem | None = None
+        self._runs: dict[str, MethodRun] = {}
+
+    # -- shared setup ---------------------------------------------------------
+
+    @property
+    def eval_day(self) -> int:
+        return day_index(self.florence_scenario.timeline, self.config.eval_day_label)
+
+    @property
+    def eval_window(self) -> tuple[float, float]:
+        d = self.eval_day
+        return d * SECONDS_PER_DAY, (d + 1) * SECONDS_PER_DAY
+
+    def eval_requests(self):
+        t0, t1 = self.eval_window
+        return remap_to_operable(
+            requests_from_rescues(self.florence_bundle.rescues, t0, t1),
+            self.florence_scenario.network,
+            self.florence_scenario.flood,
+        )
+
+    def num_teams(self) -> int:
+        """The paper's fleet-size rule, unless overridden."""
+        if self.config.num_teams is not None:
+            return self.config.num_teams
+        per_day: dict[int, int] = {}
+        for r in self.florence_bundle.rescues:
+            d = int(r.request_time_s // SECONDS_PER_DAY)
+            per_day[d] = per_day.get(d, 0) + 1
+        return max(per_day.values()) if per_day else 10
+
+    def system(self) -> MobiRescueSystem:
+        """The trained MobiRescue system (trained once, on Michael)."""
+        if self._system is None:
+            self._system = MobiRescueSystem.train(
+                self.michael_scenario,
+                self.michael_bundle,
+                config=self.config.mobirescue_config,
+                episodes=self.config.mobirescue_episodes,
+                num_teams=min(40, self.num_teams()),
+            )
+        return self._system
+
+    # -- dispatch construction --------------------------------------------------
+
+    def make_dispatcher(self, name: str) -> Dispatcher:
+        cap = self.config.team_capacity
+        if name == "MobiRescue":
+            return self.system().deploy(self.florence_scenario, self.florence_bundle)
+        if name == "Schedule":
+            return ScheduleDispatcher(team_capacity=cap)
+        if name == "Rescue":
+            disp = RescueTsDispatcher(team_capacity=cap)
+            # Seed its time series with the disaster days preceding the
+            # evaluation window, as its design requires.
+            t0, _ = self.eval_window
+            history = requests_from_rescues(self.florence_bundle.rescues, 0.0, t0)
+            disp.seed_history(history)
+            return disp
+        if name == "Nearest":
+            return NearestDispatcher()
+        raise ValueError(f"unknown method {name!r} (choose from {self.METHODS})")
+
+    # -- runs ------------------------------------------------------------------------
+
+    def run_method(self, name: str) -> MethodRun:
+        if name in self._runs:
+            return self._runs[name]
+        t0, t1 = self.eval_window
+        dispatcher = self.make_dispatcher(name)
+        sim = RescueSimulator(
+            self.florence_scenario,
+            self.eval_requests(),
+            dispatcher,
+            SimulationConfig(
+                t0_s=t0,
+                t1_s=t1,
+                num_teams=self.num_teams(),
+                team_capacity=self.config.team_capacity,
+                dispatch_period_s=self.config.dispatch_period_s,
+                step_s=self.config.step_s,
+                seed=self.config.seed,
+            ),
+        )
+        result = sim.run()
+        run = MethodRun(
+            name=name, result=result, metrics=SimulationMetrics(result), dispatcher=dispatcher
+        )
+        self._runs[name] = run
+        return run
+
+    def run_all(self, methods: tuple[str, ...] = ("MobiRescue", "Rescue", "Schedule")):
+        return {name: self.run_method(name) for name in methods}

@@ -1,0 +1,139 @@
+"""Per-road-segment prediction quality (paper Figs. 15-16).
+
+Both prediction-based methods are scored on the evaluation day: every hour,
+each method predicts which of the people currently on a road segment will
+need rescue; the ground truth is the requests actually raised there.  Per
+segment, the hourly person-level confusion counts accumulate into the
+accuracy ``(TP+TN)/(TP+TN+FP+FN)`` and precision ``TP/(TP+FP)`` whose CDFs
+the paper plots.
+
+* MobiRescue predicts per person through the SVM (Eq. 1);
+* "Rescue" predicts per segment through its time-series demand average,
+  capped by the number of people present.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.positions import PopulationFeed
+from repro.core.predictor import RequestPredictor
+from repro.data.charlotte import CharlotteScenario
+from repro.dispatch.rescue_ts import TimeSeriesDemandPredictor
+from repro.mobility.trace import RescueRecord
+from repro.ml.metrics import ClassificationCounts
+from repro.weather.storms import SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+
+@dataclass
+class SegmentPredictionQuality:
+    """Per-segment accuracy/precision arrays for one method."""
+
+    method: str
+    accuracies: np.ndarray
+    precisions: np.ndarray
+
+    @property
+    def mean_accuracy(self) -> float:
+        return float(self.accuracies.mean()) if self.accuracies.size else 0.0
+
+    @property
+    def mean_precision(self) -> float:
+        return float(self.precisions.mean()) if self.precisions.size else 0.0
+
+
+@dataclass
+class _Counts:
+    tp: int = 0
+    fp: int = 0
+    tn: int = 0
+    fn: int = 0
+
+    def to_counts(self) -> ClassificationCounts:
+        return ClassificationCounts(tp=self.tp, fp=self.fp, tn=self.tn, fn=self.fn)
+
+
+def prediction_quality(
+    scenario: CharlotteScenario,
+    rescues: list[RescueRecord],
+    feed: PopulationFeed,
+    svm_predictor: RequestPredictor,
+    ts_predictor: TimeSeriesDemandPredictor,
+    day: int,
+) -> dict[str, SegmentPredictionQuality]:
+    """Score both predictors over the 24 hours of the evaluation day.
+
+    Ground truth follows the paper's Section III-B2 person-level rescue
+    decision: a person on a segment is a true positive target while they
+    are trapped-or-will-be-trapped and not yet delivered.  Counts are
+    matched at the (hour, segment) level: predicted positives against
+    actually-needing-rescue persons present.
+    """
+    net = scenario.network
+    node_ids = net.landmark_ids()
+    node_segment = {n: net.nearest_segment(*net.landmark(n).xy) for n in node_ids}
+    t0 = day * SECONDS_PER_DAY
+    needs_rescue_window = {
+        r.person_id: (r.trap_time_s, r.delivery_time_s) for r in rescues
+    }
+
+    per_segment: dict[str, dict[int, _Counts]] = {
+        "MobiRescue": defaultdict(_Counts),
+        "Rescue": defaultdict(_Counts),
+    }
+
+    for hour in range(24):
+        t = t0 + (hour + 0.5) * SECONDS_PER_HOUR
+        positions = feed(t)
+        present: dict[int, int] = defaultdict(int)
+        actual: dict[int, int] = defaultdict(int)
+        for pid, node in positions.items():
+            seg = node_segment[node]
+            present[seg] += 1
+            window = needs_rescue_window.get(pid)
+            # A person counts as a rescue target from the storm's start (the
+            # predictor is asked who *will* need rescue) until delivered.
+            if window is not None and t <= window[1]:
+                actual[seg] += 1
+
+        # MobiRescue: SVM decision per person, aggregated per segment.
+        svm_dist = svm_predictor.predict_request_distribution(positions, t)
+        # Rescue: time-series demand per segment, capped by people present.
+        ts_dist_raw = ts_predictor.predict(t)
+        ts_dist = {
+            s: max(1, int(np.ceil(v))) for s, v in ts_dist_raw.items() if v >= 0.4
+        }
+
+        for method, dist in (("MobiRescue", svm_dist), ("Rescue", ts_dist)):
+            for seg, n_present in present.items():
+                pred = min(int(dist.get(seg, 0)), n_present)
+                act = min(actual.get(seg, 0), n_present)
+                c = per_segment[method][seg]
+                c.tp += min(pred, act)
+                c.fp += max(0, pred - act)
+                c.fn += max(0, act - pred)
+                c.tn += n_present - max(pred, act)
+
+    out: dict[str, SegmentPredictionQuality] = {}
+    for method, table in per_segment.items():
+        accs, precs = [], []
+        for counts in table.values():
+            c = counts.to_counts()
+            if c.total == 0:
+                continue
+            accs.append(c.accuracy)
+            # Precision is scored on every segment where the method made or
+            # should have made a prediction: pure true-negative segments are
+            # uninformative, while a segment whose targets were never
+            # predicted (all FN) scores 0.
+            if c.tp + c.fp + c.fn > 0:
+                precs.append(c.precision)
+        out[method] = SegmentPredictionQuality(
+            method=method,
+            accuracies=np.array(accs),
+            precisions=np.array(precs),
+        )
+    return out

@@ -1,0 +1,42 @@
+"""Statistics helpers: empirical CDFs and Pearson correlation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def cdf(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF support: returns (sorted values, cumulative probs).
+
+    ``p[i]`` is the fraction of samples <= ``x[i]`` — plot-ready for the
+    paper's many CDF figures.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return np.zeros(0), np.zeros(0)
+    x = np.sort(values)
+    p = np.arange(1, len(x) + 1) / len(x)
+    return x, p
+
+
+def cdf_at(values: np.ndarray, q: float) -> float:
+    """Fraction of samples <= q."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return 0.0
+    return float((values <= q).mean())
+
+
+def pearson(a: np.ndarray, b: np.ndarray) -> float:
+    """Pearson correlation coefficient cov(a,b) / (sigma_a * sigma_b) —
+    the measure behind the paper's Table I."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValueError("inputs must be equal-length 1-D arrays")
+    if a.size < 2:
+        raise ValueError("need at least two samples")
+    sa, sb = a.std(), b.std()
+    if sa == 0 or sb == 0:
+        raise ValueError("inputs must not be constant")
+    return float(((a - a.mean()) * (b - b.mean())).mean() / (sa * sb))

@@ -1,0 +1,46 @@
+"""Plain-text rendering of experiment series and tables.
+
+The benchmark harness prints each figure/table the way the paper reports
+it: hourly series as rows, CDFs as quantile tables, correlations as a
+one-row table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def format_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    """Fixed-width text table."""
+    cells = [[str(h) for h in headers]] + [
+        [f"{v:.3f}" if isinstance(v, float) else str(v) for v in row] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    for k, row in enumerate(cells):
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if k == 0:
+            lines.append(sep)
+    return "\n".join(lines)
+
+
+def format_series(name: str, values, fmt: str = "%.2f") -> str:
+    """One labelled row of numbers (an hourly series, say)."""
+    vals = " ".join(
+        "  nan" if (isinstance(v, float) and np.isnan(v)) else fmt % v for v in values
+    )
+    return f"{name:>12}: {vals}"
+
+
+def format_cdf_quantiles(
+    name: str, values: np.ndarray, qs: tuple[float, ...] = (0.1, 0.25, 0.5, 0.75, 0.9)
+) -> str:
+    """CDF summary: the quantiles the paper's CDF plots let you read off."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return f"{name:>12}: (empty)"
+    pts = " ".join(f"p{int(q * 100):02d}={np.quantile(values, q):.1f}" for q in qs)
+    return f"{name:>12}: n={values.size} {pts}"

@@ -1,0 +1,39 @@
+"""Geographic primitives: coordinates, region partition, flood model.
+
+The paper works on Charlotte, NC inside the bounding box with south-west
+corner (35.6022, -79.0735) and north-east corner (36.0070, -78.2592), and
+partitions the city into 7 council-district regions (Fig. 1).  This package
+provides the coordinate plumbing (lat/lon <-> local metric plane), the
+7-region partition, and the flood-zone model that stands in for the National
+Weather Service satellite imaging of flooded areas.
+"""
+
+from repro.geo.coords import (
+    BoundingBox,
+    CHARLOTTE_BBOX,
+    GeoPoint,
+    LocalProjection,
+    haversine_m,
+)
+from repro.geo.flood import FloodModel
+from repro.geo.regions import (
+    CHARLOTTE_REGION_PROFILES,
+    RegionPartition,
+    RegionProfile,
+    charlotte_regions,
+)
+from repro.geo.terrain import TerrainField
+
+__all__ = [
+    "BoundingBox",
+    "CHARLOTTE_BBOX",
+    "CHARLOTTE_REGION_PROFILES",
+    "FloodModel",
+    "GeoPoint",
+    "LocalProjection",
+    "RegionPartition",
+    "RegionProfile",
+    "TerrainField",
+    "charlotte_regions",
+    "haversine_m",
+]

@@ -1,0 +1,123 @@
+"""Coordinates: geographic points, distances and a local metric projection.
+
+All simulation-internal geometry happens on a local equirectangular plane in
+meters; lat/lon only appears at the dataset boundary (GPS records, bounding
+boxes).  That matches the paper's pipeline, where raw cellphone fixes are
+cleaned and snapped onto a landmark road network before any dispatching
+logic runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+EARTH_RADIUS_M = 6_371_000.0
+
+
+@dataclass(frozen=True)
+class GeoPoint:
+    """A geographic position in degrees (WGS-84 semantics are not needed;
+    the equirectangular projection below is accurate to well under 0.1% at
+    city scale)."""
+
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        if not (-90.0 <= self.lat <= 90.0):
+            raise ValueError(f"latitude {self.lat} out of range [-90, 90]")
+        if not (-180.0 <= self.lon <= 180.0):
+            raise ValueError(f"longitude {self.lon} out of range [-180, 180]")
+
+
+def haversine_m(a: GeoPoint, b: GeoPoint) -> float:
+    """Great-circle distance between two geographic points, in meters."""
+    phi1, phi2 = math.radians(a.lat), math.radians(b.lat)
+    dphi = phi2 - phi1
+    dlam = math.radians(b.lon - a.lon)
+    h = math.sin(dphi / 2.0) ** 2 + math.cos(phi1) * math.cos(phi2) * math.sin(dlam / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_M * math.asin(math.sqrt(h))
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """Axis-aligned geographic bounding box (south-west / north-east corners)."""
+
+    south: float
+    west: float
+    north: float
+    east: float
+
+    def __post_init__(self) -> None:
+        if self.south >= self.north:
+            raise ValueError("south latitude must be strictly below north latitude")
+        if self.west >= self.east:
+            raise ValueError("west longitude must be strictly below east longitude")
+
+    @property
+    def south_west(self) -> GeoPoint:
+        return GeoPoint(self.south, self.west)
+
+    @property
+    def north_east(self) -> GeoPoint:
+        return GeoPoint(self.north, self.east)
+
+    @property
+    def center(self) -> GeoPoint:
+        return GeoPoint((self.south + self.north) / 2.0, (self.west + self.east) / 2.0)
+
+    def contains(self, p: GeoPoint) -> bool:
+        return self.south <= p.lat <= self.north and self.west <= p.lon <= self.east
+
+
+#: The bounding box the paper uses to crop OpenStreetMap data for Charlotte
+#: (Section III-A): SW (35.6022, -79.0735), NE (36.0070, -78.2592).
+CHARLOTTE_BBOX = BoundingBox(south=35.6022, west=-79.0735, north=36.0070, east=-78.2592)
+
+
+class LocalProjection:
+    """Equirectangular projection around a bounding box.
+
+    Maps geographic coordinates to a local (x, y) plane in meters with the
+    origin at the box's south-west corner, x pointing east and y pointing
+    north.
+    """
+
+    def __init__(self, bbox: BoundingBox) -> None:
+        self.bbox = bbox
+        self._lat0 = bbox.south
+        self._lon0 = bbox.west
+        self._cos_lat = math.cos(math.radians(bbox.center.lat))
+        self._m_per_deg_lat = math.pi * EARTH_RADIUS_M / 180.0
+        self._m_per_deg_lon = self._m_per_deg_lat * self._cos_lat
+
+    @property
+    def width_m(self) -> float:
+        """East-west extent of the bounding box in meters."""
+        return (self.bbox.east - self.bbox.west) * self._m_per_deg_lon
+
+    @property
+    def height_m(self) -> float:
+        """North-south extent of the bounding box in meters."""
+        return (self.bbox.north - self.bbox.south) * self._m_per_deg_lat
+
+    def to_xy(self, p: GeoPoint) -> tuple[float, float]:
+        """Project a geographic point to local plane coordinates (meters)."""
+        x = (p.lon - self._lon0) * self._m_per_deg_lon
+        y = (p.lat - self._lat0) * self._m_per_deg_lat
+        return x, y
+
+    def to_geo(self, x: float, y: float) -> GeoPoint:
+        """Unproject local plane coordinates (meters) back to lat/lon."""
+        lon = self._lon0 + x / self._m_per_deg_lon
+        lat = self._lat0 + y / self._m_per_deg_lat
+        return GeoPoint(lat, lon)
+
+    def contains_xy(self, x: float, y: float) -> bool:
+        return 0.0 <= x <= self.width_m and 0.0 <= y <= self.height_m
+
+
+def euclidean_m(a: tuple[float, float], b: tuple[float, float]) -> float:
+    """Planar distance between two projected points, in meters."""
+    return math.hypot(a[0] - b[0], a[1] - b[1])

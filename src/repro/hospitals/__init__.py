@@ -1,0 +1,18 @@
+"""Hospitals: placement, delivery detection, rescue ground truth.
+
+The paper assumes the deployment of existing Charlotte hospitals, detects
+hospital deliveries from the mobility trace (first appearance + >= 2 h
+dwell, Section III-B2) and labels a delivered person as *rescued* when
+their previous staying position was inside a flood zone.
+"""
+
+from repro.hospitals.hospitals import Hospital, place_hospitals
+from repro.hospitals.delivery import DeliveryEvent, detect_deliveries, label_rescued
+
+__all__ = [
+    "DeliveryEvent",
+    "Hospital",
+    "detect_deliveries",
+    "label_rescued",
+    "place_hospitals",
+]

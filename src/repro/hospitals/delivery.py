@@ -1,0 +1,132 @@
+"""Hospital-delivery detection and rescued-person labeling.
+
+Implements the paper's Section III-B2 method exactly:
+
+* a person counts as *delivered* to a hospital when, starting from their
+  first appearance at the hospital, they stay there longer than a time
+  threshold (2 hours in the paper);
+* a delivered person counts as *rescued* when their previous staying
+  position (the last fix before the hospital dwell) lies inside a flood
+  zone per the satellite imaging (our flood model).
+
+These labels are the ground truth used to train and score the SVM
+rescue-request predictor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geo.flood import FloodModel
+from repro.hospitals.hospitals import Hospital
+from repro.mobility.trace import GpsTrace
+from repro.roadnet.graph import RoadNetwork
+
+DWELL_THRESHOLD_S = 2.0 * 3_600.0
+
+
+@dataclass(frozen=True)
+class DeliveryEvent:
+    """One detected hospital delivery."""
+
+    person_id: int
+    hospital_id: int
+    arrival_time_s: float
+    departure_time_s: float
+    #: Last fix before the hospital dwell; ``None`` when the dwell opens the
+    #: person's trace.
+    prev_xy: tuple[float, float] | None
+    prev_time_s: float | None
+
+    @property
+    def dwell_s(self) -> float:
+        return self.departure_time_s - self.arrival_time_s
+
+
+def detect_deliveries(
+    trace: GpsTrace,
+    network: RoadNetwork,
+    hospitals: list[Hospital],
+    dwell_threshold_s: float = DWELL_THRESHOLD_S,
+    radius_m: float = 400.0,
+) -> list[DeliveryEvent]:
+    """Detect hospital deliveries in a cleaned, sorted trace.
+
+    A delivery is a maximal run of fixes within ``radius_m`` of some
+    hospital whose duration is at least ``dwell_threshold_s``.
+    """
+    if not hospitals:
+        raise ValueError("hospital list is empty")
+    if len(trace) == 0:
+        return []
+
+    hosp_xy = np.array([network.landmark(h.node_id).xy for h in hospitals])
+    pts = np.column_stack([trace.x.astype(np.float64), trace.y.astype(np.float64)])
+    d2 = ((pts[:, None, :] - hosp_xy[None, :, :]) ** 2).sum(axis=2)
+    nearest = np.argmin(d2, axis=1)
+    at_hospital = np.sqrt(d2[np.arange(len(pts)), nearest]) <= radius_m
+
+    events: list[DeliveryEvent] = []
+    pid = trace.person_id
+    boundaries = np.nonzero(np.diff(pid))[0] + 1
+    starts = np.concatenate([[0], boundaries])
+    ends = np.concatenate([boundaries, [len(pid)]])
+    for s, e in zip(starts, ends):
+        mask = at_hospital[s:e]
+        ts = trace.t[s:e]
+        i = 0
+        n = e - s
+        while i < n:
+            if not mask[i]:
+                i += 1
+                continue
+            j = i
+            hid = int(hospitals[int(nearest[s + i])].hospital_id)
+            while (
+                j + 1 < n
+                and mask[j + 1]
+                and int(hospitals[int(nearest[s + j + 1])].hospital_id) == hid
+            ):
+                j += 1
+            if ts[j] - ts[i] >= dwell_threshold_s:
+                # Previous *staying* position: the paper labels rescues from
+                # where the person was staying before delivery, so skip
+                # in-motion fixes (the ambulance ride itself).
+                prev_xy = prev_t = None
+                k = i - 1
+                while k >= 0 and trace.speed[s + k] >= 2.0:
+                    k -= 1
+                if k >= 0:
+                    prev_xy = (float(trace.x[s + k]), float(trace.y[s + k]))
+                    prev_t = float(ts[k])
+                events.append(
+                    DeliveryEvent(
+                        person_id=int(pid[s]),
+                        hospital_id=hid,
+                        arrival_time_s=float(ts[i]),
+                        departure_time_s=float(ts[j]),
+                        prev_xy=prev_xy,
+                        prev_time_s=prev_t,
+                    )
+                )
+            i = j + 1
+    return events
+
+
+def label_rescued(
+    events: list[DeliveryEvent], flood: FloodModel
+) -> list[tuple[DeliveryEvent, bool]]:
+    """Label each delivery as a flood rescue or an ordinary visit.
+
+    A delivery is a rescue when the person's previous staying position was
+    inside a flood zone at that time (paper Section III-B2).
+    """
+    labeled: list[tuple[DeliveryEvent, bool]] = []
+    for ev in events:
+        rescued = False
+        if ev.prev_xy is not None and ev.prev_time_s is not None:
+            rescued = flood.is_flooded(ev.prev_xy[0], ev.prev_xy[1], ev.prev_time_s)
+        labeled.append((ev, rescued))
+    return labeled

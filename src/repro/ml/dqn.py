@@ -1,0 +1,116 @@
+"""Deep Q-learning agent.
+
+Standard DQN machinery: epsilon-greedy behaviour policy, uniform experience
+replay, a slow-moving target network, and Q-updates restricted to the taken
+action's output unit.  The MobiRescue dispatcher wraps one agent shared by
+all rescue teams (Section IV-C4 trains a single policy from all teams'
+experiences).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.nn import MLP
+from repro.ml.replay import ReplayBuffer, Transition
+
+
+@dataclass(frozen=True)
+class DQNConfig:
+    state_dim: int
+    num_actions: int
+    hidden_sizes: tuple[int, ...] = (64, 64)
+    learning_rate: float = 1e-3
+    gamma: float = 0.95
+    epsilon_start: float = 1.0
+    epsilon_end: float = 0.05
+    #: Multiplicative epsilon decay applied per learning step.
+    epsilon_decay: float = 0.995
+    buffer_capacity: int = 50_000
+    batch_size: int = 64
+    #: Target-network sync period, in learning steps.
+    target_sync_every: int = 200
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.state_dim < 1 or self.num_actions < 1:
+            raise ValueError("state_dim and num_actions must be positive")
+        if not (0.0 <= self.epsilon_end <= self.epsilon_start <= 1.0):
+            raise ValueError("need 0 <= epsilon_end <= epsilon_start <= 1")
+        if not (0.0 < self.gamma <= 1.0):
+            raise ValueError("gamma must be in (0, 1]")
+        if not (0.0 < self.epsilon_decay <= 1.0):
+            raise ValueError("epsilon_decay must be in (0, 1]")
+
+
+class DQNAgent:
+    """DQN with target network and action masking."""
+
+    def __init__(self, config: DQNConfig) -> None:
+        self.config = config
+        sizes = [config.state_dim, *config.hidden_sizes, config.num_actions]
+        self.q_net = MLP(sizes, learning_rate=config.learning_rate, seed=config.seed)
+        self.target_net = self.q_net.clone()
+        self.buffer = ReplayBuffer(config.buffer_capacity, config.state_dim)
+        self.rng = np.random.default_rng(config.seed)
+        self.epsilon = config.epsilon_start
+        self.learn_steps = 0
+
+    def q_values(self, state: np.ndarray) -> np.ndarray:
+        """Q(s, .) for one state."""
+        return self.q_net.predict_one(state)
+
+    def act(
+        self,
+        state: np.ndarray,
+        valid_actions: np.ndarray | None = None,
+        greedy: bool = False,
+    ) -> int:
+        """Epsilon-greedy action; ``valid_actions`` is a boolean mask over
+        the action space (invalid actions are never selected)."""
+        num = self.config.num_actions
+        if valid_actions is None:
+            valid_actions = np.ones(num, dtype=bool)
+        if valid_actions.shape != (num,) or not valid_actions.any():
+            raise ValueError("valid_actions must be a non-empty mask over actions")
+        if not greedy and self.rng.random() < self.epsilon:
+            choices = np.nonzero(valid_actions)[0]
+            return int(self.rng.choice(choices))
+        q = self.q_values(state).copy()
+        q[~valid_actions] = -np.inf
+        return int(np.argmax(q))
+
+    def remember(
+        self, state: np.ndarray, action: int, reward: float, next_state: np.ndarray, done: bool
+    ) -> None:
+        self.buffer.push(Transition(state, int(action), float(reward), next_state, done))
+
+    def learn(self) -> float | None:
+        """One replay-batch update; returns the loss, or ``None`` when the
+        buffer is still smaller than a batch."""
+        cfg = self.config
+        if len(self.buffer) < cfg.batch_size:
+            return None
+        states, actions, rewards, next_states, dones = self.buffer.sample(
+            cfg.batch_size, self.rng
+        )
+        q_next = self.target_net.forward(next_states).max(axis=1)
+        targets_a = rewards + cfg.gamma * q_next * (~dones)
+
+        target = self.q_net.forward(states).copy()
+        mask = np.zeros_like(target)
+        rows = np.arange(cfg.batch_size)
+        target[rows, actions] = targets_a
+        mask[rows, actions] = 1.0
+        loss = self.q_net.train_step(states, target, output_mask=mask)
+
+        self.learn_steps += 1
+        self.epsilon = max(cfg.epsilon_end, self.epsilon * cfg.epsilon_decay)
+        if self.learn_steps % cfg.target_sync_every == 0:
+            self.sync_target()
+        return loss
+
+    def sync_target(self) -> None:
+        self.target_net.set_weights(self.q_net.get_weights())

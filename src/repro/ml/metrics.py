@@ -1,0 +1,77 @@
+"""Binary-classification metrics (paper Section V-B definitions).
+
+The paper scores the rescue-request predictor with accuracy
+``(TP+TN)/(TP+TN+FP+FN)`` and precision ``TP/(TP+FP)`` per road segment
+(Figs. 15-16); recall and F1 are included for completeness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ClassificationCounts:
+    """Confusion-matrix counts for a binary problem."""
+
+    tp: int
+    fp: int
+    tn: int
+    fn: int
+
+    @property
+    def total(self) -> int:
+        return self.tp + self.fp + self.tn + self.fn
+
+    @property
+    def accuracy(self) -> float:
+        return (self.tp + self.tn) / self.total if self.total else 0.0
+
+    @property
+    def precision(self) -> float:
+        denom = self.tp + self.fp
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.tp + self.fn
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+def confusion_counts(y_true: np.ndarray, y_pred: np.ndarray) -> ClassificationCounts:
+    y_true = np.asarray(y_true).astype(int)
+    y_pred = np.asarray(y_pred).astype(int)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same shape")
+    bad = set(np.unique(np.concatenate([y_true, y_pred]))) - {0, 1}
+    if bad:
+        raise ValueError(f"labels must be binary, got extra values {bad}")
+    return ClassificationCounts(
+        tp=int(((y_true == 1) & (y_pred == 1)).sum()),
+        fp=int(((y_true == 0) & (y_pred == 1)).sum()),
+        tn=int(((y_true == 0) & (y_pred == 0)).sum()),
+        fn=int(((y_true == 1) & (y_pred == 0)).sum()),
+    )
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    return confusion_counts(y_true, y_pred).accuracy
+
+
+def precision(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    return confusion_counts(y_true, y_pred).precision
+
+
+def recall(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    return confusion_counts(y_true, y_pred).recall
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    return confusion_counts(y_true, y_pred).f1

@@ -1,0 +1,190 @@
+"""A small dense neural network with Adam, in plain numpy.
+
+This is the DNN function approximator of the paper's RL dispatcher (the
+paper points to Pensieve [24] for the technique).  It supports exactly what
+a DQN needs: forward passes, mean-squared / Huber loss on *selected output
+units* (Q-values of taken actions), backprop, and Adam updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class AdamState:
+    """Adam accumulator for one parameter tensor."""
+
+    m: np.ndarray
+    v: np.ndarray
+    t: int = 0
+
+    @classmethod
+    def like(cls, w: np.ndarray) -> "AdamState":
+        return cls(np.zeros_like(w), np.zeros_like(w))
+
+
+@dataclass
+class _Layer:
+    w: np.ndarray
+    b: np.ndarray
+    adam_w: AdamState = field(init=False)
+    adam_b: AdamState = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.adam_w = AdamState.like(self.w)
+        self.adam_b = AdamState.like(self.b)
+
+
+class MLP:
+    """Fully-connected ReLU network with a linear output layer."""
+
+    def __init__(
+        self,
+        layer_sizes: list[int] | tuple[int, ...],
+        learning_rate: float = 1e-3,
+        huber_delta: float | None = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if len(layer_sizes) < 2:
+            raise ValueError("need at least input and output sizes")
+        if any(s <= 0 for s in layer_sizes):
+            raise ValueError("layer sizes must be positive")
+        if learning_rate <= 0:
+            raise ValueError("learning rate must be positive")
+        self.layer_sizes = tuple(int(s) for s in layer_sizes)
+        self.learning_rate = float(learning_rate)
+        self.huber_delta = huber_delta
+        rng = np.random.default_rng(seed)
+        self.layers: list[_Layer] = []
+        for fan_in, fan_out in zip(self.layer_sizes, self.layer_sizes[1:]):
+            # He initialization, appropriate for ReLU hidden units.
+            w = rng.normal(0.0, np.sqrt(2.0 / fan_in), size=(fan_in, fan_out))
+            self.layers.append(_Layer(w, np.zeros(fan_out)))
+
+    @property
+    def input_dim(self) -> int:
+        return self.layer_sizes[0]
+
+    @property
+    def output_dim(self) -> int:
+        return self.layer_sizes[-1]
+
+    # -- forward -------------------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Batch forward pass: (N, in) -> (N, out)."""
+        a, _ = self._forward_cached(np.asarray(x, dtype=float))
+        return a[-1]
+
+    def predict_one(self, x: np.ndarray) -> np.ndarray:
+        """Single-sample forward pass: (in,) -> (out,)."""
+        return self.forward(np.asarray(x, dtype=float)[None, :])[0]
+
+    def _forward_cached(self, x: np.ndarray) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        if x.ndim != 2 or x.shape[1] != self.input_dim:
+            raise ValueError(f"expected input of shape (N, {self.input_dim})")
+        activations = [x]
+        pre = []
+        a = x
+        last = len(self.layers) - 1
+        for i, layer in enumerate(self.layers):
+            z = a @ layer.w + layer.b
+            pre.append(z)
+            a = z if i == last else np.maximum(z, 0.0)
+            activations.append(a)
+        return activations, pre
+
+    # -- training --------------------------------------------------------------
+
+    def train_step(
+        self,
+        x: np.ndarray,
+        target: np.ndarray,
+        output_mask: np.ndarray | None = None,
+    ) -> float:
+        """One gradient step toward ``target``; returns the loss.
+
+        ``output_mask`` (N, out), when given, restricts the loss to selected
+        output units — the DQN update touches only the Q-value of the action
+        actually taken.
+        """
+        x = np.asarray(x, dtype=float)
+        target = np.asarray(target, dtype=float)
+        activations, pre = self._forward_cached(x)
+        out = activations[-1]
+        if target.shape != out.shape:
+            raise ValueError("target shape must match network output shape")
+        diff = out - target
+        if output_mask is not None:
+            if output_mask.shape != out.shape:
+                raise ValueError("output_mask shape must match network output shape")
+            diff = diff * output_mask
+            denom = max(1.0, float(output_mask.sum()))
+        else:
+            denom = float(diff.size)
+
+        if self.huber_delta is None:
+            loss = float((diff**2).sum() / (2.0 * denom))
+            grad_out = diff / denom
+        else:
+            d = self.huber_delta
+            absd = np.abs(diff)
+            quad = np.minimum(absd, d)
+            loss = float((0.5 * quad**2 + d * (absd - quad)).sum() / denom)
+            grad_out = np.clip(diff, -d, d) / denom
+
+        self._backward(activations, pre, grad_out)
+        return loss
+
+    def _backward(
+        self, activations: list[np.ndarray], pre: list[np.ndarray], grad_out: np.ndarray
+    ) -> None:
+        grad = grad_out
+        for i in range(len(self.layers) - 1, -1, -1):
+            layer = self.layers[i]
+            if i != len(self.layers) - 1:
+                grad = grad * (pre[i] > 0.0)
+            gw = activations[i].T @ grad
+            gb = grad.sum(axis=0)
+            grad = grad @ layer.w.T
+            self._adam_update(layer.w, gw, layer.adam_w)
+            self._adam_update(layer.b, gb, layer.adam_b)
+
+    def _adam_update(
+        self,
+        w: np.ndarray,
+        g: np.ndarray,
+        state: AdamState,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        state.t += 1
+        state.m = beta1 * state.m + (1 - beta1) * g
+        state.v = beta2 * state.v + (1 - beta2) * g**2
+        m_hat = state.m / (1 - beta1**state.t)
+        v_hat = state.v / (1 - beta2**state.t)
+        w -= self.learning_rate * m_hat / (np.sqrt(v_hat) + eps)
+
+    # -- parameter transfer -------------------------------------------------------
+
+    def get_weights(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        return [(layer.w.copy(), layer.b.copy()) for layer in self.layers]
+
+    def set_weights(self, weights: list[tuple[np.ndarray, np.ndarray]]) -> None:
+        if len(weights) != len(self.layers):
+            raise ValueError("weight list length mismatch")
+        for layer, (w, b) in zip(self.layers, weights):
+            if layer.w.shape != w.shape or layer.b.shape != b.shape:
+                raise ValueError("weight shape mismatch")
+            layer.w[...] = w
+            layer.b[...] = b
+
+    def clone(self) -> "MLP":
+        """Structural copy with identical weights (fresh Adam state)."""
+        other = MLP(self.layer_sizes, self.learning_rate, self.huber_delta)
+        other.set_weights(self.get_weights())
+        return other

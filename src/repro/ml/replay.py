@@ -1,0 +1,68 @@
+"""Experience replay buffer for the DQN dispatcher."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One (s, a, r, s', done) experience."""
+
+    state: np.ndarray
+    action: int
+    reward: float
+    next_state: np.ndarray
+    done: bool
+
+
+class ReplayBuffer:
+    """Fixed-capacity ring buffer with uniform sampling."""
+
+    def __init__(self, capacity: int, state_dim: int) -> None:
+        if capacity < 1 or state_dim < 1:
+            raise ValueError("capacity and state_dim must be positive")
+        self.capacity = int(capacity)
+        self.state_dim = int(state_dim)
+        self._states = np.zeros((capacity, state_dim))
+        self._actions = np.zeros(capacity, dtype=np.int64)
+        self._rewards = np.zeros(capacity)
+        self._next_states = np.zeros((capacity, state_dim))
+        self._dones = np.zeros(capacity, dtype=bool)
+        self._size = 0
+        self._head = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def push(self, tr: Transition) -> None:
+        if tr.state.shape != (self.state_dim,) or tr.next_state.shape != (self.state_dim,):
+            raise ValueError(f"states must have shape ({self.state_dim},)")
+        i = self._head
+        self._states[i] = tr.state
+        self._actions[i] = tr.action
+        self._rewards[i] = tr.reward
+        self._next_states[i] = tr.next_state
+        self._dones[i] = tr.done
+        self._head = (self._head + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
+
+    def sample(
+        self, batch_size: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Uniformly sample a batch: (states, actions, rewards, next_states,
+        dones)."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        if self._size == 0:
+            raise ValueError("cannot sample from an empty buffer")
+        idx = rng.integers(0, self._size, size=batch_size)
+        return (
+            self._states[idx],
+            self._actions[idx],
+            self._rewards[idx],
+            self._next_states[idx],
+            self._dones[idx],
+        )

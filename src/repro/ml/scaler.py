@@ -1,0 +1,47 @@
+"""Feature standardization.
+
+The disaster-related factors live on wildly different scales
+(precipitation ~1e2 mm, wind ~1e1 mph, altitude ~2e2 m); both the SVM and
+the DQN want zero-mean unit-variance inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class StandardScaler:
+    """Per-feature standardization: ``(x - mean) / std``."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.std_: np.ndarray | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.mean_ is not None
+
+    def fit(self, x: np.ndarray) -> "StandardScaler":
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[0] == 0:
+            raise ValueError("fit expects a non-empty 2-D array")
+        self.mean_ = x.mean(axis=0)
+        std = x.std(axis=0)
+        # Constant features carry no information; dividing by 1 leaves them
+        # at zero after centering instead of blowing up.
+        self.std_ = np.where(std > 1e-12, std, 1.0)
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if not self.is_fitted:
+            raise RuntimeError("scaler is not fitted")
+        x = np.asarray(x, dtype=float)
+        return (x - self.mean_) / self.std_
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, z: np.ndarray) -> np.ndarray:
+        if not self.is_fitted:
+            raise RuntimeError("scaler is not fitted")
+        return np.asarray(z, dtype=float) * self.std_ + self.mean_

@@ -1,0 +1,162 @@
+"""Support Vector Machine classifier trained with SMO.
+
+Implements the soft-margin kernel SVM of Cortes & Vapnik [10] — the model
+the paper uses to classify "should be rescued" vs "should not be rescued"
+from the disaster-related factor vector.  Training uses Platt's Sequential
+Minimal Optimization in its simplified form (randomized second multiplier),
+which converges comfortably at this problem's scale (a few thousand points,
+3 features).
+
+Labels at the API boundary are {0, 1} to match the paper's Equation (1);
+internally SMO works with {-1, +1}.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.kernels import resolve_kernel
+
+
+class SVC:
+    """Soft-margin kernel SVM (binary, labels in {0, 1})."""
+
+    def __init__(
+        self,
+        c: float = 1.0,
+        kernel: str = "rbf",
+        gamma: float = 1.0,
+        degree: int = 3,
+        tol: float = 1e-3,
+        max_passes: int = 8,
+        max_iter: int = 20_000,
+        seed: int = 0,
+    ) -> None:
+        if c <= 0:
+            raise ValueError("C must be positive")
+        if max_passes < 1 or max_iter < 1:
+            raise ValueError("iteration limits must be positive")
+        self.c = float(c)
+        self.kernel_name = kernel
+        self.gamma = float(gamma)
+        self.degree = int(degree)
+        self.tol = float(tol)
+        self.max_passes = int(max_passes)
+        self.max_iter = int(max_iter)
+        self.seed = int(seed)
+        self._kernel = resolve_kernel(kernel, gamma=gamma, degree=degree)
+        self._alpha: np.ndarray | None = None
+        self._b = 0.0
+        self._sv_x: np.ndarray | None = None
+        self._sv_y: np.ndarray | None = None
+
+    # -- training -----------------------------------------------------------
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "SVC":
+        """Train on features ``x`` (N, D) and labels ``y`` in {0, 1}."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y)
+        if x.ndim != 2:
+            raise ValueError("x must be 2-D")
+        if y.shape != (x.shape[0],):
+            raise ValueError("y must be 1-D and aligned with x")
+        labels = set(np.unique(y).tolist())
+        if not labels <= {0, 1}:
+            raise ValueError("labels must be in {0, 1}")
+        if len(labels) < 2:
+            raise ValueError("training data must contain both classes")
+
+        ys = np.where(y == 1, 1.0, -1.0)
+        n = len(x)
+        gram = self._kernel(x, x)
+        alpha = np.zeros(n)
+        b = 0.0
+        rng = np.random.default_rng(self.seed)
+
+        def f(i: int) -> float:
+            return float((alpha * ys) @ gram[:, i] + b)
+
+        passes = 0
+        iters = 0
+        while passes < self.max_passes and iters < self.max_iter:
+            changed = 0
+            for i in range(n):
+                iters += 1
+                e_i = f(i) - ys[i]
+                if (ys[i] * e_i < -self.tol and alpha[i] < self.c) or (
+                    ys[i] * e_i > self.tol and alpha[i] > 0
+                ):
+                    j = int(rng.integers(n - 1))
+                    if j >= i:
+                        j += 1
+                    e_j = f(j) - ys[j]
+                    a_i_old, a_j_old = alpha[i], alpha[j]
+                    if ys[i] != ys[j]:
+                        lo = max(0.0, a_j_old - a_i_old)
+                        hi = min(self.c, self.c + a_j_old - a_i_old)
+                    else:
+                        lo = max(0.0, a_i_old + a_j_old - self.c)
+                        hi = min(self.c, a_i_old + a_j_old)
+                    if lo == hi:
+                        continue
+                    eta = 2.0 * gram[i, j] - gram[i, i] - gram[j, j]
+                    if eta >= 0:
+                        continue
+                    a_j = a_j_old - ys[j] * (e_i - e_j) / eta
+                    a_j = min(hi, max(lo, a_j))
+                    if abs(a_j - a_j_old) < 1e-7:
+                        continue
+                    a_i = a_i_old + ys[i] * ys[j] * (a_j_old - a_j)
+                    alpha[i], alpha[j] = a_i, a_j
+                    b1 = (
+                        b
+                        - e_i
+                        - ys[i] * (a_i - a_i_old) * gram[i, i]
+                        - ys[j] * (a_j - a_j_old) * gram[i, j]
+                    )
+                    b2 = (
+                        b
+                        - e_j
+                        - ys[i] * (a_i - a_i_old) * gram[i, j]
+                        - ys[j] * (a_j - a_j_old) * gram[j, j]
+                    )
+                    if 0 < a_i < self.c:
+                        b = b1
+                    elif 0 < a_j < self.c:
+                        b = b2
+                    else:
+                        b = (b1 + b2) / 2.0
+                    changed += 1
+            passes = passes + 1 if changed == 0 else 0
+
+        sv = alpha > 1e-8
+        self._alpha = alpha[sv]
+        self._sv_x = x[sv]
+        self._sv_y = ys[sv]
+        self._b = b
+        return self
+
+    # -- inference ----------------------------------------------------------
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._alpha is not None
+
+    @property
+    def num_support_vectors(self) -> int:
+        return 0 if self._alpha is None else len(self._alpha)
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        """Signed distance-like score; positive means class 1."""
+        if not self.is_fitted:
+            raise RuntimeError("SVC is not fitted")
+        x = np.asarray(x, dtype=float)
+        single = x.ndim == 1
+        k = self._kernel(x, self._sv_x)
+        scores = k @ (self._alpha * self._sv_y) + self._b
+        return scores[0] if single else scores
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted labels in {0, 1} (the paper's Equation (1))."""
+        scores = self.decision_function(x)
+        return (np.atleast_1d(scores) > 0).astype(int)

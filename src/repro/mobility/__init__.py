@@ -1,0 +1,34 @@
+"""Human mobility substrate.
+
+Synthesizes the city-scale cellphone GPS dataset the paper obtained from
+X-Mode (8,590 people in Charlotte, 15 days around Hurricane Florence) and
+implements the paper's stage-1 pipeline on top of it: data cleaning,
+map-matching onto the landmark road network, trajectory derivation and
+vehicle-flow-rate measurement (Sections III-A and IV-A).
+"""
+
+from repro.mobility.person import Person
+from repro.mobility.population import PopulationConfig, generate_population
+from repro.mobility.trace import GpsTrace, RescueRecord, TraversalLog
+from repro.mobility.generator import MobilityTraceGenerator, TraceBundle, TraceConfig
+from repro.mobility.cleaning import CleaningReport, clean_trace
+from repro.mobility.mapmatch import MatchedTrajectories, map_match
+from repro.mobility.flow import FlowRateTable, compute_flow_rates
+
+__all__ = [
+    "CleaningReport",
+    "FlowRateTable",
+    "GpsTrace",
+    "MatchedTrajectories",
+    "MobilityTraceGenerator",
+    "Person",
+    "PopulationConfig",
+    "RescueRecord",
+    "TraceBundle",
+    "TraceConfig",
+    "TraversalLog",
+    "clean_trace",
+    "compute_flow_rates",
+    "generate_population",
+    "map_match",
+]

@@ -1,0 +1,508 @@
+"""Synthetic city-scale mobility trace generator.
+
+Replaces the paper's proprietary X-Mode dataset.  For every person the
+generator simulates a continuous timeline over the scenario window:
+
+* stays at anchors, emitting GPS fixes at the person's 0.5-2 h interval;
+* trips between anchors (commute/leisure, disaster-suppressed), emitting
+  denser in-motion fixes plus ground-truth road-segment traversal events
+  (the source of vehicle flow rates);
+* the flooding ground-truth process: a person is trapped when the rising
+  flood depth over their position first exceeds their personal depth
+  tolerance; trapped people stop moving, raise a rescue request, and in
+  the historical trace are delivered to the nearest hospital where they
+  dwell for >= 2 h.
+
+The depth-threshold form makes the rescue decision a (mostly)
+deterministic function of position and regional weather — precisely the
+structure the paper's SVM recovers from the factor vector (precipitation,
+wind, altitude) — while the waterline's progression makes demand a moving
+wave that defeats history-based prediction, the paper's Figs. 15-16 story.
+
+Raw output is deliberately dirty (position noise, out-of-bbox outliers,
+duplicated fixes) so the paper's Data Cleaning stage has real work to do.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geo.flood import FloodModel
+from repro.geo.regions import RegionPartition
+from repro.geo.terrain import TerrainField
+from repro.hospitals.hospitals import Hospital
+from repro.mobility.person import Person
+from repro.mobility.routes import RouteCache
+from repro.mobility.trace import GpsTrace, RescueRecord, TraversalLog
+from repro.mobility.trips import PlannedTrip, TripModel, TripModelConfig
+from repro.roadnet.graph import RoadNetwork
+from repro.roadnet.routing import Route
+from repro.weather.fields import RegionWeatherField
+from repro.weather.storms import SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Tunables of the synthetic trace process."""
+
+    #: GPS fix interval while driving, seconds.
+    trip_fix_interval_s: float = 300.0
+    gps_noise_sigma_m: float = 25.0
+    altitude_noise_sigma_m: float = 3.0
+    #: Fraction of fixes duplicated and fraction replaced far out of range —
+    #: the dirt the cleaning stage removes.
+    duplicate_rate: float = 0.004
+    outlier_rate: float = 0.008
+    #: Driving speed multiplier at full flood level (1 - slowdown).
+    storm_slowdown: float = 0.5
+    #: Trapping ground truth: a person is trapped when the flood depth at
+    #: their position first exceeds their personal depth tolerance, drawn
+    #: uniformly from ``depth_tolerance_range_m`` (people in sturdy or
+    #: multi-storey housing tolerate more water).  At each hourly crossing
+    #: check the trap fires with probability ``trap_probability`` (some
+    #: people self-evacuate in time).  Because trapping tracks the rising
+    #: waterline, requests form a progressive wave that peaks at the river
+    #: crest (Sep 16, paper Section V-B) and never revisits a burned-out
+    #: depth band — which is exactly why history-based demand prediction
+    #: fails in the paper (Figs. 15-16) while factor-based prediction works.
+    depth_tolerance_range_m: tuple[float, float] = (0.3, 2.5)
+    trap_probability: float = 0.75
+    request_delay_range_s: tuple[float, float] = (300.0, 2_400.0)
+    delivery_delay_range_s: tuple[float, float] = (3_600.0, 6.0 * 3_600.0)
+    hospital_stay_range_s: tuple[float, float] = (2.5 * 3_600.0, 20.0 * 3_600.0)
+    #: Ordinary (non-rescue) hospital visits: per-person per-day probability
+    #: and dwell range.  Some dwell longer than the 2 h detection threshold,
+    #: exercising the rescued/not-rescued labeling.
+    normal_hospital_visit_prob: float = 0.015
+    normal_hospital_stay_range_s: tuple[float, float] = (1_800.0, 4.0 * 3_600.0)
+    trip_model: TripModelConfig = field(default_factory=TripModelConfig)
+    seed: int = 37
+
+
+@dataclass
+class TraceBundle:
+    """Everything the generator knows about the synthetic dataset.
+
+    ``trace`` is the raw (noisy) GPS data handed to the stage-1 pipeline;
+    ``traversals`` and ``rescues`` are ground truth used for calibration,
+    evaluation and as the request stream of dispatching experiments.
+    """
+
+    trace: GpsTrace
+    traversals: TraversalLog
+    rescues: list[RescueRecord]
+    persons: list[Person]
+
+    def requests_on_day(self, day: int) -> list[RescueRecord]:
+        """Rescue requests whose request time falls on a scenario day."""
+        t0, t1 = day * SECONDS_PER_DAY, (day + 1) * SECONDS_PER_DAY
+        return [r for r in self.rescues if t0 <= r.request_time_s < t1]
+
+
+class _Buffers:
+    """Column accumulators for fixes and traversals."""
+
+    def __init__(self) -> None:
+        self.pid: list[np.ndarray] = []
+        self.t: list[np.ndarray] = []
+        self.x: list[np.ndarray] = []
+        self.y: list[np.ndarray] = []
+        self.alt: list[np.ndarray] = []
+        self.speed: list[np.ndarray] = []
+        self.trav_t: list[np.ndarray] = []
+        self.trav_seg: list[np.ndarray] = []
+
+    def add_fixes(self, pid, t, x, y, alt, speed) -> None:
+        n = len(t)
+        if n == 0:
+            return
+        self.pid.append(np.full(n, pid, dtype=np.int32))
+        self.t.append(np.asarray(t, dtype=np.float64))
+        self.x.append(np.asarray(x, dtype=np.float32))
+        self.y.append(np.asarray(y, dtype=np.float32))
+        self.alt.append(np.asarray(alt, dtype=np.float32))
+        self.speed.append(np.asarray(speed, dtype=np.float32))
+
+    def add_traversals(self, t, seg) -> None:
+        if len(t) == 0:
+            return
+        self.trav_t.append(np.asarray(t, dtype=np.float64))
+        self.trav_seg.append(np.asarray(seg, dtype=np.int32))
+
+
+class MobilityTraceGenerator:
+    """Simulates the population over a storm scenario window."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        partition: RegionPartition,
+        terrain: TerrainField,
+        weather: RegionWeatherField,
+        flood: FloodModel,
+        hospitals: list[Hospital],
+        config: TraceConfig | None = None,
+    ) -> None:
+        if not hospitals:
+            raise ValueError("at least one hospital is required")
+        self.network = network
+        self.partition = partition
+        self.terrain = terrain
+        self.weather = weather
+        self.flood = flood
+        self.hospitals = hospitals
+        self.config = config or TraceConfig()
+        self.timeline = weather.timeline
+        self.route_cache = RouteCache(network)
+        self.trip_model = TripModel(
+            self._node_severity, self.config.trip_model, self.timeline.intensity
+        )
+        self._precompute_tables()
+
+    # -- precomputed lookup tables ------------------------------------------
+
+    def _precompute_tables(self) -> None:
+        net = self.network
+        node_ids = net.landmark_ids()
+        self._node_index = {n: i for i, n in enumerate(node_ids)}
+        self._node_ids = np.array(node_ids)
+        self._node_xy = np.array([net.landmark(n).xy for n in node_ids])
+        self._node_alt = self.terrain.altitude_many(self._node_xy)
+        self._node_region = self.partition.region_of_many(self._node_xy)
+        self._node_segment = np.array(
+            [net.nearest_segment(*net.landmark(n).xy) for n in node_ids]
+        )
+
+        hours = int(self.timeline.total_days * 24) + 1
+        rids = self.partition.region_ids
+        rindex = {r: i for i, r in enumerate(rids)}
+        precip = np.zeros((len(rids), hours))
+        wind = np.zeros((len(rids), hours))
+        waterline = np.zeros((len(rids), hours))
+        for h in range(hours):
+            t = h * SECONDS_PER_HOUR
+            for r in rids:
+                i = rindex[r]
+                precip[i, h] = self.weather.factor_precipitation_mm_per_h(r, t)
+                wind[i, h] = self.weather.factor_wind_mph(r, t)
+                waterline[i, h] = self.flood.waterline_m(r, t)
+        self._rindex = rindex
+        self._precip = precip
+        self._wind = wind
+        self._hours = hours
+
+        node_r = np.array([rindex[int(r)] for r in self._node_region])
+        flooded = waterline[node_r, :] >= self._node_alt[:, None]  # (nodes, hours)
+        self._node_flooded = flooded
+        #: Water depth over each landmark per hour, meters (0 when dry).
+        self._node_depth = np.maximum(0.0, waterline[node_r, :] - self._node_alt[:, None])
+        self._node_ever_flooded = flooded.any(axis=1)
+        any_flood_hours = np.nonzero(flooded.any(axis=0))[0]
+        if any_flood_hours.size:
+            self._flood_window = (
+                float(any_flood_hours[0]) * SECONDS_PER_HOUR,
+                float(any_flood_hours[-1] + 1) * SECONDS_PER_HOUR,
+            )
+        else:
+            self._flood_window = (float("inf"), float("-inf"))
+
+        sev = np.zeros((len(rids), hours))
+        for h in range(hours):
+            for r in rids:
+                sev[rindex[r], h] = self.weather.severity(r, h * SECONDS_PER_HOUR)
+        self._severity = sev
+
+    def _hour(self, t: float) -> int:
+        return min(self._hours - 1, max(0, int(t // SECONDS_PER_HOUR)))
+
+    def _node_severity(self, node: int, t: float) -> float:
+        i = self._node_index[node]
+        return float(self._severity[self._rindex[int(self._node_region[i])], self._hour(t)])
+
+    def node_factor_vector(self, node: int, t: float) -> tuple[float, float, float]:
+        """Disaster-related factors (P, W, A) at a landmark and time."""
+        i = self._node_index[node]
+        r = self._rindex[int(self._node_region[i])]
+        h = self._hour(t)
+        return (
+            float(self._precip[r, h]),
+            float(self._wind[r, h]),
+            float(self._node_alt[i]),
+        )
+
+    # -- emission helpers ----------------------------------------------------
+
+    def _emit_stay(
+        self,
+        pid: int,
+        t0: float,
+        t1: float,
+        node: int,
+        interval_s: float,
+        rng: np.random.Generator,
+        out: _Buffers,
+    ) -> None:
+        if t1 <= t0:
+            return
+        ts = np.arange(t0, t1, interval_s)
+        if ts.size == 0:
+            return
+        i = self._node_index[node]
+        cfg = self.config
+        n = ts.size
+        x = self._node_xy[i, 0] + rng.normal(0.0, cfg.gps_noise_sigma_m, n)
+        y = self._node_xy[i, 1] + rng.normal(0.0, cfg.gps_noise_sigma_m, n)
+        alt = self._node_alt[i] + rng.normal(0.0, cfg.altitude_noise_sigma_m, n)
+        speed = np.abs(rng.normal(0.0, 0.3, n))
+        out.add_fixes(pid, ts, x, y, alt, speed)
+
+    def _speed_multiplier(self, t: float) -> float:
+        return 1.0 - self.config.storm_slowdown * self.timeline.flood_level(t)
+
+    def _emit_move(
+        self,
+        pid: int,
+        t0: float,
+        route: Route,
+        rng: np.random.Generator,
+        out: _Buffers,
+    ) -> float:
+        """Drive ``route`` starting at ``t0``; returns arrival time."""
+        mult = max(0.2, self._speed_multiplier(t0))
+        seg_times = np.array(
+            [self.network.segment(s).free_flow_time_s / mult for s in route.segment_ids]
+        )
+        entries = t0 + np.concatenate([[0.0], np.cumsum(seg_times)[:-1]])
+        arrival = t0 + float(seg_times.sum())
+        out.add_traversals(entries, np.array(route.segment_ids))
+
+        cfg = self.config
+        ts = np.arange(t0, arrival, cfg.trip_fix_interval_s)
+        if ts.size:
+            node_times = t0 + np.concatenate([[0.0], np.cumsum(seg_times)])
+            nxy = np.array([self.network.landmark(n).xy for n in route.nodes])
+            x = np.interp(ts, node_times, nxy[:, 0]) + rng.normal(
+                0.0, cfg.gps_noise_sigma_m, ts.size
+            )
+            y = np.interp(ts, node_times, nxy[:, 1]) + rng.normal(
+                0.0, cfg.gps_noise_sigma_m, ts.size
+            )
+            alt = self.terrain.altitude_many(np.column_stack([x, y]))
+            seg_speed = np.array(
+                [self.network.segment(s).speed_limit_mps * mult for s in route.segment_ids]
+            )
+            idx = np.clip(np.searchsorted(node_times, ts, side="right") - 1, 0, len(seg_speed) - 1)
+            speed = seg_speed[idx] + rng.normal(0.0, 0.5, ts.size)
+            out.add_fixes(pid, ts, x, y, alt, np.abs(speed))
+        return arrival
+
+    # -- trapping ground truth -----------------------------------------------
+
+    def _first_trap(
+        self,
+        node: int,
+        t0: float,
+        t1: float,
+        depth_tolerance_m: float,
+        rng: np.random.Generator,
+    ) -> float | None:
+        """First trapping time during a stay at ``node`` over [t0, t1].
+
+        The person is trapped the first hour the flood depth over their
+        position exceeds their personal tolerance (with escape probability
+        ``1 - trap_probability`` per crossing hour).
+        """
+        w0, w1 = self._flood_window
+        lo, hi = max(t0, w0), min(t1, w1)
+        if hi <= lo:
+            return None
+        i = self._node_index[node]
+        if not self._node_ever_flooded[i]:
+            return None
+        h0, h1 = int(lo // SECONDS_PER_HOUR), int(math.ceil(hi / SECONDS_PER_HOUR))
+        for h in range(h0, min(h1, self._hours)):
+            if self._node_depth[i, h] >= depth_tolerance_m:
+                if rng.random() >= self.config.trap_probability:
+                    continue  # got out in time this hour; water keeps rising
+                trap = max(lo, h * SECONDS_PER_HOUR + rng.uniform(0.0, SECONDS_PER_HOUR))
+                if trap < hi:
+                    return trap
+        return None
+
+    def _nearest_hospital_node(self, node: int) -> int:
+        i = self._node_index[node]
+        xy = self._node_xy[i]
+        best, best_d = self.hospitals[0].node_id, float("inf")
+        for h in self.hospitals:
+            j = self._node_index[h.node_id]
+            d = float(np.hypot(*(self._node_xy[j] - xy)))
+            if d < best_d:
+                best, best_d = h.node_id, d
+        return best
+
+    def _handle_rescue(
+        self,
+        person: Person,
+        node: int,
+        stay_start: float,
+        trap_t: float,
+        rng: np.random.Generator,
+        out: _Buffers,
+        rescues: list[RescueRecord],
+    ) -> float:
+        """Emit the trapped-stay / hospital-delivery / return-home sequence.
+
+        Returns the time the person is back home (end of the sequence).
+        """
+        cfg = self.config
+        pid = person.person_id
+        request_t = trap_t + rng.uniform(*cfg.request_delay_range_s)
+        delivery_target = request_t + rng.uniform(*cfg.delivery_delay_range_s)
+        hosp_node = self._nearest_hospital_node(node)
+        ride = self.route_cache.route(node, hosp_node)
+
+        i = self._node_index[node]
+        end = self.timeline.duration_s
+
+        if ride is None or ride.is_trivial:
+            ride_depart = min(delivery_target, end)
+            self._emit_stay(pid, stay_start, ride_depart, node, person.gps_interval_s, rng, out)
+            delivered = ride_depart
+        else:
+            ride_depart = max(request_t, delivery_target - ride.travel_time_s)
+            self._emit_stay(pid, stay_start, ride_depart, node, person.gps_interval_s, rng, out)
+            delivered = self._emit_move(pid, ride_depart, ride, rng, out)
+
+        rescues.append(
+            RescueRecord(
+                person_id=pid,
+                trap_time_s=trap_t,
+                request_time_s=request_t,
+                trap_node=node,
+                trap_segment=int(self._node_segment[i]),
+                region_id=int(self._node_region[i]),
+                factors=self.node_factor_vector(node, trap_t),
+                hospital_node=hosp_node,
+                delivery_time_s=delivered,
+            )
+        )
+
+        discharge = min(delivered + rng.uniform(*cfg.hospital_stay_range_s), end)
+        self._emit_stay(pid, delivered, discharge, hosp_node, person.gps_interval_s, rng, out)
+        if discharge >= end:
+            return end
+        home_ride = self.route_cache.route(hosp_node, person.home_node)
+        if home_ride is None or home_ride.is_trivial:
+            return discharge
+        return self._emit_move(pid, discharge, home_ride, rng, out)
+
+    # -- per-person simulation -------------------------------------------------
+
+    def _plan_day(
+        self, person: Person, day: int, rng: np.random.Generator
+    ) -> list[PlannedTrip]:
+        trips = self.trip_model.plan_day(person, day, rng)
+        cfg = self.config
+        if rng.random() < cfg.normal_hospital_visit_prob:
+            depart = (day + rng.uniform(18.0, 22.0) / 24.0) * SECONDS_PER_DAY
+            hosp = self.hospitals[int(rng.integers(len(self.hospitals)))].node_id
+            if hosp != person.home_node:
+                stay = rng.uniform(*cfg.normal_hospital_stay_range_s)
+                trips = trips + [
+                    PlannedTrip(depart, person.home_node, hosp),
+                    PlannedTrip(depart + stay, hosp, person.home_node),
+                ]
+        return trips
+
+    def _simulate_person(
+        self, person: Person, out: _Buffers, rescues: list[RescueRecord]
+    ) -> None:
+        rng = np.random.default_rng([self.config.seed, person.person_id])
+        t = 0.0
+        cur = person.home_node
+        pid = person.person_id
+        rescued = False
+        end = self.timeline.duration_s
+        tolerance = rng.uniform(*self.config.depth_tolerance_range_m)
+
+        for day in range(self.timeline.total_days):
+            for trip in self._plan_day(person, day, rng):
+                if trip.depart_s <= t or trip.src != cur:
+                    continue
+                if not rescued:
+                    trap_t = self._first_trap(cur, t, trip.depart_s, tolerance, rng)
+                    if trap_t is not None:
+                        t = self._handle_rescue(person, cur, t, trap_t, rng, out, rescues)
+                        cur = person.home_node
+                        rescued = True
+                        continue
+                self._emit_stay(pid, t, trip.depart_s, cur, person.gps_interval_s, rng, out)
+                route = self.route_cache.route(trip.src, trip.dst)
+                if route is None or route.is_trivial:
+                    t = trip.depart_s
+                    continue
+                t = self._emit_move(pid, trip.depart_s, route, rng, out)
+                cur = trip.dst
+
+        if not rescued:
+            trap_t = self._first_trap(cur, t, end - 12.0 * SECONDS_PER_HOUR, tolerance, rng)
+            if trap_t is not None:
+                self._handle_rescue(person, cur, t, trap_t, rng, out, rescues)
+                return
+        self._emit_stay(pid, t, end, cur, person.gps_interval_s, rng, out)
+
+    # -- public API --------------------------------------------------------------
+
+    def generate(self, persons: list[Person]) -> TraceBundle:
+        """Simulate all persons and assemble the raw dataset."""
+        out = _Buffers()
+        rescues: list[RescueRecord] = []
+        for person in persons:
+            self._simulate_person(person, out, rescues)
+
+        trace = GpsTrace(
+            np.concatenate(out.pid) if out.pid else np.zeros(0),
+            np.concatenate(out.t) if out.t else np.zeros(0),
+            np.concatenate(out.x) if out.x else np.zeros(0),
+            np.concatenate(out.y) if out.y else np.zeros(0),
+            np.concatenate(out.alt) if out.alt else np.zeros(0),
+            np.concatenate(out.speed) if out.speed else np.zeros(0),
+        )
+        trace = self._dirty(trace)
+        traversals = TraversalLog(
+            np.concatenate(out.trav_t) if out.trav_t else np.zeros(0),
+            np.concatenate(out.trav_seg) if out.trav_seg else np.zeros(0),
+        )
+        rescues.sort(key=lambda r: r.request_time_s)
+        return TraceBundle(trace=trace, traversals=traversals, rescues=rescues, persons=persons)
+
+    def _dirty(self, trace: GpsTrace) -> GpsTrace:
+        """Inject duplicates and out-of-range outliers into a clean trace."""
+        cfg = self.config
+        n = len(trace)
+        if n == 0:
+            return trace
+        rng = np.random.default_rng([cfg.seed, 999_983])
+        n_dup = int(cfg.duplicate_rate * n)
+        n_out = int(cfg.outlier_rate * n)
+        parts = [trace]
+        if n_dup:
+            idx = rng.integers(0, n, n_dup)
+            parts.append(trace.select(idx))
+        if n_out:
+            idx = rng.integers(0, n, n_out)
+            bad = trace.select(idx)
+            width = self.partition.width_m
+            bad = GpsTrace(
+                bad.person_id,
+                bad.t,
+                bad.x + np.float32(3.0 * width),
+                bad.y,
+                bad.altitude,
+                bad.speed,
+            )
+            parts.append(bad)
+        return GpsTrace.concatenate(parts)

@@ -1,0 +1,35 @@
+"""Synthetic persons: anchors and identity.
+
+Each person has a home landmark, a work landmark and a couple of
+points-of-interest; daily trips move between these anchors.  The anchors
+are landmarks (road-network vertices), which matches the paper's
+representation of trajectories as sequences of landmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Person:
+    """One tracked individual of the mobility dataset."""
+
+    person_id: int
+    home_node: int
+    work_node: int
+    poi_nodes: tuple[int, ...]
+    #: Base GPS sampling interval for this person, seconds.  The paper's
+    #: dataset samples each person every 0.5-2 hours.
+    gps_interval_s: float
+
+    def __post_init__(self) -> None:
+        if self.person_id < 0:
+            raise ValueError("person_id must be non-negative")
+        if self.gps_interval_s <= 0:
+            raise ValueError("gps_interval_s must be positive")
+
+    @property
+    def anchors(self) -> tuple[int, ...]:
+        """All anchor landmarks this person's trips move between."""
+        return (self.home_node, self.work_node, *self.poi_nodes)

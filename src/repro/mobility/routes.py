@@ -1,0 +1,37 @@
+"""Route cache for trip generation.
+
+Hundreds of thousands of trips flow between a much smaller set of anchor
+pairs (homes, work places, a shared POI pool), so shortest-path routes are
+memoized by (src, dst).  Routes are computed on the full network: people
+plan with their normal mental map, and disaster slowdowns are applied at
+traversal time, not at planning time.
+"""
+
+from __future__ import annotations
+
+from repro.roadnet.graph import RoadNetwork
+from repro.roadnet.routing import Route, shortest_path
+
+
+class RouteCache:
+    """Memoized shortest-path lookup, keyed by (src, dst)."""
+
+    def __init__(self, network: RoadNetwork, weight: str = "time") -> None:
+        self.network = network
+        self.weight = weight
+        self._cache: dict[tuple[int, int], Route | None] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def route(self, src: int, dst: int) -> Route | None:
+        key = (src, dst)
+        if key in self._cache:
+            self.hits += 1
+            return self._cache[key]
+        self.misses += 1
+        r = shortest_path(self.network, src, dst, weight=self.weight)
+        self._cache[key] = r
+        return r
+
+    def __len__(self) -> int:
+        return len(self._cache)

@@ -1,0 +1,145 @@
+"""Columnar containers for the mobility dataset.
+
+The raw dataset is millions of GPS fixes, so fixes live in parallel numpy
+arrays (struct-of-arrays) rather than per-point objects; the dataclasses
+here are the record-level views used at API boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class GpsTrace:
+    """A set of GPS fixes in columnar form.
+
+    Columns: ``person_id`` (int32), ``t`` (float64 seconds from scenario
+    start), ``x``/``y`` (float32 plane meters), ``altitude`` (float32 m),
+    ``speed`` (float32 m/s).  Rows are kept sorted by (person_id, t) after
+    :meth:`sort`.
+    """
+
+    COLUMNS = ("person_id", "t", "x", "y", "altitude", "speed")
+
+    def __init__(
+        self,
+        person_id: np.ndarray,
+        t: np.ndarray,
+        x: np.ndarray,
+        y: np.ndarray,
+        altitude: np.ndarray,
+        speed: np.ndarray,
+    ) -> None:
+        n = len(person_id)
+        for name, col in zip(self.COLUMNS, (person_id, t, x, y, altitude, speed)):
+            if len(col) != n:
+                raise ValueError(f"column {name} has length {len(col)}, expected {n}")
+        self.person_id = np.asarray(person_id, dtype=np.int32)
+        self.t = np.asarray(t, dtype=np.float64)
+        self.x = np.asarray(x, dtype=np.float32)
+        self.y = np.asarray(y, dtype=np.float32)
+        self.altitude = np.asarray(altitude, dtype=np.float32)
+        self.speed = np.asarray(speed, dtype=np.float32)
+
+    def __len__(self) -> int:
+        return len(self.person_id)
+
+    @classmethod
+    def empty(cls) -> "GpsTrace":
+        z = np.zeros(0)
+        return cls(z, z, z, z, z, z)
+
+    @classmethod
+    def concatenate(cls, parts: list["GpsTrace"]) -> "GpsTrace":
+        if not parts:
+            return cls.empty()
+        return cls(
+            np.concatenate([p.person_id for p in parts]),
+            np.concatenate([p.t for p in parts]),
+            np.concatenate([p.x for p in parts]),
+            np.concatenate([p.y for p in parts]),
+            np.concatenate([p.altitude for p in parts]),
+            np.concatenate([p.speed for p in parts]),
+        )
+
+    def select(self, mask: np.ndarray) -> "GpsTrace":
+        """New trace containing only rows where ``mask`` is True."""
+        return GpsTrace(
+            self.person_id[mask],
+            self.t[mask],
+            self.x[mask],
+            self.y[mask],
+            self.altitude[mask],
+            self.speed[mask],
+        )
+
+    def sort(self) -> "GpsTrace":
+        """New trace sorted by (person_id, t)."""
+        order = np.lexsort((self.t, self.person_id))
+        return self.select(order)
+
+    def person_slice(self, person_id: int) -> "GpsTrace":
+        """Fixes of one person (trace must be sorted for efficiency-critical
+        callers; this method itself works on any ordering)."""
+        return self.select(self.person_id == person_id)
+
+
+class TraversalLog:
+    """Ground-truth road-segment traversal events: (t, segment_id) pairs.
+
+    One row per vehicle entering a segment; this is what vehicle flow rates
+    are counted from (paper Def. 2).
+    """
+
+    def __init__(self, t: np.ndarray, segment_id: np.ndarray) -> None:
+        if len(t) != len(segment_id):
+            raise ValueError("t and segment_id must have equal length")
+        self.t = np.asarray(t, dtype=np.float64)
+        self.segment_id = np.asarray(segment_id, dtype=np.int32)
+
+    def __len__(self) -> int:
+        return len(self.t)
+
+    @classmethod
+    def empty(cls) -> "TraversalLog":
+        return cls(np.zeros(0), np.zeros(0))
+
+    @classmethod
+    def concatenate(cls, parts: list["TraversalLog"]) -> "TraversalLog":
+        if not parts:
+            return cls.empty()
+        return cls(
+            np.concatenate([p.t for p in parts]),
+            np.concatenate([p.segment_id for p in parts]),
+        )
+
+
+@dataclass(frozen=True)
+class RescueRecord:
+    """Ground truth for one person who was trapped and rescued.
+
+    In the historical trace the person is delivered to a hospital by the
+    real-world rescue operation; during dispatching experiments the
+    ``request_time_s``/``trap_segment`` pair becomes a rescue request fed to
+    the simulator.
+    """
+
+    person_id: int
+    trap_time_s: float
+    request_time_s: float
+    trap_node: int
+    trap_segment: int
+    region_id: int
+    #: Disaster-related factor vector (precipitation, wind, altitude) at the
+    #: trap position and time.
+    factors: tuple[float, float, float]
+    hospital_node: int
+    delivery_time_s: float
+
+    def __post_init__(self) -> None:
+        if self.request_time_s < self.trap_time_s:
+            raise ValueError("request cannot precede trapping")
+        if self.delivery_time_s < self.request_time_s:
+            raise ValueError("delivery cannot precede the request")

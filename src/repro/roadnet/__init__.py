@@ -1,0 +1,30 @@
+"""Road network substrate: landmark graph, synthetic generator, routing.
+
+The paper represents the Charlotte road network as a directed graph
+``G = (E, V)`` whose vertices are landmarks (intersections / turning points)
+and whose edges are road segments (Section III-A), obtained from
+OpenStreetMap and cropped with NWS data.  Offline OSM data is not available,
+so :mod:`repro.roadnet.generator` synthesizes a structurally comparable
+city network (dense downtown, arterials, 7-region coverage).
+"""
+
+from repro.roadnet.graph import Landmark, RoadNetwork, RoadSegment
+from repro.roadnet.generator import RoadNetworkConfig, generate_road_network
+from repro.roadnet.routing import (
+    Route,
+    shortest_path,
+    shortest_time_from,
+    route_to_segment,
+)
+
+__all__ = [
+    "Landmark",
+    "RoadNetwork",
+    "RoadNetworkConfig",
+    "RoadSegment",
+    "Route",
+    "generate_road_network",
+    "route_to_segment",
+    "shortest_path",
+    "shortest_time_from",
+]

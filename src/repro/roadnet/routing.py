@@ -1,0 +1,200 @@
+"""Shortest-path routing on the road network.
+
+The paper routes rescue teams with "an existing routing algorithm (e.g.,
+the Dijkstra algorithm)" over the remaining available network G̃ (Section
+IV-C3).  ``closed`` carries G̃: any segment in that set is skipped.  Costs
+are free-flow traversal times by default (``weight='time'``), which is what
+the driving-delay metric sums, or segment lengths (``weight='length'``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.roadnet.graph import RoadNetwork, RoadSegment
+
+_WEIGHTS = ("time", "length")
+
+
+def _cost(segment: RoadSegment, weight: str) -> float:
+    if weight == "time":
+        return segment.free_flow_time_s
+    return segment.length_m
+
+
+@dataclass(frozen=True)
+class Route:
+    """A drivable route: the paper's Φ_kj = {p_mk, ..., e_j}."""
+
+    nodes: tuple[int, ...]
+    segment_ids: tuple[int, ...]
+    travel_time_s: float
+    length_m: float
+
+    def __post_init__(self) -> None:
+        if len(self.nodes) != len(self.segment_ids) + 1:
+            raise ValueError("route must have exactly one more node than segments")
+
+    @property
+    def src(self) -> int:
+        return self.nodes[0]
+
+    @property
+    def dst(self) -> int:
+        return self.nodes[-1]
+
+    @property
+    def is_trivial(self) -> bool:
+        return not self.segment_ids
+
+
+def shortest_path(
+    network: RoadNetwork,
+    src: int,
+    dst: int,
+    closed: frozenset[int] = frozenset(),
+    weight: str = "time",
+) -> Route | None:
+    """Dijkstra shortest path from node ``src`` to node ``dst``.
+
+    Returns ``None`` when ``dst`` is unreachable through operable segments.
+    """
+    if weight not in _WEIGHTS:
+        raise ValueError(f"weight must be one of {_WEIGHTS}")
+    network.landmark(src)
+    network.landmark(dst)
+    if src == dst:
+        return Route((src,), (), 0.0, 0.0)
+
+    dist: dict[int, float] = {src: 0.0}
+    prev_seg: dict[int, int] = {}
+    done: set[int] = set()
+    heap: list[tuple[float, int]] = [(0.0, src)]
+    while heap:
+        d, node = heapq.heappop(heap)
+        if node in done:
+            continue
+        if node == dst:
+            break
+        done.add(node)
+        for seg in network.out_segments(node):
+            if seg.segment_id in closed:
+                continue
+            nd = d + _cost(seg, weight)
+            if nd < dist.get(seg.v, float("inf")):
+                dist[seg.v] = nd
+                prev_seg[seg.v] = seg.segment_id
+                heapq.heappush(heap, (nd, seg.v))
+
+    if dst not in prev_seg:
+        return None
+    seg_ids: list[int] = []
+    node = dst
+    while node != src:
+        sid = prev_seg[node]
+        seg_ids.append(sid)
+        node = network.segment(sid).u
+    seg_ids.reverse()
+    return _route_from_segments(network, src, seg_ids)
+
+
+def _route_from_segments(network: RoadNetwork, src: int, seg_ids: list[int]) -> Route:
+    nodes = [src]
+    time_s = 0.0
+    length = 0.0
+    for sid in seg_ids:
+        seg = network.segment(sid)
+        if seg.u != nodes[-1]:
+            raise ValueError("discontinuous segment sequence")
+        nodes.append(seg.v)
+        time_s += seg.free_flow_time_s
+        length += seg.length_m
+    return Route(tuple(nodes), tuple(seg_ids), time_s, length)
+
+
+def shortest_time_from(
+    network: RoadNetwork,
+    src: int,
+    closed: frozenset[int] = frozenset(),
+    weight: str = "time",
+) -> dict[int, float]:
+    """Single-source Dijkstra: cost from ``src`` to every reachable node.
+
+    Used by the integer-programming baselines, which need full cost rows for
+    their assignment matrices.
+    """
+    if weight not in _WEIGHTS:
+        raise ValueError(f"weight must be one of {_WEIGHTS}")
+    network.landmark(src)
+    dist: dict[int, float] = {src: 0.0}
+    done: set[int] = set()
+    heap: list[tuple[float, int]] = [(0.0, src)]
+    while heap:
+        d, node = heapq.heappop(heap)
+        if node in done:
+            continue
+        done.add(node)
+        for seg in network.out_segments(node):
+            if seg.segment_id in closed:
+                continue
+            nd = d + _cost(seg, weight)
+            if nd < dist.get(seg.v, float("inf")):
+                dist[seg.v] = nd
+                heapq.heappush(heap, (nd, seg.v))
+    return dist
+
+
+def shortest_time_to(
+    network: RoadNetwork,
+    dst: int,
+    closed: frozenset[int] = frozenset(),
+    weight: str = "time",
+) -> dict[int, float]:
+    """Single-destination Dijkstra: cost from every node *to* ``dst``.
+
+    Runs Dijkstra over reversed edges; used to build cost columns for
+    team-to-request matching without one search per team.
+    """
+    if weight not in _WEIGHTS:
+        raise ValueError(f"weight must be one of {_WEIGHTS}")
+    network.landmark(dst)
+    dist: dict[int, float] = {dst: 0.0}
+    done: set[int] = set()
+    heap: list[tuple[float, int]] = [(0.0, dst)]
+    while heap:
+        d, node = heapq.heappop(heap)
+        if node in done:
+            continue
+        done.add(node)
+        for seg in network.in_segments(node):
+            if seg.segment_id in closed:
+                continue
+            nd = d + _cost(seg, weight)
+            if nd < dist.get(seg.u, float("inf")):
+                dist[seg.u] = nd
+                heapq.heappush(heap, (nd, seg.u))
+    return dist
+
+
+def route_to_segment(
+    network: RoadNetwork,
+    src: int,
+    segment_id: int,
+    closed: frozenset[int] = frozenset(),
+    weight: str = "time",
+) -> Route | None:
+    """Route from node ``src`` to the *end* of a destination segment.
+
+    The paper dispatches a team to road segment e_j and measures delay to
+    the end of e_j; the returned route therefore terminates with e_j itself
+    (route to e_j's head landmark, then traverse e_j).  ``None`` if e_j is
+    closed or unreachable.
+    """
+    seg = network.segment(segment_id)
+    if segment_id in closed:
+        return None
+    head = shortest_path(network, src, seg.u, closed=closed, weight=weight)
+    if head is None:
+        return None
+    return _route_from_segments(network, src, list(head.segment_ids) + [segment_id])

@@ -1,0 +1,27 @@
+"""Rescue-dispatching simulator — the offline substitute for SUMO + Flow.
+
+A discrete-time mesoscopic simulator: rescue teams (capacity-c vehicles)
+drive edge-by-edge over the operable road network at flood-adjusted speeds,
+pick up pending rescue requests on the segments they traverse, deliver to
+hospitals, and are re-dispatched periodically by a pluggable dispatcher.
+This preserves exactly what the paper's evaluation measures — travel times
+on a closable network, request lifecycle, periodic re-dispatch — without
+microscopic car-following dynamics, which are irrelevant to the dispatching
+comparison.
+"""
+
+from repro.sim.requests import RescueRequest, requests_from_rescues
+from repro.sim.teams import RescueTeam, TeamState
+from repro.sim.engine import RescueSimulator, SimulationConfig, SimulationResult
+from repro.sim.metrics import SimulationMetrics
+
+__all__ = [
+    "RescueRequest",
+    "RescueSimulator",
+    "RescueTeam",
+    "SimulationConfig",
+    "SimulationMetrics",
+    "SimulationResult",
+    "TeamState",
+    "requests_from_rescues",
+]

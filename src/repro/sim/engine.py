@@ -1,0 +1,466 @@
+"""The rescue-dispatching simulation engine.
+
+Drives a fleet of rescue teams over one evaluation window (the paper: 100
+teams, 24 hours, Sep 16) against a stream of ground-truth rescue requests:
+
+* every ``dispatch_period_s`` (5 min) the pluggable dispatcher is called
+  with the current observation; its commands take effect after its
+  computation delay (IP baselines ~300 s, RL < 0.5 s);
+* teams drive precomputed legs at flood-adjusted speeds over the operable
+  network, picking up pending requests on every segment they traverse
+  (up to capacity c), and deliver passengers to the nearest hospital;
+* every pickup/delivery/serving-count event is recorded for the metrics
+  module (Figs. 9-14).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.charlotte import CharlotteScenario
+from repro.dispatch.base import DispatchObservation, Dispatcher, TeamCommand, TeamView
+from repro.hospitals.hospitals import Hospital
+from repro.roadnet.routing import Route, route_to_segment, shortest_path, shortest_time_from
+from repro.sim.requests import RescueRequest
+from repro.sim.teams import RescueTeam, TeamState
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Evaluation-window parameters (paper Section V-B defaults)."""
+
+    t0_s: float
+    t1_s: float
+    num_teams: int = 100
+    team_capacity: int = 5
+    dispatch_period_s: float = 300.0
+    step_s: float = 60.0
+    #: Driving speed multiplier at full flood level (matches the trace
+    #: generator so team travel times and civilian travel times agree).
+    storm_slowdown: float = 0.5
+    #: Requests served within this bound are "timely served" (paper: 30 min).
+    timely_window_s: float = 1_800.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.t1_s <= self.t0_s:
+            raise ValueError("need t0 < t1")
+        if self.num_teams < 1 or self.team_capacity < 1:
+            raise ValueError("need at least one team with positive capacity")
+        if self.step_s <= 0 or self.dispatch_period_s <= 0:
+            raise ValueError("step and dispatch period must be positive")
+        if self.step_s > self.dispatch_period_s:
+            raise ValueError("step must not exceed the dispatch period")
+
+
+@dataclass(frozen=True)
+class PickupEvent:
+    request_id: int
+    team_id: int
+    t_s: float
+    #: Driving time since the serving team began its current leg.
+    driving_delay_s: float
+    #: Pickup time minus request time, floored at 0 (paper's timeliness).
+    timeliness_s: float
+
+
+@dataclass(frozen=True)
+class DeliveryEvent:
+    request_id: int
+    team_id: int
+    t_s: float
+    hospital_node: int
+
+
+@dataclass
+class SimulationResult:
+    """Everything recorded during one simulation run."""
+
+    config: SimulationConfig
+    dispatcher_name: str
+    requests: list[RescueRequest]
+    pickups: list[PickupEvent] = field(default_factory=list)
+    deliveries: list[DeliveryEvent] = field(default_factory=list)
+    #: (cycle time, number of serving teams) samples, one per dispatch cycle.
+    serving_samples: list[tuple[float, int]] = field(default_factory=list)
+
+    @property
+    def num_served(self) -> int:
+        return len(self.pickups)
+
+    @property
+    def num_unserved(self) -> int:
+        return len(self.requests) - len(self.pickups)
+
+
+class RescueSimulator:
+    """Simulates one dispatcher over one evaluation window."""
+
+    def __init__(
+        self,
+        scenario: CharlotteScenario,
+        requests: list[RescueRequest],
+        dispatcher: Dispatcher,
+        config: SimulationConfig,
+    ) -> None:
+        self.scenario = scenario
+        self.network = scenario.network
+        self.hospitals: list[Hospital] = scenario.hospitals
+        self.dispatcher = dispatcher
+        self.config = config
+        self.requests = sorted(requests, key=lambda r: r.time_s)
+        self._rng = np.random.default_rng(config.seed)
+        self._teams = self._spawn_teams()
+        self._pending: dict[int, deque[RescueRequest]] = {}
+        self._requests_by_id = {r.request_id: r for r in self.requests}
+        self._closed: frozenset[int] = frozenset()
+        #: request_id -> time a team first started driving toward it.
+        self._first_response: dict[int, float] = {}
+        self._result = SimulationResult(
+            config=config, dispatcher_name=dispatcher.name, requests=self.requests
+        )
+        self._action_queue: list[tuple[float, int, dict[int, TeamCommand]]] = []
+        self._action_counter = itertools.count()
+
+    # -- setup ----------------------------------------------------------------
+
+    def _spawn_teams(self) -> list[RescueTeam]:
+        """Paper Section V-B: initial team positions are randomly distributed
+        among the hospitals."""
+        nodes = [h.node_id for h in self.hospitals]
+        return [
+            RescueTeam(
+                team_id=i,
+                capacity=self.config.team_capacity,
+                node=int(self._rng.choice(nodes)),
+            )
+            for i in range(self.config.num_teams)
+        ]
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _speed_multiplier(self, t: float) -> float:
+        return max(0.2, 1.0 - self.config.storm_slowdown * self.scenario.timeline.flood_level(t))
+
+    def _leg_times(self, route: Route, t: float) -> np.ndarray:
+        mult = self._speed_multiplier(t)
+        return np.array(
+            [self.network.segment(s).free_flow_time_s / mult for s in route.segment_ids]
+        )
+
+    def _nearest_hospital_node(self, node: int) -> int | None:
+        times = shortest_time_from(self.network, node, closed=self._closed)
+        best_node, best_t = None, float("inf")
+        for h in self.hospitals:
+            t = times.get(h.node_id, float("inf"))
+            if t < best_t:
+                best_node, best_t = h.node_id, t
+        return best_node
+
+    def _team_view(self, team: RescueTeam) -> TeamView:
+        return TeamView(
+            team_id=team.team_id,
+            node=team.node,
+            state=team.state.value,
+            capacity_left=team.capacity_left,
+            assignable=team.is_assignable,
+            total_pickups=team.total_pickups,
+            target_segment=team.target_segment,
+        )
+
+    def _observation(self, t: float) -> DispatchObservation:
+        return DispatchObservation(
+            t_s=t,
+            teams=[self._team_view(tm) for tm in self._teams],
+            pending={s: len(q) for s, q in self._pending.items() if q},
+            closed=self._closed,
+            network=self.network,
+            hospitals=self.hospitals,
+        )
+
+    # -- request lifecycle ---------------------------------------------------------
+
+    def _activate_requests(self, upto_t: float, queue: deque[RescueRequest]) -> None:
+        newly: list[RescueRequest] = []
+        while queue and queue[0].time_s <= upto_t:
+            req = queue.popleft()
+            self._pending.setdefault(req.segment_id, deque()).append(req)
+            newly.append(req)
+        if newly:
+            self.dispatcher.observe_requests(newly)
+            for req in newly:
+                self._immediate_pickup(req)
+
+    def _immediate_pickup(self, req: RescueRequest) -> None:
+        """A team already standing at the request's segment serves it on the
+        spot — the paper's "rescue team has already arrived at the person's
+        position before the actual request" case (timeliness 0)."""
+        seg = self.network.segment(req.segment_id)
+        for team in self._teams:
+            if (
+                team.state is TeamState.IDLE
+                and team.capacity_left > 0
+                and team.node in (seg.u, seg.v)
+            ):
+                q = self._pending.get(req.segment_id)
+                if not q or q[-1] is not req:
+                    return
+                q.pop()
+                self._result.pickups.append(
+                    PickupEvent(
+                        request_id=req.request_id,
+                        team_id=team.team_id,
+                        t_s=req.time_s,
+                        driving_delay_s=0.0,
+                        timeliness_s=0.0,
+                    )
+                )
+                team.passengers.append(req.request_id)
+                team.total_pickups += 1
+                if team.capacity_left == 0:
+                    self._route_to_hospital(team, req.time_s)
+                return
+
+    def _reanchor_pending(self) -> None:
+        """Move pending requests off segments the flood has since closed.
+
+        The pick-up point is the water's edge; as the flood rises or
+        recedes, the closest drivable segment to a trapped person changes.
+        Without this, a request whose anchor submerges mid-day is
+        unreachable for hours regardless of dispatcher.
+        """
+        for seg in [s for s in self._pending if s in self._closed]:
+            queue = self._pending.pop(seg)
+            for req in queue:
+                node = self.network.landmark(req.node_id)
+                candidates = self.network.nearest_segments(node.x, node.y, 64)
+                new_seg = next(
+                    (s for s in candidates if s not in self._closed), req.segment_id
+                )
+                moved = RescueRequest(
+                    request_id=req.request_id,
+                    person_id=req.person_id,
+                    time_s=req.time_s,
+                    segment_id=new_seg,
+                    node_id=req.node_id,
+                )
+                self._pending.setdefault(new_seg, deque()).append(moved)
+        # Keep FIFO-by-request-time semantics after merging queues.
+        for seg, queue in self._pending.items():
+            if len(queue) > 1:
+                self._pending[seg] = deque(sorted(queue, key=lambda r: r.time_s))
+
+    def _pickup_on_segment(
+        self, team: RescueTeam, segment_id: int, exit_t: float
+    ) -> None:
+        """Pick up requests while traversing a segment.
+
+        The pickup is stamped at the segment's *exit* time: the person is
+        reached somewhere along the segment, and using the exit bound keeps
+        driving delays strictly positive.
+        """
+        q = self._pending.get(segment_id)
+        if not q:
+            return
+        while q and team.capacity_left > 0:
+            if q[0].time_s > exit_t:
+                break
+            req = q.popleft()
+            # Driving delay: from the moment the system first started
+            # driving a team toward this request (its first response) to
+            # the pickup.  Re-commands and detours in between count as
+            # driving, not as queueing.  Incidental pickups with no prior
+            # response fall back to the serving team's own leg.
+            responded = self._first_response.get(
+                req.request_id, max(team.leg_start_s, req.time_s)
+            )
+            self._result.pickups.append(
+                PickupEvent(
+                    request_id=req.request_id,
+                    team_id=team.team_id,
+                    t_s=exit_t,
+                    driving_delay_s=max(0.0, exit_t - max(responded, req.time_s)),
+                    timeliness_s=max(0.0, exit_t - req.time_s),
+                )
+            )
+            team.passengers.append(req.request_id)
+            team.total_pickups += 1
+
+    # -- movement -----------------------------------------------------------------------
+
+    def _route_to_hospital(self, team: RescueTeam, t: float) -> None:
+        hosp = self._nearest_hospital_node(team.node)
+        if hosp is None:
+            team.stop()  # marooned: wait for the flood to recede
+            return
+        if hosp == team.node:
+            self._deliver(team, t)
+            return
+        route = shortest_path(self.network, team.node, hosp, closed=self._closed)
+        if route is None or route.is_trivial:
+            team.stop()
+            return
+        team.begin_leg(
+            route, self._speed_multiplier(t), self._leg_times(route, t), t,
+            TeamState.TO_HOSPITAL, None,
+        )
+
+    def _deliver(self, team: RescueTeam, t: float) -> None:
+        for rid in team.passengers:
+            self._result.deliveries.append(
+                DeliveryEvent(request_id=rid, team_id=team.team_id, t_s=t, hospital_node=team.node)
+            )
+        team.passengers.clear()
+        team.stop()
+
+    def _apply_command(self, team: RescueTeam, cmd: TeamCommand, t: float) -> None:
+        team.pending_assignment = None
+        if (
+            not cmd.is_depot
+            and team.state is TeamState.TO_SEGMENT
+            and team.target_segment == cmd.segment_id
+        ):
+            return  # already en route to exactly this destination
+        if cmd.is_depot:
+            hospital_nodes = {h.node_id for h in self.hospitals}
+            if team.node in hospital_nodes:
+                team.stop()
+                return
+            hosp = self._nearest_hospital_node(team.node)
+            if hosp is None or hosp == team.node:
+                team.stop()
+                return
+            route = shortest_path(self.network, team.node, hosp, closed=self._closed)
+            if route is None or route.is_trivial:
+                team.stop()
+                return
+            team.begin_leg(
+                route, self._speed_multiplier(t), self._leg_times(route, t), t,
+                TeamState.TO_SEGMENT, None,
+            )
+            return
+        # Flood-aware dispatchers plan over the operable network; unaware
+        # ones plan over the full map and their teams stall at the water.
+        planning_closed = self._closed if self.dispatcher.flood_aware else frozenset()
+        route = route_to_segment(
+            self.network, team.node, cmd.segment_id, closed=planning_closed
+        )
+        if route is None:
+            team.stop()  # destination unreachable through the flood
+            return
+        team.begin_leg(
+            route, self._speed_multiplier(t), self._leg_times(route, t), t,
+            TeamState.TO_SEGMENT, cmd.segment_id,
+        )
+        for req in self._pending.get(cmd.segment_id, ()):
+            if req.time_s <= t:
+                self._first_response.setdefault(req.request_id, t)
+
+    def _on_arrival(self, team: RescueTeam, t_arr: float) -> None:
+        if team.state is TeamState.TO_HOSPITAL:
+            self._deliver(team, t_arr)
+        elif team.passengers:
+            team.stop()
+            self._route_to_hospital(team, t_arr)
+        else:
+            team.stop()
+        if team.pending_assignment is not None and team.state is TeamState.IDLE:
+            self._apply_command(team, team.pending_assignment, t_arr)
+
+    def _advance_team(self, team: RescueTeam, t: float) -> None:
+        if team.state is TeamState.IDLE:
+            if team.pending_assignment is not None:
+                self._apply_command(team, team.pending_assignment, t)
+            if team.state is TeamState.IDLE:
+                return
+        while team.is_driving and team.node_times is not None:
+            idx = team.next_node_idx
+            if idx >= len(team.route_nodes) or team.node_times[idx] > t:
+                break
+            seg = team.route_segments[idx - 1]
+            if seg in self._closed:
+                # The road ahead is underwater.  The driver detours locally:
+                # re-route to the same destination over the operable network
+                # from the stall point.  The time already spent driving into
+                # the flood is the paper's "wasted time on routes with
+                # unavailable road segments".
+                stall_t = float(team.node_times[idx - 1])
+                orig_leg_start = team.leg_start_s
+                orig_state = team.state
+                orig_target = team.target_segment
+                team.stop()
+                if orig_state is TeamState.TO_HOSPITAL or team.passengers:
+                    self._route_to_hospital(team, stall_t)
+                elif orig_target is not None and orig_target not in self._closed:
+                    route = route_to_segment(
+                        self.network, team.node, orig_target, closed=self._closed
+                    )
+                    if route is not None:
+                        team.begin_leg(
+                            route,
+                            self._speed_multiplier(stall_t),
+                            self._leg_times(route, stall_t),
+                            stall_t,
+                            TeamState.TO_SEGMENT,
+                            orig_target,
+                        )
+                        team.leg_start_s = orig_leg_start
+                break
+            node_t = float(team.node_times[idx])
+            team.node = team.route_nodes[idx]
+            team.next_node_idx += 1
+            if team.capacity_left > 0:
+                self._pickup_on_segment(team, seg, node_t)
+            if team.next_node_idx >= len(team.route_nodes):
+                self._on_arrival(team, node_t)
+            elif team.pending_assignment is not None and team.is_assignable:
+                self._apply_command(team, team.pending_assignment, node_t)
+            elif team.capacity_left == 0 and team.state is TeamState.TO_SEGMENT:
+                team.stop()
+                self._route_to_hospital(team, node_t)
+
+    # -- main loop -------------------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        cfg = self.config
+        queue = deque(self.requests)
+        t = cfg.t0_s
+        next_dispatch = cfg.t0_s
+        while t <= cfg.t1_s:
+            self._activate_requests(t, queue)
+            if t >= next_dispatch:
+                self._closed = self.network.closed_segments(self.scenario.flood, t)
+                self._reanchor_pending()
+                obs = self._observation(t)
+                action = self.dispatcher.dispatch(obs)
+                apply_at = t + self.dispatcher.computation_delay_s
+                heapq.heappush(
+                    self._action_queue, (apply_at, next(self._action_counter), action)
+                )
+                serving_ids = {tid for tid, c in action.items() if not c.is_depot}
+                serving_ids.update(
+                    tm.team_id
+                    for tm in self._teams
+                    if tm.state is TeamState.TO_HOSPITAL
+                    or (tm.state is TeamState.TO_SEGMENT and tm.target_segment is not None)
+                )
+                # A depot command overrides an in-flight serving leg.
+                serving_ids -= {tid for tid, c in action.items() if c.is_depot}
+                self._result.serving_samples.append((t, len(serving_ids)))
+                self.dispatcher.on_cycle_end(obs)
+                next_dispatch += cfg.dispatch_period_s
+            while self._action_queue and self._action_queue[0][0] <= t:
+                _, _, action = heapq.heappop(self._action_queue)
+                for team in self._teams:
+                    cmd = action.get(team.team_id)
+                    if cmd is not None and team.is_assignable:
+                        team.pending_assignment = cmd
+            for team in self._teams:
+                self._advance_team(team, t)
+            t += cfg.step_s
+        return self._result

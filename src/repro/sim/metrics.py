@@ -1,0 +1,112 @@
+"""Metrics over a simulation run — the quantities of Figs. 9-14.
+
+All per-hour series are indexed by hour-of-window (0..23 for the paper's
+24-hour Sep 16 run).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.engine import SimulationResult
+
+
+class SimulationMetrics:
+    """Derived measurements for one :class:`SimulationResult`."""
+
+    def __init__(self, result: SimulationResult) -> None:
+        self.result = result
+        cfg = result.config
+        self.t0 = cfg.t0_s
+        self.num_hours = int(np.ceil((cfg.t1_s - cfg.t0_s) / 3_600.0))
+
+    def _hour_of(self, t_s: float) -> int:
+        return min(self.num_hours - 1, max(0, int((t_s - self.t0) // 3_600.0)))
+
+    # -- Fig 9 / Fig 10: served requests ------------------------------------
+
+    def timely_served_per_hour(self) -> np.ndarray:
+        """Requests served within the timely window, per window hour."""
+        out = np.zeros(self.num_hours)
+        w = self.result.config.timely_window_s
+        for p in self.result.pickups:
+            if p.timeliness_s <= w:
+                out[self._hour_of(p.t_s)] += 1
+        return out
+
+    def served_per_hour(self) -> np.ndarray:
+        out = np.zeros(self.num_hours)
+        for p in self.result.pickups:
+            out[self._hour_of(p.t_s)] += 1
+        return out
+
+    def served_per_team(self) -> np.ndarray:
+        """Timely served request count per team (Fig 10's CDF support),
+        including teams that served none."""
+        counts = np.zeros(self.result.config.num_teams)
+        w = self.result.config.timely_window_s
+        for p in self.result.pickups:
+            if p.timeliness_s <= w:
+                counts[p.team_id] += 1
+        return counts
+
+    @property
+    def total_timely_served(self) -> int:
+        w = self.result.config.timely_window_s
+        return sum(1 for p in self.result.pickups if p.timeliness_s <= w)
+
+    @property
+    def service_rate(self) -> float:
+        """Fraction of all requests that were picked up at all."""
+        n = len(self.result.requests)
+        return len(self.result.pickups) / n if n else 0.0
+
+    # -- Fig 11 / Fig 12: driving delay ---------------------------------------
+
+    def driving_delays(self) -> np.ndarray:
+        """Driving delay of every served request, seconds (Fig 12 support)."""
+        return np.array([p.driving_delay_s for p in self.result.pickups])
+
+    def avg_delay_per_hour(self) -> np.ndarray:
+        """Mean driving delay over requests served in each hour; hours with
+        no service are NaN (plotted as gaps, like the paper's figures)."""
+        sums = np.zeros(self.num_hours)
+        counts = np.zeros(self.num_hours)
+        for p in self.result.pickups:
+            h = self._hour_of(p.t_s)
+            sums[h] += p.driving_delay_s
+            counts[h] += 1
+        with np.errstate(invalid="ignore"):
+            return np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+
+    # -- Fig 13: timeliness -------------------------------------------------------
+
+    def timeliness_values(self) -> np.ndarray:
+        """(rescue time - request time) for every served request (Fig 13)."""
+        return np.array([p.timeliness_s for p in self.result.pickups])
+
+    # -- Fig 14: serving teams ------------------------------------------------------
+
+    def serving_teams_per_hour(self) -> np.ndarray:
+        """Mean number of serving teams over the dispatch cycles of each
+        hour (Fig 14)."""
+        sums = np.zeros(self.num_hours)
+        counts = np.zeros(self.num_hours)
+        for t_s, n in self.result.serving_samples:
+            h = self._hour_of(t_s)
+            sums[h] += n
+            counts[h] += 1
+        with np.errstate(invalid="ignore"):
+            return np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+
+    # -- deliveries -----------------------------------------------------------------
+
+    def delivered_count(self) -> int:
+        return len(self.result.deliveries)
+
+    def mean_request_to_delivery_s(self) -> float:
+        """Average time from request to hospital delivery, over delivered
+        requests."""
+        req_time = {r.request_id: r.time_s for r in self.result.requests}
+        waits = [d.t_s - req_time[d.request_id] for d in self.result.deliveries]
+        return float(np.mean(waits)) if waits else float("nan")

@@ -1,0 +1,91 @@
+"""Rescue requests fed to the dispatching simulator.
+
+Requests come from the mobility ground truth: each trapped person raises
+one request at their request time, anchored to the road segment nearest
+their trapped position (the paper simulates the appearance of rescue
+requests from the Sep 16 mobility data the same way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.geo.flood import FloodModel
+from repro.mobility.trace import RescueRecord
+from repro.roadnet.graph import RoadNetwork
+from repro.weather.storms import SECONDS_PER_HOUR
+
+
+@dataclass(frozen=True)
+class RescueRequest:
+    """One person's pick-up request."""
+
+    request_id: int
+    person_id: int
+    time_s: float
+    segment_id: int
+    node_id: int
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ValueError("request time must be non-negative")
+
+
+def requests_from_rescues(
+    rescues: list[RescueRecord], t0_s: float, t1_s: float
+) -> list[RescueRequest]:
+    """Requests whose call-in time falls inside [t0, t1), time-ordered."""
+    if t1_s <= t0_s:
+        raise ValueError("need t0 < t1")
+    out = [
+        RescueRequest(
+            request_id=i,
+            person_id=r.person_id,
+            time_s=r.request_time_s,
+            segment_id=r.trap_segment,
+            node_id=r.trap_node,
+        )
+        for i, r in enumerate(
+            sorted(
+                (r for r in rescues if t0_s <= r.request_time_s < t1_s),
+                key=lambda r: r.request_time_s,
+            )
+        )
+    ]
+    return out
+
+
+def remap_to_operable(
+    requests: list[RescueRequest],
+    network: RoadNetwork,
+    flood: FloodModel,
+    max_candidates: int = 64,
+) -> list[RescueRequest]:
+    """Re-anchor each request to the nearest operable segment.
+
+    A trapped person's own road segment is usually underwater — that is why
+    they are trapped.  The pick-up point is the flood water's edge: the
+    closest segment that is still drivable at the request's hour.  Requests
+    for which no operable segment exists within ``max_candidates`` nearest
+    keep their original anchor (and will simply wait for the flood to
+    recede).
+    """
+    closed_cache: dict[int, frozenset[int]] = {}
+
+    def closed_at(t_s: float) -> frozenset[int]:
+        hour = int(t_s // SECONDS_PER_HOUR)
+        if hour not in closed_cache:
+            closed_cache[hour] = network.closed_segments(flood, hour * SECONDS_PER_HOUR)
+        return closed_cache[hour]
+
+    out: list[RescueRequest] = []
+    for req in requests:
+        closed = closed_at(req.time_s)
+        if req.segment_id not in closed:
+            out.append(req)
+            continue
+        node = network.landmark(req.node_id)
+        candidates = network.nearest_segments(node.x, node.y, max_candidates)
+        new_seg = next((s for s in candidates if s not in closed), req.segment_id)
+        out.append(replace(req, segment_id=new_seg))
+    return out

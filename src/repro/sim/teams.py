@@ -1,0 +1,116 @@
+"""Rescue-team state machine.
+
+A team is a capacity-c vehicle that is always in one of three states:
+
+* ``IDLE`` — parked at a landmark (usually a hospital), awaiting dispatch;
+* ``TO_SEGMENT`` — driving toward an assigned destination segment, picking
+  up requests on traversed segments along the way;
+* ``TO_HOSPITAL`` — carrying passengers to a hospital (still picking up en
+  route while capacity remains); not re-assignable until delivery.
+
+Movement is precomputed per leg: when a route is assigned, absolute node
+arrival times are fixed from flood-adjusted segment speeds; the engine then
+simply advances the team through nodes whose times have passed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.roadnet.routing import Route
+
+
+class TeamState(enum.Enum):
+    IDLE = "idle"
+    TO_SEGMENT = "to_segment"
+    TO_HOSPITAL = "to_hospital"
+
+
+@dataclass
+class RescueTeam:
+    """Mutable state of one rescue team inside the simulator."""
+
+    team_id: int
+    capacity: int
+    node: int
+    state: TeamState = TeamState.IDLE
+    passengers: list[int] = field(default_factory=list)  # request ids on board
+    #: Active leg, when driving.
+    route_nodes: tuple[int, ...] = ()
+    route_segments: tuple[int, ...] = ()
+    node_times: np.ndarray | None = None  # absolute arrival time per route node
+    next_node_idx: int = 0
+    target_segment: int | None = None
+    leg_start_s: float = 0.0
+    #: Deferred dispatcher decision, applied at the next node boundary.
+    pending_assignment: "object | None" = None
+    #: Lifetime pickup counter; learning dispatchers read its deltas as the
+    #: served-requests part of their reward signal.
+    total_pickups: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("capacity must be at least 1")
+
+    @property
+    def capacity_left(self) -> int:
+        return self.capacity - len(self.passengers)
+
+    @property
+    def is_driving(self) -> bool:
+        return self.state is not TeamState.IDLE
+
+    @property
+    def is_assignable(self) -> bool:
+        """Dispatchers may (re)direct idle teams and teams en route to a
+        segment; hospital runs finish first."""
+        return self.state is not TeamState.TO_HOSPITAL
+
+    def begin_leg(
+        self,
+        route: Route,
+        speed_multiplier: float,
+        segment_times_s: np.ndarray,
+        t_now: float,
+        state: TeamState,
+        target_segment: int | None,
+    ) -> None:
+        """Start driving ``route`` at ``t_now``.
+
+        ``segment_times_s`` are flood-adjusted traversal times aligned with
+        ``route.segment_ids``; ``speed_multiplier`` is recorded for metrics
+        only.
+        """
+        if state is TeamState.IDLE:
+            raise ValueError("a leg must target a segment or a hospital")
+        if len(segment_times_s) != len(route.segment_ids):
+            raise ValueError("segment_times_s must align with the route")
+        if route.src != self.node:
+            raise ValueError(
+                f"route starts at {route.src} but team {self.team_id} is at {self.node}"
+            )
+        self.route_nodes = route.nodes
+        self.route_segments = route.segment_ids
+        self.node_times = np.concatenate([[t_now], t_now + np.cumsum(segment_times_s)])
+        self.next_node_idx = 1
+        self.state = state
+        self.target_segment = target_segment
+        self.leg_start_s = t_now
+
+    def stop(self) -> None:
+        """End the current leg (arrived, or ordered to stand by)."""
+        self.route_nodes = ()
+        self.route_segments = ()
+        self.node_times = None
+        self.next_node_idx = 0
+        self.target_segment = None
+        self.state = TeamState.IDLE
+
+    @property
+    def arrival_time_s(self) -> float | None:
+        if self.node_times is None:
+            return None
+        return float(self.node_times[-1])

@@ -1,0 +1,18 @@
+"""Weather substrate: storm timelines and per-region weather fields.
+
+Stands in for the paper's National Weather Service feeds (precipitation and
+wind per region, Fig. 1) and for the temporal structure of Hurricanes
+Florence (evaluation storm) and Michael (training storm).
+"""
+
+from repro.weather.storms import FLORENCE, MICHAEL, StormTimeline
+from repro.weather.fields import RegionWeatherField
+from repro.weather.service import WeatherService
+
+__all__ = [
+    "FLORENCE",
+    "MICHAEL",
+    "RegionWeatherField",
+    "StormTimeline",
+    "WeatherService",
+]

@@ -1,0 +1,177 @@
+"""Storm timelines: when the hurricane hits and how the flood evolves.
+
+Two closed-form curves drive everything downstream:
+
+* ``intensity(t)`` — instantaneous storm strength in [0, 1] (rain rate and
+  wind scale with it);
+* ``flood_level(t)`` — the lagged hydrological response in [0, 1]: it rises
+  while the storm rains and *recedes slowly* afterwards.  The slow recession
+  is what reproduces the paper's Fig. 5: vehicle flow after the disaster is
+  restored but remains well below the pre-disaster level for days.
+
+Timelines measure time in seconds from the scenario start day (day 0).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+SECONDS_PER_DAY = 86_400.0
+SECONDS_PER_HOUR = 3_600.0
+
+
+@dataclass(frozen=True)
+class StormTimeline:
+    """A named storm within a multi-day scenario window."""
+
+    name: str
+    #: Calendar label of day 0, e.g. "Aug 25" — used only for rendering.
+    day0_label: str
+    #: Total scenario length in days.
+    total_days: int
+    #: Storm active interval, in fractional days from day 0.
+    storm_start_day: float
+    storm_end_day: float
+    #: Flood rise time constant while the storm is active, days.
+    rise_tau_days: float = 4.0
+    #: Flood recession time constant after the crest, days.
+    recede_tau_days: float = 5.0
+    #: Rivers crest after the rain stops: the flood keeps rising for
+    #: ``crest_lag_days`` past the storm end, by factor ``crest_gain``
+    #: (capped at level 1).  This is why the paper's rescue requests peak on
+    #: Sep 16, the day *after* Florence moved out.
+    crest_lag_days: float = 1.6
+    crest_gain: float = 1.9
+
+    def __post_init__(self) -> None:
+        if self.total_days <= 0:
+            raise ValueError("total_days must be positive")
+        if not (0.0 <= self.storm_start_day < self.storm_end_day <= self.total_days):
+            raise ValueError("storm interval must lie inside the scenario window")
+        if self.rise_tau_days <= 0 or self.recede_tau_days <= 0:
+            raise ValueError("time constants must be positive")
+        if self.crest_lag_days < 0 or self.crest_gain < 1.0:
+            raise ValueError("crest lag must be >= 0 and crest gain >= 1")
+
+    @property
+    def duration_s(self) -> float:
+        return self.total_days * SECONDS_PER_DAY
+
+    @property
+    def storm_start_s(self) -> float:
+        return self.storm_start_day * SECONDS_PER_DAY
+
+    @property
+    def storm_end_s(self) -> float:
+        return self.storm_end_day * SECONDS_PER_DAY
+
+    def day_of(self, t_seconds: float) -> int:
+        """Scenario day index (0-based) containing time ``t``."""
+        return int(t_seconds // SECONDS_PER_DAY)
+
+    def intensity(self, t_seconds: float) -> float:
+        """Instantaneous storm strength in [0, 1].
+
+        Half-sine pulse over the storm interval: ramps up, peaks mid-storm,
+        ramps down — a standard hyetograph shape.
+        """
+        if t_seconds < self.storm_start_s or t_seconds > self.storm_end_s:
+            return 0.0
+        frac = (t_seconds - self.storm_start_s) / (self.storm_end_s - self.storm_start_s)
+        return math.sin(math.pi * frac)
+
+    def intensity_integral_h(self, t0_seconds: float, t1_seconds: float) -> float:
+        """Closed-form integral of :meth:`intensity` over [t0, t1], in
+        peak-intensity-hours.  Multiplying by a region's peak rain rate gives
+        accumulated precipitation in mm."""
+        lo = max(t0_seconds, self.storm_start_s)
+        hi = min(t1_seconds, self.storm_end_s)
+        if hi <= lo:
+            return 0.0
+        duration = self.storm_end_s - self.storm_start_s
+        k = math.pi / duration
+
+        def antiderivative(t: float) -> float:
+            return -math.cos(k * (t - self.storm_start_s)) / k
+
+        return (antiderivative(hi) - antiderivative(lo)) / SECONDS_PER_HOUR
+
+    def flood_level(self, t_seconds: float) -> float:
+        """Lagged flood response in [0, 1].
+
+        Saturating rise while the storm rains, continued rise to the river
+        crest ``crest_lag_days`` after the rain stops, then exponential
+        recession.
+        """
+        if t_seconds <= self.storm_start_s:
+            return 0.0
+        rise_tau = self.rise_tau_days * SECONDS_PER_DAY
+        if t_seconds <= self.storm_end_s:
+            return 1.0 - math.exp(-(t_seconds - self.storm_start_s) / rise_tau)
+        at_end = 1.0 - math.exp(-(self.storm_end_s - self.storm_start_s) / rise_tau)
+        crest_val = min(1.0, at_end * self.crest_gain)
+        crest_s = self.storm_end_s + self.crest_lag_days * SECONDS_PER_DAY
+        if t_seconds <= crest_s:
+            if self.crest_lag_days == 0:
+                return crest_val
+            frac = (t_seconds - self.storm_end_s) / (crest_s - self.storm_end_s)
+            ramp = 0.5 * (1.0 - math.cos(math.pi * frac))
+            return at_end + (crest_val - at_end) * ramp
+        recede_tau = self.recede_tau_days * SECONDS_PER_DAY
+        return crest_val * math.exp(-(t_seconds - crest_s) / recede_tau)
+
+    def phase(self, t_seconds: float) -> str:
+        """Coarse phase label: 'before' / 'during' / 'after'."""
+        if t_seconds < self.storm_start_s:
+            return "before"
+        if t_seconds <= self.storm_end_s:
+            return "during"
+        return "after"
+
+
+#: Hurricane Florence scenario: day 0 = Aug 25, 2018; window runs through
+#: Sep 20 (27 days), covering the paper's before-day (Aug 25), the storm
+#: (Sep 12-15 = days 18-21), the evaluation day (Sep 16 = day 22) and the
+#: after-day (Sep 20 = day 26).
+FLORENCE = StormTimeline(
+    name="Florence",
+    day0_label="Aug 25",
+    total_days=27,
+    storm_start_day=18.5,
+    storm_end_day=21.5,
+)
+
+#: Hurricane Michael training scenario: day 0 = Oct 5, 2018; the storm's
+#: Charlotte impact spans Oct 10-12 (days 5-7); 14-day window.
+MICHAEL = StormTimeline(
+    name="Michael",
+    day0_label="Oct 5",
+    total_days=14,
+    storm_start_day=5.3,
+    storm_end_day=7.4,
+)
+
+_MONTH_LENGTHS = {"Aug": 31, "Sep": 30, "Oct": 31}
+_MONTH_ORDER = ["Aug", "Sep", "Oct"]
+
+
+def day_label(timeline: StormTimeline, day: int) -> str:
+    """Calendar label ('Sep 16') for a 0-based scenario day index."""
+    month, dom = timeline.day0_label.split()
+    dom_i = int(dom) + day
+    mi = _MONTH_ORDER.index(month)
+    while dom_i > _MONTH_LENGTHS[_MONTH_ORDER[mi]]:
+        dom_i -= _MONTH_LENGTHS[_MONTH_ORDER[mi]]
+        mi += 1
+        if mi >= len(_MONTH_ORDER):
+            raise ValueError("day index runs past the supported calendar window")
+    return f"{_MONTH_ORDER[mi]} {dom_i}"
+
+
+def day_index(timeline: StormTimeline, label: str) -> int:
+    """Inverse of :func:`day_label` ('Sep 16' -> scenario day index)."""
+    for d in range(timeline.total_days):
+        if day_label(timeline, d) == label:
+            return d
+    raise ValueError(f"{label!r} is outside the {timeline.name} scenario window")

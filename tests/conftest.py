@@ -1,0 +1,36 @@
+"""Shared fixtures: a small Charlotte scenario and dataset.
+
+The full-size dataset (8,590 people over 27 days) takes minutes to build;
+tests run on a scaled-down population which exercises every code path.
+Session scope keeps the expensive builds to one per test run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import DatasetSpec, build_dataset
+from repro.data.charlotte import build_charlotte_scenario
+from repro.weather.storms import FLORENCE, MICHAEL
+
+
+@pytest.fixture(scope="session")
+def florence_scenario():
+    return build_charlotte_scenario(FLORENCE)
+
+
+@pytest.fixture(scope="session")
+def michael_scenario():
+    return build_charlotte_scenario(MICHAEL)
+
+
+@pytest.fixture(scope="session")
+def florence_small():
+    """(scenario, bundle) for a 500-person Florence dataset."""
+    return build_dataset(DatasetSpec(storm="florence", population_size=500))
+
+
+@pytest.fixture(scope="session")
+def michael_small():
+    """(scenario, bundle) for a 500-person Michael dataset."""
+    return build_dataset(DatasetSpec(storm="michael", population_size=500))

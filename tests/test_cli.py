@@ -1,0 +1,73 @@
+"""Tests for the command-line interface.
+
+These run the real pipelines at a tiny population so the full command paths
+execute in seconds.
+"""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+POP = ["--population", "200", "--episodes", "1"]
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for cmd in ("measure", "compare", "predict", "simulate"):
+            args = parser.parse_args([cmd])
+            assert callable(args.func)
+            assert args.population == 800
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["deploy-to-prod"])
+
+
+class TestCommands:
+    def test_measure(self, capsys):
+        assert main(["measure", *POP]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "precipitation" in out
+        assert "R3" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", *POP]) == 0
+        out = capsys.readouterr().out
+        assert "MobiRescue" in out
+        assert "Schedule" in out
+        assert "Rescue" in out
+
+    def test_predict(self, capsys):
+        assert main(["predict", *POP]) == 0
+        out = capsys.readouterr().out
+        assert "mean accuracy" in out
+
+    def test_figure_ascii(self, capsys):
+        assert main(["figure", "fig14", *POP]) == 0
+        out = capsys.readouterr().out
+        assert "serving rescue teams" in out
+        assert "*=MobiRescue" in out
+
+    def test_figure_unknown(self, capsys):
+        assert main(["figure", "fig99", *POP]) == 2
+
+    def test_simulate_with_save(self, capsys, tmp_path):
+        archive = str(tmp_path / "trained.npz")
+        assert main(["simulate", *POP, "--save", archive]) == 0
+        out = capsys.readouterr().out
+        assert "served" in out
+        assert (tmp_path / "trained.npz").exists()
+
+        # The archive loads back into a deployable system.
+        from repro.core.persistence import load_trained
+        from repro.data import build_michael_dataset
+
+        scenario, _ = build_michael_dataset(population_size=200)
+        loaded = load_trained(archive, scenario)
+        assert loaded.predictor.is_fitted

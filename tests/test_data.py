@@ -1,0 +1,66 @@
+"""Tests for scenario/dataset assembly and memoization."""
+
+import pytest
+
+from repro.data.charlotte import build_charlotte_scenario
+from repro.data.datasets import DatasetSpec, build_dataset, scenario_for
+from repro.weather.storms import FLORENCE, MICHAEL
+
+
+class TestDatasetSpec:
+    def test_timeline_resolution(self):
+        assert DatasetSpec(storm="florence").timeline() is FLORENCE
+        assert DatasetSpec(storm="michael").timeline() is MICHAEL
+        with pytest.raises(ValueError):
+            DatasetSpec(storm="katrina").timeline()
+
+
+class TestMemoization:
+    def test_scenario_shared_per_storm(self):
+        a = scenario_for(DatasetSpec(storm="florence", population_size=50))
+        b = scenario_for(DatasetSpec(storm="florence", population_size=70))
+        assert a is b  # population is not part of the scenario key
+
+    def test_dataset_cached_by_spec(self):
+        spec = DatasetSpec(storm="michael", population_size=40)
+        _, bundle_a = build_dataset(spec)
+        _, bundle_b = build_dataset(spec)
+        assert bundle_a is bundle_b
+
+    def test_different_specs_differ(self):
+        _, a = build_dataset(DatasetSpec(storm="michael", population_size=40))
+        _, b = build_dataset(DatasetSpec(storm="michael", population_size=45))
+        assert a is not b
+        assert len(a.persons) == 40
+        assert len(b.persons) == 45
+
+
+class TestScenarioConsistency:
+    def test_scenario_components_wired(self):
+        scen = build_charlotte_scenario(FLORENCE)
+        assert scen.weather.partition is scen.partition
+        assert scen.flood.terrain is scen.terrain
+        assert scen.timeline is FLORENCE
+        assert scen.total_hours == FLORENCE.total_days * 24
+        hospital_nodes = {h.node_id for h in scen.hospitals}
+        assert hospital_nodes <= set(scen.network.landmark_ids())
+
+    def test_determinism_across_builds(self):
+        a = build_charlotte_scenario(FLORENCE)
+        b = build_charlotte_scenario(FLORENCE)
+        assert a.network.num_landmarks == b.network.num_landmarks
+        for n in a.network.landmark_ids()[:50]:
+            assert a.network.landmark(n).xy == b.network.landmark(n).xy
+        assert [h.node_id for h in a.hospitals] == [h.node_id for h in b.hospitals]
+
+    def test_trace_determinism(self):
+        spec_a = DatasetSpec(storm="michael", population_size=30, trace_seed=5)
+        spec_b = DatasetSpec(storm="michael", population_size=30, trace_seed=5)
+        _, a = build_dataset(spec_a)
+        _, b = build_dataset(spec_b)
+        assert a is b  # frozen dataclass spec: equal -> cached
+
+    def test_seed_changes_trace(self):
+        _, a = build_dataset(DatasetSpec(storm="michael", population_size=30, trace_seed=5))
+        _, b = build_dataset(DatasetSpec(storm="michael", population_size=30, trace_seed=6))
+        assert len(a.trace) != len(b.trace) or a.trace.t[:100].tolist() != b.trace.t[:100].tolist()

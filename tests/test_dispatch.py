@@ -1,0 +1,229 @@
+"""Tests for the dispatching baselines and the assignment solvers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.charlotte import build_charlotte_scenario
+from repro.dispatch.assignment import (
+    expand_demand_slots,
+    solve_assignment,
+    solve_assignment_milp,
+)
+from repro.dispatch.base import DispatchObservation, TeamView, command_depot, command_segment
+from repro.dispatch.nearest import NearestDispatcher
+from repro.dispatch.rescue_ts import RescueTsDispatcher, TimeSeriesDemandPredictor
+from repro.dispatch.schedule import ScheduleDispatcher
+from repro.dispatch.standby import standby_segments
+from repro.roadnet.generator import RoadNetworkConfig
+from repro.weather.storms import FLORENCE
+
+DAY = 86_400.0
+
+
+@pytest.fixture(scope="module")
+def scen():
+    return build_charlotte_scenario(FLORENCE, RoadNetworkConfig(grid_cols=8, grid_rows=8))
+
+
+def make_obs(scen, pending: dict[int, int], num_teams: int = 4, t: float = 2 * DAY):
+    teams = [
+        TeamView(
+            team_id=i,
+            node=scen.hospitals[i % len(scen.hospitals)].node_id,
+            state="idle",
+            capacity_left=5,
+            assignable=True,
+        )
+        for i in range(num_teams)
+    ]
+    return DispatchObservation(
+        t_s=t,
+        teams=teams,
+        pending=pending,
+        closed=frozenset(),
+        network=scen.network,
+        hospitals=scen.hospitals,
+    )
+
+
+class TestAssignmentSolvers:
+    def test_expand_demand_slots(self):
+        slots = expand_demand_slots({7: 12.0, 3: 2.0}, capacity=5)
+        assert slots == [7, 7, 7, 3]
+        assert expand_demand_slots({1: 0.0}, capacity=5) == []
+        assert expand_demand_slots({7: 12.0}, capacity=5, max_slots=2) == [7, 7]
+        with pytest.raises(ValueError):
+            expand_demand_slots({1: 1.0}, capacity=0)
+
+    def test_hungarian_simple(self):
+        cost = np.array([[1.0, 10.0], [10.0, 1.0]])
+        pairs = dict(solve_assignment(cost))
+        assert pairs == {0: 0, 1: 1}
+
+    def test_rectangular(self):
+        cost = np.array([[1.0, 2.0, 3.0]])  # 1 team, 3 slots
+        pairs = solve_assignment(cost)
+        assert pairs == [(0, 0)]
+
+    def test_empty(self):
+        assert solve_assignment(np.zeros((0, 0))) == []
+        assert solve_assignment_milp(np.zeros((0, 0))) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            solve_assignment(np.zeros(3))
+        with pytest.raises(ValueError):
+            solve_assignment_milp(np.zeros(3))
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(1, 5), st.integers(1, 5), st.integers(0, 10_000))
+    def test_milp_matches_hungarian_objective(self, n, m, seed):
+        """The explicit IP and the Hungarian algorithm find assignments of
+        equal total cost."""
+        rng = np.random.default_rng(seed)
+        cost = rng.uniform(0, 100, size=(n, m))
+        a = solve_assignment(cost)
+        b = solve_assignment_milp(cost)
+        assert len(a) == len(b) == min(n, m)
+        obj_a = sum(cost[r, c] for r, c in a)
+        obj_b = sum(cost[r, c] for r, c in b)
+        assert obj_a == pytest.approx(obj_b, abs=1e-6)
+
+
+class TestStandby:
+    def test_standby_segments(self, scen):
+        segs = standby_segments(scen.network, scen.hospitals)
+        assert segs
+        assert len(set(segs)) == len(segs)
+        for s in segs:
+            seg = scen.network.segment(s)
+            assert seg.u in {h.node_id for h in scen.hospitals}
+
+    def test_empty_hospitals_rejected(self, scen):
+        with pytest.raises(ValueError):
+            standby_segments(scen.network, [])
+
+
+class TestScheduleDispatcher:
+    def test_assigns_pending_and_standby(self, scen):
+        seg = scen.network.out_segments(scen.network.landmark_ids()[12])[0].segment_id
+        disp = ScheduleDispatcher()
+        obs = make_obs(scen, pending={seg: 3}, num_teams=4)
+        commands = disp.dispatch(obs)
+        assert len(commands) == 4
+        # All teams serve (constant fleet, Fig 14): no depot commands.
+        assert all(not c.is_depot for c in commands.values())
+        assert any(c.segment_id == seg for c in commands.values())
+
+    def test_nearest_team_gets_the_request(self, scen):
+        seg = scen.network.out_segments(scen.hospitals[0].node_id)[0].segment_id
+        disp = ScheduleDispatcher()
+        obs = make_obs(scen, pending={seg: 1}, num_teams=len(scen.hospitals))
+        commands = disp.dispatch(obs)
+        # Team 0 sits at hospital 0, right at the request's segment.
+        assert commands[0].segment_id == seg
+
+    def test_computation_delay_grows_with_demand(self, scen):
+        disp = ScheduleDispatcher()
+        disp.dispatch(make_obs(scen, pending={}, num_teams=4))
+        d_small = disp.computation_delay_s
+        segs = [s.segment_id for s in scen.network.segments()[:8]]
+        disp.dispatch(make_obs(scen, pending={s: 5 for s in segs}, num_teams=16))
+        assert disp.computation_delay_s > d_small
+
+    def test_flood_unaware(self):
+        assert ScheduleDispatcher.flood_aware is False
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScheduleDispatcher(team_capacity=0)
+
+
+class TestTimeSeriesPredictor:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimeSeriesDemandPredictor(num_days=0)
+        with pytest.raises(ValueError):
+            TimeSeriesDemandPredictor(decay=0.0)
+        with pytest.raises(ValueError):
+            TimeSeriesDemandPredictor(hour_window=-1)
+
+    def test_empty_history_predicts_nothing(self):
+        ts = TimeSeriesDemandPredictor()
+        assert ts.predict(10 * DAY) == {}
+
+    def test_weighted_average_over_days(self):
+        ts = TimeSeriesDemandPredictor(num_days=2, decay=0.5, hour_window=0)
+        # Two requests at segment 7, 10:30 of days 8 and 9.
+        ts.record(8 * DAY + 10.5 * 3_600, 7)
+        ts.record(9 * DAY + 10.5 * 3_600, 7)
+        pred = ts.predict(10 * DAY + 10.5 * 3_600)
+        # Weights 1 (yesterday) and 0.5 (two days ago): (1+0.5)/1.5 = 1.0.
+        assert pred[7] == pytest.approx(1.0)
+
+    def test_hour_window(self):
+        ts = TimeSeriesDemandPredictor(num_days=1, hour_window=1)
+        ts.record(8 * DAY + 9.5 * 3_600, 3)  # 9:30 yesterday
+        assert 3 in ts.predict(9 * DAY + 10.5 * 3_600)  # asking at 10:30
+        ts0 = TimeSeriesDemandPredictor(num_days=1, hour_window=0)
+        ts0.record(8 * DAY + 9.5 * 3_600, 3)
+        assert 3 not in ts0.predict(9 * DAY + 10.5 * 3_600)
+
+    def test_no_future_leakage(self):
+        """Today's own requests never feed today's prediction."""
+        ts = TimeSeriesDemandPredictor(num_days=3)
+        ts.record(9 * DAY + 10.5 * 3_600, 5)
+        assert 5 not in ts.predict(9 * DAY + 11.5 * 3_600)
+
+
+class TestRescueTsDispatcher:
+    def test_covers_predicted_demand(self, scen):
+        disp = RescueTsDispatcher()
+        seg = scen.network.out_segments(scen.network.landmark_ids()[30])[0].segment_id
+        # History: requests at this segment same hour yesterday.
+        from repro.sim.requests import RescueRequest
+
+        t = 22 * DAY + 10.5 * 3_600
+        disp.seed_history([RescueRequest(0, 0, t - DAY, seg, 0)])
+        commands = disp.dispatch(make_obs(scen, pending={}, num_teams=4, t=t))
+        assert any(c.segment_id == seg for c in commands.values())
+        assert disp.last_prediction.get(seg, 0) > 0
+
+    def test_all_teams_serving(self, scen):
+        disp = RescueTsDispatcher()
+        commands = disp.dispatch(make_obs(scen, pending={}, num_teams=6))
+        assert len(commands) == 6
+        assert all(not c.is_depot for c in commands.values())
+
+    def test_flood_unaware(self):
+        assert RescueTsDispatcher.flood_aware is False
+
+
+class TestNearestDispatcher:
+    def test_assigns_nearest_and_depots_the_rest(self, scen):
+        seg = scen.network.out_segments(scen.hospitals[1].node_id)[0].segment_id
+        disp = NearestDispatcher()
+        obs = make_obs(scen, pending={seg: 2}, num_teams=4)
+        commands = disp.dispatch(obs)
+        serving = [tid for tid, c in commands.items() if not c.is_depot]
+        assert len(serving) == 1  # one team covers 2 requests (capacity 5)
+        assert commands[serving[0]].segment_id == seg
+
+    def test_closed_segments_skipped(self, scen):
+        seg = scen.network.out_segments(scen.hospitals[1].node_id)[0].segment_id
+        disp = NearestDispatcher()
+        obs = make_obs(scen, pending={seg: 2}, num_teams=2)
+        obs.closed = frozenset({seg})
+        commands = disp.dispatch(obs)
+        assert all(c.is_depot for c in commands.values())
+
+    def test_flood_aware(self):
+        assert NearestDispatcher.flood_aware is True
+
+
+class TestCommands:
+    def test_command_helpers(self):
+        assert command_depot().is_depot
+        assert not command_segment(3).is_depot
+        assert command_segment(3).segment_id == 3

@@ -1,0 +1,115 @@
+"""Tests pinning down the driving-delay attribution semantics.
+
+Driving delay measures the time from the system's *first response* toward a
+request (the first team leg that targets its segment after the call) to the
+pickup — re-commands and detours count as driving, queueing before any
+response does not.
+"""
+
+import pytest
+
+from repro.data.charlotte import build_charlotte_scenario
+from repro.dispatch.base import Dispatcher, command_segment
+from repro.roadnet.generator import RoadNetworkConfig
+from repro.sim.engine import RescueSimulator, SimulationConfig
+from repro.sim.requests import RescueRequest
+from repro.weather.storms import FLORENCE
+
+DAY = 86_400.0
+T0 = 2 * DAY  # pre-storm: no flooding, deterministic travel
+
+
+@pytest.fixture(scope="module")
+def scen():
+    return build_charlotte_scenario(FLORENCE, RoadNetworkConfig(grid_cols=8, grid_rows=8))
+
+
+class DelayedResponse(Dispatcher):
+    """Ignores the request for ``idle_cycles`` dispatch cycles, then sends
+    team 0 to it."""
+
+    name = "DelayedResponse"
+    computation_delay_s = 0.0
+
+    def __init__(self, segment_id: int, idle_cycles: int):
+        self.segment_id = segment_id
+        self.idle_cycles = idle_cycles
+        self.cycle = 0
+
+    def dispatch(self, obs):
+        self.cycle += 1
+        if self.cycle <= self.idle_cycles:
+            return {}
+        return {0: command_segment(self.segment_id)}
+
+
+def far_request(scen) -> RescueRequest:
+    """A request far from every hospital so travel time is substantial."""
+    hx = [scen.network.landmark(h.node_id).xy for h in scen.hospitals]
+
+    def dist_to_hospitals(n):
+        lm = scen.network.landmark(n)
+        return min((lm.x - x) ** 2 + (lm.y - y) ** 2 for x, y in hx)
+
+    node = max(scen.network.landmark_ids(), key=dist_to_hospitals)
+    seg = scen.network.out_segments(node)[0]
+    return RescueRequest(0, 7, T0, seg.segment_id, node)
+
+
+class TestDelayAttribution:
+    def test_queueing_before_response_not_counted(self, scen):
+        """A request ignored for 2 h then served has ~the same driving delay
+        as one served immediately — the wait is timeliness, not driving."""
+        req = far_request(scen)
+
+        def run(idle_cycles):
+            sim = RescueSimulator(
+                scen,
+                [req],
+                DelayedResponse(req.segment_id, idle_cycles),
+                SimulationConfig(t0_s=T0, t1_s=T0 + 12 * 3_600, num_teams=1, seed=3),
+            )
+            return sim.run().pickups[0]
+
+        fast = run(idle_cycles=0)
+        slow = run(idle_cycles=24)  # 24 cycles * 5 min = 2 h of queueing
+        assert slow.timeliness_s > fast.timeliness_s + 1.5 * 3_600
+        assert slow.driving_delay_s == pytest.approx(fast.driving_delay_s, rel=0.2)
+
+    def test_driving_delay_bounded_by_hospital_travel_times(self, scen):
+        from repro.roadnet.matrix import travel_time_oracle
+
+        req = far_request(scen)
+        sim = RescueSimulator(
+            scen,
+            [req],
+            DelayedResponse(req.segment_id, 0),
+            SimulationConfig(t0_s=T0, t1_s=T0 + 12 * 3_600, num_teams=1, seed=3),
+        )
+        pickup = sim.run().pickups[0]
+        oracle = travel_time_oracle(scen.network)
+        hospital_times = [
+            oracle.node_to_segment_end_s(h.node_id, req.segment_id)
+            for h in scen.hospitals
+        ]
+        # The team left from some hospital at full pre-storm speed: the
+        # measured driving delay falls between the closest and the farthest
+        # hospital's free-flow time (plus a step of slack).
+        assert min(hospital_times) - 120 <= pickup.driving_delay_s
+        assert pickup.driving_delay_s <= max(hospital_times) + 600
+
+    def test_timeliness_includes_computation_delay(self, scen):
+        req = far_request(scen)
+
+        class SlowBrain(DelayedResponse):
+            computation_delay_s = 1_200.0
+
+        fast = RescueSimulator(
+            scen, [req], DelayedResponse(req.segment_id, 0),
+            SimulationConfig(t0_s=T0, t1_s=T0 + 12 * 3_600, num_teams=1, seed=3),
+        ).run().pickups[0]
+        slow = RescueSimulator(
+            scen, [req], SlowBrain(req.segment_id, 0),
+            SimulationConfig(t0_s=T0, t1_s=T0 + 12 * 3_600, num_teams=1, seed=3),
+        ).run().pickups[0]
+        assert slow.timeliness_s >= fast.timeliness_s + 1_000.0

@@ -1,0 +1,204 @@
+"""Tests for evaluation: stats, tables, measurement suite, harness and the
+paper-shape assertions for the dispatching experiments."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.eval.harness import ExperimentHarness, HarnessConfig
+from repro.eval.experiments import DispatchExperiments, MeasurementSuite
+from repro.eval.stats import cdf, cdf_at, pearson
+from repro.eval.tables import format_cdf_quantiles, format_series, format_table
+
+
+class TestStats:
+    def test_cdf_basics(self):
+        x, p = cdf(np.array([3.0, 1.0, 2.0]))
+        np.testing.assert_allclose(x, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(p, [1 / 3, 2 / 3, 1.0])
+
+    def test_cdf_empty(self):
+        x, p = cdf(np.zeros(0))
+        assert x.size == p.size == 0
+
+    def test_cdf_at(self):
+        vals = np.array([1.0, 2.0, 3.0, 4.0])
+        assert cdf_at(vals, 2.5) == 0.5
+        assert cdf_at(np.zeros(0), 1.0) == 0.0
+
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=50))
+    def test_cdf_monotone(self, vals):
+        x, p = cdf(np.array(vals))
+        assert (np.diff(p) >= 0).all()
+        assert (np.diff(x) >= 0).all()
+        assert p[-1] == pytest.approx(1.0)
+
+    def test_pearson_perfect(self):
+        a = np.arange(10.0)
+        assert pearson(a, 2 * a + 3) == pytest.approx(1.0)
+        assert pearson(a, -a) == pytest.approx(-1.0)
+
+    def test_pearson_validation(self):
+        with pytest.raises(ValueError):
+            pearson(np.arange(3.0), np.arange(4.0))
+        with pytest.raises(ValueError):
+            pearson(np.ones(5), np.arange(5.0))
+        with pytest.raises(ValueError):
+            pearson(np.array([1.0]), np.array([1.0]))
+
+
+class TestTables:
+    def test_format_table(self):
+        out = format_table(["a", "bb"], [[1, 2.5], ["x", 3.0]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "2.500" in out
+
+    def test_format_series_handles_nan(self):
+        out = format_series("x", [1.0, float("nan")])
+        assert "nan" in out
+
+    def test_format_cdf_quantiles(self):
+        out = format_cdf_quantiles("d", np.arange(100.0))
+        assert "p50=" in out
+        assert format_cdf_quantiles("e", np.zeros(0)).endswith("(empty)")
+
+
+@pytest.fixture(scope="module")
+def suite(florence_small):
+    return MeasurementSuite(*florence_small)
+
+
+class TestMeasurementSuite:
+    def test_fig2_shapes_and_drop(self, suite):
+        data = suite.fig2_flow_before_after()
+        assert set(data) == {"R1 Aug 25", "R1 Sep 20", "R2 Aug 25", "R2 Sep 20"}
+        for series in data.values():
+            assert series.shape == (24,)
+        # Fig 2's point: R2 (severe) drops much more than R1 (mild).
+        drop_r1 = data["R1 Aug 25"].mean() - data["R1 Sep 20"].mean()
+        drop_r2 = data["R2 Aug 25"].mean() - data["R2 Sep 20"].mean()
+        assert drop_r2 > drop_r1
+
+    def test_fig3_diff_nonnegative(self, suite):
+        diffs = suite.fig3_flow_diff()
+        assert (diffs >= 0).all()
+        assert diffs.max() > 0
+
+    def test_table1_signs_match_paper(self, suite):
+        """Table I: precipitation and wind correlate negatively with flow,
+        altitude positively; precipitation dominates."""
+        corr = suite.table1_correlations()
+        assert corr["precipitation"] < -0.5
+        assert corr["wind"] < -0.3
+        assert corr["altitude"] > 0.3
+        assert abs(corr["precipitation"]) >= abs(corr["wind"])
+
+    def test_fig4_downtown_dominates(self, suite):
+        counts = suite.fig4_rescued_by_region()
+        assert max(counts, key=counts.get) == 3
+
+    def test_fig5_phase_ordering(self, suite):
+        """Fig 5: flow collapses during the disaster and is not fully
+        restored after.  (Our flood crests one day later than the paper's,
+        so the Sep 17-19 'after' window is still partially suppressed and
+        need not exceed 'during'; see EXPERIMENTS.md.)"""
+        phases = suite.fig5_flow_phases()
+        for rid, row in phases.items():
+            assert row["during"] < 0.75 * row["before"]
+            assert row["after"] < row["before"]
+        r3 = phases[3]
+        # "Before" (Sep 10-13) already includes the storm's first hours, so
+        # the collapse ratio is measured against a partly suppressed base.
+        assert r3["during"] < 0.5 * r3["before"]
+        assert r3["after"] > 0.5 * r3["during"]
+
+    def test_fig6_delivery_jump(self, suite):
+        """Fig 6: deliveries per day jump from Sep 13 (start of impact)."""
+        data = suite.fig6_deliveries_per_day()
+        total = data["total"]
+        before = total[10:17].mean()  # Sep 4-10
+        disaster = total[20:24].mean()  # Sep 14-17
+        assert disaster > 2.0 * before
+        assert (data["rescued"] <= data["total"]).all()
+
+    def test_fig6_rescued_track_requests(self, suite, florence_small):
+        _, bundle = florence_small
+        data = suite.fig6_deliveries_per_day()
+        assert data["rescued"].sum() > 0.5 * len(bundle.rescues)
+
+
+@pytest.fixture(scope="module")
+def harness(florence_small, michael_small):
+    return ExperimentHarness(
+        florence_small,
+        michael_small,
+        HarnessConfig(mobirescue_episodes=2, num_teams=25),
+    )
+
+
+class TestHarness:
+    def test_fleet_size_rule(self, florence_small, michael_small):
+        h = ExperimentHarness(florence_small, michael_small, HarnessConfig())
+        _, bundle = florence_small
+        per_day = {}
+        for r in bundle.rescues:
+            d = int(r.request_time_s // 86_400)
+            per_day[d] = per_day.get(d, 0) + 1
+        assert h.num_teams() == max(per_day.values())
+
+    def test_unknown_method(self, harness):
+        with pytest.raises(ValueError):
+            harness.make_dispatcher("Oracle")
+
+    def test_runs_are_memoized(self, harness):
+        a = harness.run_method("Nearest")
+        b = harness.run_method("Nearest")
+        assert a is b
+
+    def test_paper_shape_served_and_timeliness(self, harness):
+        """The headline orderings of Figs. 9 and 13 at small scale:
+        MobiRescue serves at least as many requests as the IP baselines and
+        is faster on timeliness."""
+        runs = harness.run_all()
+        mr = runs["MobiRescue"].metrics
+        re_ = runs["Rescue"].metrics
+        sc = runs["Schedule"].metrics
+        assert mr.total_timely_served >= max(re_.total_timely_served, sc.total_timely_served)
+        assert mr.result.num_served >= max(re_.result.num_served, sc.result.num_served) - 1
+        assert mr.timeliness_values().mean() < re_.timeliness_values().mean()
+        assert mr.timeliness_values().mean() < sc.timeliness_values().mean()
+
+    def test_paper_shape_serving_teams(self, harness):
+        """Fig 14: the baselines keep the whole fleet serving; MobiRescue
+        adapts and uses fewer teams on average."""
+        runs = harness.run_all()
+        n = harness.num_teams()
+        sched = [s for _, s in runs["Schedule"].result.serving_samples]
+        resc = [s for _, s in runs["Rescue"].result.serving_samples]
+        mobi = [s for _, s in runs["MobiRescue"].result.serving_samples]
+        assert np.mean(sched) == pytest.approx(n, abs=1.0)
+        assert np.mean(resc) == pytest.approx(n, abs=1.0)
+        assert np.mean(mobi) < 0.9 * n
+
+
+class TestDispatchExperiments:
+    def test_figure_series_shapes(self, harness):
+        de = DispatchExperiments(harness, methods=("MobiRescue", "Schedule"))
+        for series in de.fig9_served_per_hour().values():
+            assert series.shape == (24,)
+        for series in de.fig14_serving_teams_per_hour().values():
+            assert series.shape == (24,)
+        per_team = de.fig10_served_per_team()
+        assert all(len(v) == harness.num_teams() for v in per_team.values())
+
+    def test_prediction_quality_orderings(self, harness):
+        """Fig 16: MobiRescue's per-segment precision beats the time-series
+        baseline (more segments with any correct prediction)."""
+        de = DispatchExperiments(harness, methods=("MobiRescue", "Rescue"))
+        quality = de.prediction_quality()
+        mr, re_ = quality["MobiRescue"], quality["Rescue"]
+        assert (mr.precisions > 0).mean() >= (re_.precisions > 0).mean()
+        assert mr.accuracies.size > 0
+        assert ((0 <= mr.accuracies) & (mr.accuracies <= 1)).all()

@@ -1,0 +1,79 @@
+"""Tests for the ASCII chart renderer."""
+
+import numpy as np
+import pytest
+
+from repro.eval.ascii import ascii_cdf, ascii_chart
+
+
+class TestAsciiChart:
+    def test_basic_structure(self):
+        out = ascii_chart(
+            {"a": np.arange(10.0), "b": 9 - np.arange(10.0)},
+            height=6,
+            title="T",
+            x_label="hour",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "*=a" in out and "o=b" in out
+        assert "hour" in out
+        # Axis rows: title + height rows + baseline + x label + legend.
+        assert len(lines) == 1 + 6 + 1 + 1 + 1
+
+    def test_extremes_plotted_at_edges(self):
+        out = ascii_chart({"a": np.array([0.0, 10.0])}, height=5)
+        lines = out.splitlines()
+        assert "*" in lines[0]  # max on the top row
+        assert "*" in lines[4]  # min on the bottom row
+
+    @staticmethod
+    def _grid_only(out: str) -> str:
+        # Strip the legend line (which contains the glyph) and x label.
+        return "\n".join(
+            line for line in out.splitlines() if "|" in line
+        )
+
+    def test_nan_skipped(self):
+        out = ascii_chart({"a": np.array([1.0, np.nan, 3.0])}, height=4)
+        assert self._grid_only(out).count("*") == 2
+
+    def test_constant_series(self):
+        out = ascii_chart({"a": np.full(5, 2.0)}, height=4)
+        assert self._grid_only(out).count("*") == 5
+
+    def test_axis_labels_show_range(self):
+        out = ascii_chart({"a": np.array([5.0, 25.0])}, height=4)
+        assert "25" in out and "5" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+        with pytest.raises(ValueError):
+            ascii_chart({"a": np.arange(3.0)}, height=2)
+        with pytest.raises(ValueError):
+            ascii_chart({"a": np.arange(3.0), "b": np.arange(4.0)})
+        with pytest.raises(ValueError):
+            ascii_chart({"a": np.zeros(0)})
+        with pytest.raises(ValueError):
+            ascii_chart({"a": np.array([np.nan, np.nan])})
+
+
+class TestAsciiCdf:
+    def test_monotone_rendering(self):
+        rng = np.random.default_rng(0)
+        out = ascii_cdf({"x": rng.normal(size=200)}, points=30, height=8)
+        assert "P" in out
+        assert "x:" in out.splitlines()[-1]
+
+    def test_two_populations_separate(self):
+        out = ascii_cdf(
+            {"low": np.zeros(50), "high": np.full(50, 10.0)}, points=20, height=6
+        )
+        assert "*=low" in out and "o=high" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_cdf({})
+        with pytest.raises(ValueError):
+            ascii_cdf({"a": np.zeros(0)})

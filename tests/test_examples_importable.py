@@ -1,0 +1,32 @@
+"""The example scripts must at least import cleanly and expose ``main``.
+
+Full example runs are minutes-long; CI-level protection here is that the
+modules parse, import their dependencies, and keep the documented entry
+point.  (The examples are exercised end-to-end manually and by the
+equivalent library paths under tests/.)
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports_and_has_main(path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert callable(getattr(module, "main", None))
+    assert module.__doc__, "examples must explain themselves"
+    assert "Run:" in module.__doc__
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "dataset_analysis", "method_comparison"} <= names
+    assert len(names) >= 3

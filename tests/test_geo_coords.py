@@ -1,0 +1,127 @@
+"""Tests for repro.geo.coords: points, distances, projection."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo.coords import (
+    CHARLOTTE_BBOX,
+    BoundingBox,
+    GeoPoint,
+    LocalProjection,
+    euclidean_m,
+    haversine_m,
+)
+
+
+class TestGeoPoint:
+    def test_valid_point(self):
+        p = GeoPoint(35.0, -80.0)
+        assert p.lat == 35.0
+        assert p.lon == -80.0
+
+    @pytest.mark.parametrize("lat", [-91.0, 91.0, 180.0])
+    def test_latitude_out_of_range(self, lat):
+        with pytest.raises(ValueError):
+            GeoPoint(lat, 0.0)
+
+    @pytest.mark.parametrize("lon", [-181.0, 181.0, 360.0])
+    def test_longitude_out_of_range(self, lon):
+        with pytest.raises(ValueError):
+            GeoPoint(0.0, lon)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        p = GeoPoint(35.6, -79.0)
+        assert haversine_m(p, p) == 0.0
+
+    def test_known_distance_one_degree_lat(self):
+        a = GeoPoint(35.0, -79.0)
+        b = GeoPoint(36.0, -79.0)
+        # One degree of latitude is ~111.2 km.
+        assert haversine_m(a, b) == pytest.approx(111_195, rel=0.01)
+
+    def test_symmetry(self):
+        a = GeoPoint(35.7, -79.1)
+        b = GeoPoint(35.9, -78.4)
+        assert haversine_m(a, b) == pytest.approx(haversine_m(b, a))
+
+    @given(
+        st.floats(-60, 60),
+        st.floats(-170, 170),
+        st.floats(-60, 60),
+        st.floats(-170, 170),
+    )
+    def test_non_negative(self, lat1, lon1, lat2, lon2):
+        d = haversine_m(GeoPoint(lat1, lon1), GeoPoint(lat2, lon2))
+        assert d >= 0.0
+
+
+class TestBoundingBox:
+    def test_charlotte_bbox_matches_paper(self):
+        # Paper Section III-A: SW (35.6022, -79.0735), NE (36.0070, -78.2592).
+        assert CHARLOTTE_BBOX.south == 35.6022
+        assert CHARLOTTE_BBOX.west == -79.0735
+        assert CHARLOTTE_BBOX.north == 36.0070
+        assert CHARLOTTE_BBOX.east == -78.2592
+
+    def test_contains(self):
+        assert CHARLOTTE_BBOX.contains(GeoPoint(35.8, -78.7))
+        assert not CHARLOTTE_BBOX.contains(GeoPoint(34.0, -78.7))
+
+    def test_invalid_orientation(self):
+        with pytest.raises(ValueError):
+            BoundingBox(south=36.0, west=-79.0, north=35.0, east=-78.0)
+        with pytest.raises(ValueError):
+            BoundingBox(south=35.0, west=-78.0, north=36.0, east=-79.0)
+
+    def test_center(self):
+        c = CHARLOTTE_BBOX.center
+        assert CHARLOTTE_BBOX.south < c.lat < CHARLOTTE_BBOX.north
+        assert CHARLOTTE_BBOX.west < c.lon < CHARLOTTE_BBOX.east
+
+
+class TestLocalProjection:
+    def setup_method(self):
+        self.proj = LocalProjection(CHARLOTTE_BBOX)
+
+    def test_origin_is_south_west(self):
+        x, y = self.proj.to_xy(CHARLOTTE_BBOX.south_west)
+        assert x == pytest.approx(0.0, abs=1e-6)
+        assert y == pytest.approx(0.0, abs=1e-6)
+
+    def test_extent_positive_and_city_scale(self):
+        assert 30_000 < self.proj.width_m < 120_000
+        assert 30_000 < self.proj.height_m < 120_000
+
+    def test_north_east_maps_to_extent(self):
+        x, y = self.proj.to_xy(CHARLOTTE_BBOX.north_east)
+        assert x == pytest.approx(self.proj.width_m)
+        assert y == pytest.approx(self.proj.height_m)
+
+    @given(st.floats(35.61, 36.0), st.floats(-79.07, -78.26))
+    def test_round_trip(self, lat, lon):
+        p = GeoPoint(lat, lon)
+        x, y = self.proj.to_xy(p)
+        back = self.proj.to_geo(x, y)
+        assert back.lat == pytest.approx(lat, abs=1e-9)
+        assert back.lon == pytest.approx(lon, abs=1e-9)
+
+    def test_projection_agrees_with_haversine(self):
+        a = GeoPoint(35.7, -78.9)
+        b = GeoPoint(35.9, -78.5)
+        planar = euclidean_m(self.proj.to_xy(a), self.proj.to_xy(b))
+        great_circle = haversine_m(a, b)
+        assert planar == pytest.approx(great_circle, rel=0.005)
+
+    def test_contains_xy(self):
+        assert self.proj.contains_xy(100.0, 100.0)
+        assert not self.proj.contains_xy(-1.0, 100.0)
+        assert not self.proj.contains_xy(100.0, self.proj.height_m + 1.0)
+
+
+def test_euclidean_m():
+    assert euclidean_m((0.0, 0.0), (3.0, 4.0)) == pytest.approx(5.0)
+    assert math.isclose(euclidean_m((1.0, 1.0), (1.0, 1.0)), 0.0)

@@ -1,0 +1,190 @@
+"""Tests for the 7-region partition and terrain/flood models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo.flood import FloodModel
+from repro.geo.regions import (
+    CHARLOTTE_REGION_PROFILES,
+    RegionPartition,
+    RegionProfile,
+    charlotte_regions,
+)
+from repro.geo.terrain import TerrainField
+
+W, H = 70_000.0, 45_000.0
+
+
+@pytest.fixture(scope="module")
+def partition():
+    return charlotte_regions(W, H)
+
+
+@pytest.fixture(scope="module")
+def terrain(partition):
+    return TerrainField(partition)
+
+
+class TestRegionProfiles:
+    def test_seven_regions(self):
+        assert len(CHARLOTTE_REGION_PROFILES) == 7
+        assert [p.region_id for p in CHARLOTTE_REGION_PROFILES] == list(range(1, 8))
+
+    def test_paper_fig1_values_r1_r2(self):
+        r1 = CHARLOTTE_REGION_PROFILES[0]
+        r2 = CHARLOTTE_REGION_PROFILES[1]
+        assert (r1.precipitation_mm, r1.wind_mph, r1.altitude_m) == (127.0, 61.0, 232.86)
+        assert (r2.precipitation_mm, r2.wind_mph, r2.altitude_m) == (152.0, 72.0, 195.07)
+
+    def test_downtown_most_severe(self):
+        profiles = {p.region_id: p for p in CHARLOTTE_REGION_PROFILES}
+        assert profiles[3].severity == max(p.severity for p in CHARLOTTE_REGION_PROFILES)
+
+    def test_r1_least_severe(self):
+        profiles = {p.region_id: p for p in CHARLOTTE_REGION_PROFILES}
+        assert profiles[1].severity == min(p.severity for p in CHARLOTTE_REGION_PROFILES)
+
+    def test_severity_in_unit_interval(self):
+        for p in CHARLOTTE_REGION_PROFILES:
+            assert 0.0 <= p.severity <= 1.0
+
+    def test_invalid_region_id(self):
+        with pytest.raises(ValueError):
+            RegionProfile(0, "bad", 100.0, 50.0, 200.0, (0.5, 0.5))
+
+    def test_invalid_seed(self):
+        with pytest.raises(ValueError):
+            RegionProfile(1, "bad", 100.0, 50.0, 200.0, (1.5, 0.5))
+
+
+class TestRegionPartition:
+    def test_region_of_seed_is_itself(self, partition):
+        for rid in partition.region_ids:
+            sx, sy = partition.seed_xy(rid)
+            assert partition.region_of(sx, sy) == rid
+
+    def test_center_is_downtown(self, partition):
+        assert partition.region_of(W / 2, H / 2) == 3
+
+    def test_region_of_many_matches_scalar(self, partition):
+        rng = np.random.default_rng(3)
+        xy = rng.uniform([0, 0], [W, H], size=(200, 2))
+        vec = partition.region_of_many(xy)
+        for (x, y), r in zip(xy, vec):
+            assert partition.region_of(x, y) == r
+
+    @given(st.floats(0, W), st.floats(0, H))
+    def test_region_always_valid(self, x, y):
+        part = charlotte_regions(W, H)
+        assert part.region_of(x, y) in part.region_ids
+
+    def test_unknown_region_raises(self, partition):
+        with pytest.raises(KeyError):
+            partition.profile(99)
+
+    def test_duplicate_ids_rejected(self):
+        p = CHARLOTTE_REGION_PROFILES[0]
+        with pytest.raises(ValueError):
+            RegionPartition([p, p], W, H)
+
+    def test_bad_shape_rejected(self, partition):
+        with pytest.raises(ValueError):
+            partition.region_of_many(np.zeros(5))
+
+
+class TestTerrain:
+    def test_region_altitudes_track_profiles(self, partition, terrain):
+        """Sampled region-average altitudes stay close to the Fig-1 profile
+        values (IDW boundary blending pulls extremes toward the mean, so a
+        tolerance rather than exact ordering) and the extreme regions keep
+        their ranks: R1 highest, R3 lowest."""
+        rng = np.random.default_rng(5)
+        xy = rng.uniform([0, 0], [W, H], size=(30_000, 2))
+        regions = partition.region_of_many(xy)
+        alts = terrain.altitude_many(xy)
+        means = {r: alts[regions == r].mean() for r in partition.region_ids}
+        for r, mean in means.items():
+            assert abs(mean - partition.profile(r).altitude_m) < 18.0
+        assert max(means, key=means.get) == 1
+        assert min(means, key=means.get) == 3
+
+    def test_scalar_matches_vector(self, terrain):
+        assert terrain.altitude(1000.0, 2000.0) == pytest.approx(
+            float(terrain.altitude_many(np.array([[1000.0, 2000.0]]))[0])
+        )
+
+    def test_altitudes_plausible(self, terrain):
+        rng = np.random.default_rng(6)
+        xy = rng.uniform([0, 0], [W, H], size=(5_000, 2))
+        alts = terrain.altitude_many(xy)
+        assert alts.min() > 150.0
+        assert alts.max() < 260.0
+
+    def test_bad_shape_rejected(self, terrain):
+        with pytest.raises(ValueError):
+            terrain.altitude_many(np.zeros((3, 3)))
+
+    def test_invalid_wavelength(self, partition):
+        with pytest.raises(ValueError):
+            TerrainField(partition, relief_wavelength_m=0.0)
+
+
+class TestFloodModel:
+    @pytest.fixture(scope="class")
+    def flood(self, partition, terrain):
+        # Severity ramps from 0 to peak at t=10 days then stays.
+        def severity(region_id, t):
+            peak = partition.profile(region_id).severity
+            return peak * min(1.0, t / (10 * 86_400.0))
+
+        return FloodModel(terrain, severity)
+
+    def test_nothing_flooded_at_t0(self, partition, flood):
+        rng = np.random.default_rng(7)
+        xy = rng.uniform([0, 0], [W, H], size=(500, 2))
+        assert not flood.is_flooded_many(xy, 0.0).any()
+
+    def test_flooding_monotone_in_time(self, partition, flood):
+        for rid in partition.region_ids:
+            f1 = flood.flooded_fraction(rid, 3 * 86_400.0)
+            f2 = flood.flooded_fraction(rid, 10 * 86_400.0)
+            assert f2 >= f1
+
+    def test_downtown_floods_most(self, partition, flood):
+        t = 10 * 86_400.0
+        fracs = {r: flood.flooded_fraction(r, t) for r in partition.region_ids}
+        assert fracs[3] == max(fracs.values())
+        assert fracs[3] > 0.1
+
+    def test_flooded_fraction_bounded_by_max(self, partition, flood):
+        t = 20 * 86_400.0
+        for rid in partition.region_ids:
+            assert flood.flooded_fraction(rid, t) <= flood.max_flood_fraction + 0.05
+
+    def test_low_points_flood_first(self, partition, terrain, flood):
+        """Within a flooding region, flooded points are lower than dry ones."""
+        t = 10 * 86_400.0
+        rng = np.random.default_rng(8)
+        xy = rng.uniform([0, 0], [W, H], size=(4_000, 2))
+        regions = partition.region_of_many(xy)
+        in_r3 = xy[regions == 3]
+        flooded = flood.is_flooded_many(in_r3, t)
+        if flooded.any() and (~flooded).any():
+            alts = terrain.altitude_many(in_r3)
+            assert alts[flooded].max() <= alts[~flooded].min() + 1e-6
+
+    def test_scalar_matches_vector(self, flood):
+        t = 10 * 86_400.0
+        rng = np.random.default_rng(9)
+        for _ in range(20):
+            x, y = rng.uniform(0, W), rng.uniform(0, H)
+            assert flood.is_flooded(x, y, t) == bool(
+                flood.is_flooded_many(np.array([[x, y]]), t)[0]
+            )
+
+    def test_invalid_params(self, terrain):
+        with pytest.raises(ValueError):
+            FloodModel(terrain, lambda r, t: 0.0, max_flood_fraction=0.0)
+        with pytest.raises(ValueError):
+            FloodModel(terrain, lambda r, t: 0.0, grid_resolution=2)

@@ -1,0 +1,157 @@
+"""Tests for hospital placement, delivery detection and rescue labeling."""
+
+import numpy as np
+import pytest
+
+from repro.hospitals.delivery import detect_deliveries, label_rescued
+from repro.hospitals.hospitals import nearest_hospital, place_hospitals
+from repro.mobility.cleaning import clean_trace
+from repro.mobility.trace import GpsTrace
+from repro.weather.storms import day_index
+
+
+class TestPlacement:
+    def test_one_per_region_plus_downtown(self, florence_scenario):
+        scen = florence_scenario
+        hospitals = scen.hospitals
+        regions = [h.region_id for h in hospitals]
+        for rid in scen.partition.region_ids:
+            assert rid in regions
+        assert regions.count(3) >= 2  # downtown extras
+
+    def test_unique_nodes_and_ids(self, florence_scenario):
+        hs = florence_scenario.hospitals
+        assert len({h.node_id for h in hs}) == len(hs)
+        assert len({h.hospital_id for h in hs}) == len(hs)
+
+    def test_nearest_hospital(self, florence_scenario):
+        scen = florence_scenario
+        h, t = nearest_hospital(scen.network, scen.hospitals[0].node_id, scen.hospitals)
+        assert h.hospital_id == scen.hospitals[0].hospital_id
+        assert t == 0.0
+
+    def test_nearest_hospital_unreachable(self, florence_scenario):
+        scen = florence_scenario
+        closed = frozenset(scen.network.segment_ids())  # everything closed
+        src = scen.hospitals[0].node_id
+        others = [h for h in scen.hospitals if h.node_id != src]
+        h, t = nearest_hospital(scen.network, src, others, closed=closed)
+        assert h is None and t == float("inf")
+
+    def test_empty_hospital_list_rejected(self, florence_scenario):
+        with pytest.raises(ValueError):
+            nearest_hospital(florence_scenario.network, 0, [])
+
+
+class TestDeliveryDetection:
+    @pytest.fixture(scope="class")
+    def labeled(self, florence_small):
+        scenario, bundle = florence_small
+        clean, _ = clean_trace(
+            bundle.trace, scenario.partition.width_m, scenario.partition.height_m
+        )
+        events = detect_deliveries(clean, scenario.network, scenario.hospitals)
+        return scenario, bundle, events, label_rescued(events, scenario.flood)
+
+    def test_detects_deliveries(self, labeled):
+        _, _, events, _ = labeled
+        assert len(events) > 0
+        for ev in events:
+            assert ev.dwell_s >= 2 * 3_600.0
+
+    def test_recall_of_ground_truth_rescues(self, labeled):
+        """Most truly rescued persons are detected and labeled rescued."""
+        _, bundle, _, lab = labeled
+        truth = {r.person_id for r in bundle.rescues}
+        detected = {ev.person_id for ev, rescued in lab if rescued}
+        recall = len(truth & detected) / len(truth)
+        assert recall > 0.6
+
+    def test_rescue_label_precision(self, labeled):
+        """People labeled rescued are mostly genuine ground-truth rescues."""
+        _, bundle, _, lab = labeled
+        truth = {r.person_id for r in bundle.rescues}
+        detected = {ev.person_id for ev, rescued in lab if rescued}
+        if detected:
+            precision = len(truth & detected) / len(detected)
+            assert precision > 0.6
+
+    def test_rescued_deliveries_cluster_in_disaster_days(self, labeled):
+        scenario, _, _, lab = labeled
+        storm_start = scenario.timeline.storm_start_s
+        rescued_times = [ev.arrival_time_s for ev, r in lab if r]
+        if rescued_times:
+            assert min(rescued_times) >= storm_start
+
+    def test_deliveries_jump_during_disaster(self, labeled):
+        """Fig. 6: deliveries per day jump after the hurricane impact."""
+        scenario, _, events, _ = labeled
+        per_day = np.zeros(scenario.timeline.total_days)
+        for ev in events:
+            per_day[int(ev.arrival_time_s // 86_400)] += 1
+        before = per_day[: int(scenario.timeline.storm_start_day)].mean()
+        sep16 = day_index(scenario.timeline, "Sep 16")
+        disaster = per_day[sep16 - 2 : sep16 + 1].mean()
+        assert disaster > 1.5 * before
+
+    def test_short_dwell_not_detected(self, florence_scenario):
+        scen = florence_scenario
+        h = scen.hospitals[0]
+        hx, hy = scen.network.landmark(h.node_id).xy
+        # 30-minute visit: below the 2 h threshold.
+        tr = GpsTrace(
+            np.full(4, 7),
+            np.array([0.0, 600.0, 1_200.0, 1_800.0]),
+            np.full(4, hx),
+            np.full(4, hy),
+            np.zeros(4),
+            np.zeros(4),
+        )
+        assert detect_deliveries(tr, scen.network, scen.hospitals) == []
+
+    def test_long_dwell_detected_with_prev_position(self, florence_scenario):
+        scen = florence_scenario
+        h = scen.hospitals[0]
+        hx, hy = scen.network.landmark(h.node_id).xy
+        ts = np.array([0.0, 1_000.0, 2_000.0, 6_000.0, 10_000.0])
+        xs = np.array([hx + 5_000.0, hx, hx, hx, hx])
+        ys = np.full(5, hy)
+        tr = GpsTrace(np.full(5, 7), ts, xs, ys, np.zeros(5), np.zeros(5))
+        events = detect_deliveries(tr, scen.network, scen.hospitals)
+        assert len(events) == 1
+        ev = events[0]
+        assert ev.person_id == 7
+        assert ev.hospital_id == h.hospital_id
+        assert ev.arrival_time_s == 1_000.0
+        assert ev.prev_xy[0] == pytest.approx(hx + 5_000.0)
+
+    def test_dwell_opening_trace_has_no_prev(self, florence_scenario):
+        scen = florence_scenario
+        h = scen.hospitals[0]
+        hx, hy = scen.network.landmark(h.node_id).xy
+        ts = np.array([0.0, 4_000.0, 8_000.0])
+        tr = GpsTrace(np.full(3, 1), ts, np.full(3, hx), np.full(3, hy), np.zeros(3), np.zeros(3))
+        events = detect_deliveries(tr, scen.network, scen.hospitals)
+        assert len(events) == 1
+        assert events[0].prev_xy is None
+        # Unlabelable -> not rescued.
+        assert label_rescued(events, scen.flood)[0][1] is False
+
+    def test_moving_prev_fixes_skipped(self, florence_scenario):
+        """The previous *staying* position skips in-motion fixes."""
+        scen = florence_scenario
+        h = scen.hospitals[0]
+        hx, hy = scen.network.landmark(h.node_id).xy
+        ts = np.array([0.0, 500.0, 1_000.0, 5_000.0, 9_000.0])
+        xs = np.array([hx + 8_000.0, hx + 4_000.0, hx, hx, hx])
+        speeds = np.array([0.1, 15.0, 0.0, 0.0, 0.0])  # second fix is driving
+        tr = GpsTrace(np.full(5, 2), ts, xs, np.full(5, hy), np.zeros(5), speeds)
+        events = detect_deliveries(tr, scen.network, scen.hospitals)
+        assert len(events) == 1
+        assert events[0].prev_xy[0] == pytest.approx(hx + 8_000.0)
+
+    def test_empty_inputs(self, florence_scenario):
+        scen = florence_scenario
+        assert detect_deliveries(GpsTrace.empty(), scen.network, scen.hospitals) == []
+        with pytest.raises(ValueError):
+            detect_deliveries(GpsTrace.empty(), scen.network, [])

@@ -1,0 +1,200 @@
+"""Tests for the from-scratch SVM, kernels, scaler and metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml.kernels import linear_kernel, polynomial_kernel, rbf_kernel, resolve_kernel
+from repro.ml.metrics import ClassificationCounts, accuracy, confusion_counts, f1_score
+from repro.ml.scaler import StandardScaler
+from repro.ml.svm import SVC
+
+
+class TestKernels:
+    def test_linear_is_dot_product(self):
+        a = np.array([[1.0, 2.0], [3.0, 4.0]])
+        b = np.array([[1.0, 0.0]])
+        np.testing.assert_allclose(linear_kernel(a, b), [[1.0], [3.0]])
+
+    def test_rbf_diagonal_is_one(self):
+        a = np.random.default_rng(0).normal(size=(10, 3))
+        k = rbf_kernel(a, a, gamma=0.7)
+        np.testing.assert_allclose(np.diag(k), 1.0)
+
+    def test_rbf_symmetric_psd(self):
+        a = np.random.default_rng(1).normal(size=(15, 3))
+        k = rbf_kernel(a, a, gamma=0.5)
+        np.testing.assert_allclose(k, k.T, atol=1e-12)
+        eig = np.linalg.eigvalsh(k)
+        assert eig.min() > -1e-9
+
+    def test_rbf_decreases_with_distance(self):
+        a = np.array([[0.0]])
+        assert rbf_kernel(a, np.array([[1.0]]))[0, 0] > rbf_kernel(a, np.array([[2.0]]))[0, 0]
+
+    def test_rbf_invalid_gamma(self):
+        with pytest.raises(ValueError):
+            rbf_kernel(np.zeros((1, 1)), np.zeros((1, 1)), gamma=0.0)
+
+    def test_polynomial(self):
+        a, b = np.array([[1.0, 1.0]]), np.array([[1.0, 1.0]])
+        assert polynomial_kernel(a, b, degree=2, coef0=0.0)[0, 0] == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            polynomial_kernel(a, b, degree=0)
+
+    def test_resolve(self):
+        assert resolve_kernel("linear") is linear_kernel
+        k = resolve_kernel("rbf", gamma=2.0)
+        assert k(np.zeros((1, 2)), np.zeros((1, 2)))[0, 0] == 1.0
+        with pytest.raises(ValueError):
+            resolve_kernel("sigmoid")
+
+    def test_1d_inputs_promoted(self):
+        assert linear_kernel(np.array([1.0, 0.0]), np.array([1.0, 0.0])).shape == (1, 1)
+
+
+class TestScaler:
+    def test_fit_transform_standardizes(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(5.0, 3.0, size=(500, 4))
+        z = StandardScaler().fit_transform(x)
+        np.testing.assert_allclose(z.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_round_trip(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(50, 2))
+        sc = StandardScaler().fit(x)
+        np.testing.assert_allclose(sc.inverse_transform(sc.transform(x)), x, atol=1e-12)
+
+    def test_constant_feature_safe(self):
+        x = np.column_stack([np.ones(10), np.arange(10.0)])
+        z = StandardScaler().fit_transform(x)
+        assert np.isfinite(z).all()
+        np.testing.assert_allclose(z[:, 0], 0.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    def test_bad_input(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.zeros(5))
+
+
+class TestMetrics:
+    def test_counts(self):
+        y_true = np.array([1, 1, 0, 0, 1])
+        y_pred = np.array([1, 0, 0, 1, 1])
+        c = confusion_counts(y_true, y_pred)
+        assert (c.tp, c.fp, c.tn, c.fn) == (2, 1, 1, 1)
+        assert c.accuracy == pytest.approx(3 / 5)
+        assert c.precision == pytest.approx(2 / 3)
+        assert c.recall == pytest.approx(2 / 3)
+        assert f1_score(y_true, y_pred) == pytest.approx(2 / 3)
+
+    def test_degenerate_denominators(self):
+        c = ClassificationCounts(tp=0, fp=0, tn=5, fn=0)
+        assert c.precision == 0.0
+        assert c.recall == 0.0
+        assert c.f1 == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            confusion_counts(np.array([0, 1]), np.array([0]))
+        with pytest.raises(ValueError):
+            confusion_counts(np.array([0, 2]), np.array([0, 1]))
+
+    @given(st.lists(st.tuples(st.integers(0, 1), st.integers(0, 1)), min_size=1, max_size=60))
+    def test_accuracy_matches_definition(self, pairs):
+        y_true = np.array([a for a, _ in pairs])
+        y_pred = np.array([b for _, b in pairs])
+        assert accuracy(y_true, y_pred) == pytest.approx((y_true == y_pred).mean())
+
+
+class TestSVC:
+    def test_linearly_separable(self):
+        rng = np.random.default_rng(4)
+        x0 = rng.normal([-2, -2], 0.5, size=(60, 2))
+        x1 = rng.normal([2, 2], 0.5, size=(60, 2))
+        x = np.vstack([x0, x1])
+        y = np.array([0] * 60 + [1] * 60)
+        clf = SVC(kernel="linear", c=1.0).fit(x, y)
+        assert accuracy(y, clf.predict(x)) > 0.98
+
+    def test_xor_needs_rbf(self):
+        """XOR is not linearly separable; the RBF kernel solves it."""
+        rng = np.random.default_rng(5)
+        centers = np.array([[1, 1], [-1, -1], [1, -1], [-1, 1]], dtype=float)
+        labels = np.array([1, 1, 0, 0])
+        x = np.vstack([rng.normal(c, 0.2, size=(40, 2)) for c in centers])
+        y = np.repeat(labels, 40)
+        rbf = SVC(kernel="rbf", gamma=1.0, c=5.0).fit(x, y)
+        assert accuracy(y, rbf.predict(x)) > 0.95
+        lin = SVC(kernel="linear", c=5.0).fit(x, y)
+        assert accuracy(y, lin.predict(x)) < 0.8
+
+    def test_decision_function_sign_matches_predict(self):
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=(80, 3))
+        y = (x[:, 0] + x[:, 1] > 0).astype(int)
+        clf = SVC(kernel="linear").fit(x, y)
+        scores = clf.decision_function(x)
+        np.testing.assert_array_equal(clf.predict(x), (scores > 0).astype(int))
+
+    def test_single_sample_predict(self):
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(40, 2))
+        y = (x[:, 0] > 0).astype(int)
+        clf = SVC(kernel="linear").fit(x, y)
+        assert clf.predict(np.array([5.0, 0.0]))[0] == 1
+        assert clf.predict(np.array([-5.0, 0.0]))[0] == 0
+
+    def test_support_vectors_subset(self):
+        rng = np.random.default_rng(8)
+        x = rng.normal(size=(100, 2))
+        y = (x[:, 0] > 0).astype(int)
+        clf = SVC(kernel="linear").fit(x, y)
+        assert 0 < clf.num_support_vectors <= 100
+
+    def test_generalizes_held_out(self):
+        """Train/test split on a noisy logistic ground truth — the setting
+        of the rescue predictor."""
+        rng = np.random.default_rng(9)
+        x = rng.normal(size=(400, 3))
+        logits = 1.5 * x[:, 0] - 2.0 * x[:, 1] + 0.5 * x[:, 2]
+        y = (logits + rng.normal(0, 0.5, 400) > 0).astype(int)
+        clf = SVC(kernel="rbf", gamma=0.5, c=2.0).fit(x[:300], y[:300])
+        assert accuracy(y[300:], clf.predict(x[300:])) > 0.85
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SVC(c=0.0)
+        clf = SVC()
+        with pytest.raises(ValueError):
+            clf.fit(np.zeros((4, 2)), np.zeros(4))  # single class
+        with pytest.raises(ValueError):
+            clf.fit(np.zeros((4, 2)), np.array([0, 1, 2, 1]))  # bad labels
+        with pytest.raises(ValueError):
+            clf.fit(np.zeros(4), np.array([0, 1, 0, 1]))  # 1-D x
+        with pytest.raises(RuntimeError):
+            clf.predict(np.zeros((2, 2)))  # unfitted
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(10)
+        x = rng.normal(size=(60, 2))
+        y = (x[:, 0] > 0).astype(int)
+        a = SVC(kernel="rbf", seed=3).fit(x, y)
+        b = SVC(kernel="rbf", seed=3).fit(x, y)
+        np.testing.assert_allclose(a.decision_function(x), b.decision_function(x))
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_separable_always_learned(self, seed):
+        rng = np.random.default_rng(seed)
+        x = np.vstack(
+            [rng.normal([-3, 0], 0.4, size=(25, 2)), rng.normal([3, 0], 0.4, size=(25, 2))]
+        )
+        y = np.array([0] * 25 + [1] * 25)
+        clf = SVC(kernel="linear").fit(x, y)
+        assert accuracy(y, clf.predict(x)) == 1.0

@@ -1,0 +1,253 @@
+"""Tests for the road-network graph, generator and routing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geo.regions import charlotte_regions
+from repro.roadnet.generator import RoadNetworkConfig, generate_road_network
+from repro.roadnet.graph import Landmark, NetworkStats, RoadNetwork, RoadSegment, network_stats
+from repro.roadnet.routing import Route, route_to_segment, shortest_path, shortest_time_from
+
+W, H = 70_000.0, 45_000.0
+
+
+def tiny_network() -> RoadNetwork:
+    """A 4-node diamond: 0 -> 1 -> 3 and 0 -> 2 -> 3, plus reverse edges."""
+    net = RoadNetwork()
+    coords = [(0, 0), (1000, 0), (0, 1000), (1000, 1000)]
+    for i, (x, y) in enumerate(coords):
+        net.add_landmark(Landmark(i, float(x), float(y)))
+    links = [(0, 1, 1000, 10), (1, 3, 1000, 10), (0, 2, 1000, 20), (2, 3, 1000, 20)]
+    sid = 0
+    for u, v, length, speed in links:
+        net.add_segment(RoadSegment(sid, u, v, length, speed, 1))
+        sid += 1
+        net.add_segment(RoadSegment(sid, v, u, length, speed, 1))
+        sid += 1
+    return net.freeze()
+
+
+@pytest.fixture(scope="module")
+def partition():
+    return charlotte_regions(W, H)
+
+
+@pytest.fixture(scope="module")
+def city(partition):
+    return generate_road_network(partition, RoadNetworkConfig(grid_cols=12, grid_rows=12))
+
+
+class TestGraphConstruction:
+    def test_segment_validation(self):
+        net = RoadNetwork()
+        net.add_landmark(Landmark(0, 0.0, 0.0))
+        net.add_landmark(Landmark(1, 100.0, 0.0))
+        with pytest.raises(ValueError):
+            net.add_segment(RoadSegment(0, 0, 0, 100.0, 10.0, 1))  # self-loop
+        with pytest.raises(ValueError):
+            net.add_segment(RoadSegment(0, 0, 2, 100.0, 10.0, 1))  # unknown node
+        with pytest.raises(ValueError):
+            RoadSegment(0, 0, 1, -5.0, 10.0, 1)  # bad length
+        with pytest.raises(ValueError):
+            RoadSegment(0, 0, 1, 5.0, 0.0, 1)  # bad speed
+
+    def test_duplicate_ids_rejected(self):
+        net = RoadNetwork()
+        net.add_landmark(Landmark(0, 0.0, 0.0))
+        with pytest.raises(ValueError):
+            net.add_landmark(Landmark(0, 1.0, 1.0))
+
+    def test_parallel_segments_rejected(self):
+        net = RoadNetwork()
+        net.add_landmark(Landmark(0, 0.0, 0.0))
+        net.add_landmark(Landmark(1, 100.0, 0.0))
+        net.add_segment(RoadSegment(0, 0, 1, 100.0, 10.0, 1))
+        with pytest.raises(ValueError):
+            net.add_segment(RoadSegment(1, 0, 1, 100.0, 10.0, 1))
+
+    def test_frozen_is_immutable(self):
+        net = tiny_network()
+        with pytest.raises(RuntimeError):
+            net.add_landmark(Landmark(99, 0.0, 0.0))
+
+    def test_queries_require_freeze(self):
+        net = RoadNetwork()
+        net.add_landmark(Landmark(0, 0.0, 0.0))
+        with pytest.raises(RuntimeError):
+            net.nearest_landmark(0.0, 0.0)
+
+    def test_freeze_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RoadNetwork().freeze()
+
+    def test_free_flow_time(self):
+        seg = RoadSegment(0, 0, 1, 1000.0, 10.0, 1)
+        assert seg.free_flow_time_s == pytest.approx(100.0)
+
+    def test_accessors(self):
+        net = tiny_network()
+        assert net.num_landmarks == 4
+        assert net.num_segments == 8
+        assert net.segment_between(0, 1) is not None
+        assert net.segment_between(1, 2) is None
+        assert {s.v for s in net.out_segments(0)} == {1, 2}
+        assert {s.u for s in net.in_segments(3)} == {1, 2}
+        with pytest.raises(KeyError):
+            net.landmark(42)
+        with pytest.raises(KeyError):
+            net.segment(42)
+
+    def test_nearest_landmark(self):
+        net = tiny_network()
+        assert net.nearest_landmark(10.0, 10.0) == 0
+        assert net.nearest_landmark(990.0, 990.0) == 3
+
+    def test_segment_midpoint(self):
+        net = tiny_network()
+        seg = net.segment_between(0, 1)
+        assert net.segment_midpoint(seg.segment_id) == (500.0, 0.0)
+
+
+class TestGeneratedCity:
+    def test_size(self, city):
+        assert city.num_landmarks == 144
+        # 4-neighbour grid: 2 * (2 * 12 * 11) directed segments.
+        assert city.num_segments == 2 * 2 * 12 * 11
+
+    def test_all_regions_covered(self, city, partition):
+        regions = {s.region_id for s in city.segments()}
+        assert regions == set(partition.region_ids)
+
+    def test_downtown_denser(self, city, partition):
+        """The warped grid concentrates landmarks downtown: Region 3 holds
+        more landmarks per unit area than the city average."""
+        xy = np.array([city.landmark(n).xy for n in city.landmark_ids()])
+        regions = partition.region_of_many(xy)
+        # Estimate region areas by uniform sampling.
+        rng = np.random.default_rng(0)
+        samples = rng.uniform([0, 0], [W, H], size=(20_000, 2))
+        sample_regions = partition.region_of_many(samples)
+        area_share = (sample_regions == 3).mean()
+        node_share = (regions == 3).mean()
+        assert node_share > 1.3 * area_share
+
+    def test_speed_limits_two_tiers(self, city):
+        speeds = {round(s.speed_limit_mps, 3) for s in city.segments()}
+        assert len(speeds) == 2
+
+    def test_deterministic(self, partition):
+        cfg = RoadNetworkConfig(grid_cols=8, grid_rows=8, seed=5)
+        a = generate_road_network(partition, cfg)
+        b = generate_road_network(partition, cfg)
+        for n in a.landmark_ids():
+            assert a.landmark(n).xy == b.landmark(n).xy
+
+    def test_strongly_connected(self, city):
+        """Every landmark is reachable from node 0 and vice versa."""
+        fwd = shortest_time_from(city, 0)
+        assert len(fwd) == city.num_landmarks
+
+    def test_stats(self, city):
+        stats = network_stats(city)
+        assert isinstance(stats, NetworkStats)
+        assert stats.num_segments == city.num_segments
+        assert stats.mean_segment_length_m > 0
+        assert sum(stats.segments_per_region.values()) == city.num_segments
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RoadNetworkConfig(grid_cols=2)
+        with pytest.raises(ValueError):
+            RoadNetworkConfig(downtown_concentration=1.0)
+        with pytest.raises(ValueError):
+            RoadNetworkConfig(jitter_fraction=0.5)
+        with pytest.raises(ValueError):
+            RoadNetworkConfig(arterial_every=1)
+
+
+class TestRouting:
+    def test_trivial_route(self):
+        net = tiny_network()
+        r = shortest_path(net, 0, 0)
+        assert r is not None and r.is_trivial
+        assert r.travel_time_s == 0.0
+
+    def test_prefers_faster_path(self):
+        net = tiny_network()
+        r = shortest_path(net, 0, 3)
+        # Via node 2 (20 m/s) takes 100 s; via node 1 (10 m/s) takes 200 s.
+        assert r.nodes == (0, 2, 3)
+        assert r.travel_time_s == pytest.approx(100.0)
+
+    def test_weight_length_tie(self):
+        net = tiny_network()
+        r = shortest_path(net, 0, 3, weight="length")
+        assert r.length_m == pytest.approx(2000.0)
+
+    def test_invalid_weight(self):
+        net = tiny_network()
+        with pytest.raises(ValueError):
+            shortest_path(net, 0, 3, weight="fuel")
+
+    def test_closed_segment_forces_detour(self):
+        net = tiny_network()
+        fast = net.segment_between(0, 2).segment_id
+        r = shortest_path(net, 0, 3, closed=frozenset({fast}))
+        assert r.nodes == (0, 1, 3)
+
+    def test_unreachable_returns_none(self):
+        net = tiny_network()
+        closed = frozenset(
+            {net.segment_between(0, 1).segment_id, net.segment_between(0, 2).segment_id}
+        )
+        assert shortest_path(net, 0, 3, closed=closed) is None
+
+    def test_route_to_segment_ends_with_it(self):
+        net = tiny_network()
+        seg = net.segment_between(2, 3).segment_id
+        r = route_to_segment(net, 0, seg)
+        assert r.segment_ids[-1] == seg
+        assert r.dst == 3
+
+    def test_route_to_closed_segment_is_none(self):
+        net = tiny_network()
+        seg = net.segment_between(2, 3).segment_id
+        assert route_to_segment(net, 0, seg, closed=frozenset({seg})) is None
+
+    def test_route_invariants_random_pairs(self, city):
+        rng = np.random.default_rng(1)
+        nodes = city.landmark_ids()
+        for _ in range(25):
+            a, b = rng.choice(nodes, size=2, replace=False)
+            r = shortest_path(city, int(a), int(b))
+            assert r is not None
+            assert r.src == a and r.dst == b
+            # Segment chain is continuous and totals match.
+            total_t = sum(city.segment(s).free_flow_time_s for s in r.segment_ids)
+            assert r.travel_time_s == pytest.approx(total_t)
+            total_l = sum(city.segment(s).length_m for s in r.segment_ids)
+            assert r.length_m == pytest.approx(total_l)
+
+    def test_single_source_matches_point_queries(self, city):
+        rng = np.random.default_rng(2)
+        src = 0
+        dist = shortest_time_from(city, src)
+        for b in rng.choice(city.landmark_ids(), size=10, replace=False):
+            r = shortest_path(city, src, int(b))
+            assert dist[int(b)] == pytest.approx(r.travel_time_s)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 143), st.integers(0, 143))
+    def test_triangle_inequality(self, a, b):
+        part = charlotte_regions(W, H)
+        net = generate_road_network(part, RoadNetworkConfig(grid_cols=12, grid_rows=12))
+        r = shortest_path(net, a, b)
+        assert r is not None
+        # Shortest path cannot beat straight-line distance at max speed.
+        max_speed = max(s.speed_limit_mps for s in net.segments())
+        assert r.travel_time_s >= net.node_distance_m(a, b) / max_speed - 1e-6
+
+    def test_route_validation(self):
+        with pytest.raises(ValueError):
+            Route((0, 1), (), 0.0, 0.0)

@@ -1,0 +1,82 @@
+"""Tests for the all-pairs travel-time oracle."""
+
+import numpy as np
+import pytest
+
+from repro.geo.regions import charlotte_regions
+from repro.roadnet.generator import RoadNetworkConfig, generate_road_network
+from repro.roadnet.matrix import TravelTimeOracle, travel_time_oracle
+from repro.roadnet.routing import route_to_segment, shortest_path, shortest_time_to
+
+
+@pytest.fixture(scope="module")
+def network():
+    part = charlotte_regions(70_000.0, 45_000.0)
+    return generate_road_network(part, RoadNetworkConfig(grid_cols=9, grid_rows=9))
+
+
+@pytest.fixture(scope="module")
+def oracle(network):
+    return TravelTimeOracle(network)
+
+
+class TestTravelTimeOracle:
+    def test_matches_exact_dijkstra(self, network, oracle):
+        rng = np.random.default_rng(0)
+        nodes = network.landmark_ids()
+        for _ in range(20):
+            a, b = rng.choice(nodes, size=2, replace=False)
+            exact = shortest_path(network, int(a), int(b)).travel_time_s
+            assert oracle.node_to_node_s(int(a), int(b)) == pytest.approx(
+                exact, rel=1e-5
+            )
+
+    def test_diagonal_zero(self, network, oracle):
+        for n in network.landmark_ids()[:10]:
+            assert oracle.node_to_node_s(n, n) == 0.0
+
+    def test_segment_end_semantics(self, network, oracle):
+        """Time to a segment's end = time to its head + its own traversal."""
+        rng = np.random.default_rng(1)
+        for _ in range(15):
+            src = int(rng.choice(network.landmark_ids()))
+            seg_id = int(rng.choice(network.segment_ids()))
+            exact = route_to_segment(network, src, seg_id).travel_time_s
+            assert oracle.node_to_segment_end_s(src, seg_id) == pytest.approx(
+                exact, rel=1e-5
+            )
+
+    def test_vectorized_matches_scalar(self, network, oracle):
+        src = 0
+        segs = network.segment_ids()[:30]
+        batch = oracle.node_to_segments_s(src, segs)
+        for s, t in zip(segs, batch):
+            assert oracle.node_to_segment_end_s(src, s) == pytest.approx(
+                float(t), rel=1e-5
+            )
+
+    def test_memoization(self, network):
+        a = travel_time_oracle(network)
+        b = travel_time_oracle(network)
+        assert a is b
+
+
+class TestReverseDijkstra:
+    def test_matches_forward(self, network):
+        rng = np.random.default_rng(2)
+        dst = int(rng.choice(network.landmark_ids()))
+        to_dst = shortest_time_to(network, dst)
+        for src in rng.choice(network.landmark_ids(), size=10, replace=False):
+            fwd = shortest_path(network, int(src), dst).travel_time_s
+            assert to_dst[int(src)] == pytest.approx(fwd, rel=1e-9)
+
+    def test_respects_closures(self, network):
+        dst = 0
+        closed = frozenset(s.segment_id for s in network.in_segments(dst))
+        to_dst = shortest_time_to(network, dst, closed=closed)
+        # With every incoming segment closed, only dst itself can reach dst.
+        assert set(to_dst) == {dst}
+
+    def test_invalid_weight(self, network):
+        with pytest.raises(ValueError):
+            shortest_time_to(network, 0, weight="bananas")

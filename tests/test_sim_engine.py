@@ -1,0 +1,348 @@
+"""Unit tests for the rescue simulator: teams, requests, engine mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.data.charlotte import build_charlotte_scenario
+from repro.dispatch.base import Dispatcher, TeamCommand, command_depot, command_segment
+from repro.roadnet.generator import RoadNetworkConfig
+from repro.roadnet.routing import route_to_segment
+from repro.sim.engine import RescueSimulator, SimulationConfig
+from repro.sim.metrics import SimulationMetrics
+from repro.sim.requests import RescueRequest, remap_to_operable, requests_from_rescues
+from repro.sim.teams import RescueTeam, TeamState
+from repro.weather.storms import FLORENCE
+
+DAY = 86_400.0
+
+
+@pytest.fixture(scope="module")
+def small_scenario():
+    return build_charlotte_scenario(
+        FLORENCE, RoadNetworkConfig(grid_cols=8, grid_rows=8)
+    )
+
+
+class ScriptedDispatcher(Dispatcher):
+    """Replays a fixed command table: cycle index -> commands."""
+
+    name = "Scripted"
+    computation_delay_s = 0.0
+
+    def __init__(self, script: dict[int, dict[int, TeamCommand]]):
+        self.script = script
+        self.cycle = 0
+        self.observations = []
+
+    def dispatch(self, obs):
+        self.observations.append(obs)
+        commands = self.script.get(self.cycle, {})
+        self.cycle += 1
+        return commands
+
+
+class IdleDispatcher(Dispatcher):
+    name = "Idle"
+
+    def dispatch(self, obs):
+        return {}
+
+
+class TestRescueRequest:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RescueRequest(0, 0, -1.0, 0, 0)
+
+    def test_requests_from_rescues_window(self, florence_small):
+        _, bundle = florence_small
+        t0, t1 = 22 * DAY, 23 * DAY
+        reqs = requests_from_rescues(bundle.rescues, t0, t1)
+        assert all(t0 <= r.time_s < t1 for r in reqs)
+        times = [r.time_s for r in reqs]
+        assert times == sorted(times)
+        assert len({r.request_id for r in reqs}) == len(reqs)
+        with pytest.raises(ValueError):
+            requests_from_rescues(bundle.rescues, t1, t0)
+
+    def test_remap_to_operable(self, florence_small):
+        scenario, bundle = florence_small
+        reqs = requests_from_rescues(bundle.rescues, 22 * DAY, 23 * DAY)
+        remapped = remap_to_operable(reqs, scenario.network, scenario.flood)
+        assert len(remapped) == len(reqs)
+        for old, new in zip(reqs, remapped):
+            assert old.request_id == new.request_id
+            closed = scenario.network.closed_segments(
+                scenario.flood, (new.time_s // 3600) * 3600
+            )
+            if old.segment_id not in closed:
+                assert new.segment_id == old.segment_id
+            else:
+                # Either an operable replacement was found, or none existed.
+                assert new.segment_id not in closed or new.segment_id == old.segment_id
+
+
+class TestRescueTeam:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            RescueTeam(team_id=0, capacity=0, node=0)
+
+    def test_begin_leg_validation(self, small_scenario):
+        net = small_scenario.network
+        team = RescueTeam(team_id=0, capacity=5, node=0)
+        route = route_to_segment(net, 0, net.out_segments(0)[0].segment_id)
+        with pytest.raises(ValueError):  # wrong start node
+            team2 = RescueTeam(team_id=1, capacity=5, node=route.nodes[-1])
+            team2.begin_leg(
+                route, 1.0, np.ones(len(route.segment_ids)), 0.0, TeamState.TO_SEGMENT, 1
+            )
+        with pytest.raises(ValueError):  # misaligned times
+            team.begin_leg(route, 1.0, np.ones(99), 0.0, TeamState.TO_SEGMENT, 1)
+        with pytest.raises(ValueError):  # idle legs are not a thing
+            team.begin_leg(
+                route, 1.0, np.ones(len(route.segment_ids)), 0.0, TeamState.IDLE, None
+            )
+
+    def test_leg_lifecycle(self, small_scenario):
+        net = small_scenario.network
+        seg = net.out_segments(0)[0].segment_id
+        route = route_to_segment(net, 0, seg)
+        team = RescueTeam(team_id=0, capacity=5, node=0)
+        times = np.full(len(route.segment_ids), 10.0)
+        team.begin_leg(route, 1.0, times, 100.0, TeamState.TO_SEGMENT, seg)
+        assert team.is_driving
+        assert team.is_assignable
+        assert team.arrival_time_s == pytest.approx(100.0 + 10.0 * len(times))
+        team.stop()
+        assert team.state is TeamState.IDLE
+        assert team.arrival_time_s is None
+
+    def test_hospital_leg_not_assignable(self, small_scenario):
+        net = small_scenario.network
+        seg = net.out_segments(0)[0].segment_id
+        route = route_to_segment(net, 0, seg)
+        team = RescueTeam(team_id=0, capacity=5, node=0)
+        team.begin_leg(
+            route, 1.0, np.ones(len(route.segment_ids)), 0.0, TeamState.TO_HOSPITAL, None
+        )
+        assert not team.is_assignable
+
+
+class TestSimulationConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(t0_s=10.0, t1_s=5.0)
+        with pytest.raises(ValueError):
+            SimulationConfig(t0_s=0.0, t1_s=10.0, num_teams=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(t0_s=0.0, t1_s=10.0, step_s=0.0)
+        with pytest.raises(ValueError):
+            SimulationConfig(t0_s=0.0, t1_s=10.0, step_s=600.0, dispatch_period_s=300.0)
+
+
+class TestEngineMechanics:
+    """Deterministic mechanics on a pre-storm day (no flooding)."""
+
+    T0 = 2 * DAY  # Aug 27: dry, full speed
+
+    def _request_near(self, scenario, node: int, dt: float = 0.0) -> RescueRequest:
+        seg = scenario.network.out_segments(node)[0]
+        return RescueRequest(0, 999, self.T0 + dt, seg.segment_id, node)
+
+    def test_team_drives_and_picks_up(self, small_scenario):
+        scen = small_scenario
+        hosp_node = scen.hospitals[0].node_id
+        # Request on a segment adjacent to a *different* node.
+        target_node = scen.network.nearest_landmark(
+            scen.partition.width_m * 0.5, scen.partition.height_m * 0.5
+        )
+        req = self._request_near(scen, target_node)
+        script = {0: {0: command_segment(req.segment_id)}}
+        sim = RescueSimulator(
+            scen,
+            [req],
+            ScriptedDispatcher(script),
+            SimulationConfig(t0_s=self.T0, t1_s=self.T0 + 6 * 3_600, num_teams=1, seed=3),
+        )
+        result = sim.run()
+        assert result.num_served == 1
+        pickup = result.pickups[0]
+        assert pickup.request_id == 0
+        assert pickup.driving_delay_s > 0
+        # Delivered to a hospital afterwards.
+        assert len(result.deliveries) == 1
+        assert result.deliveries[0].request_id == 0
+        assert result.deliveries[0].t_s > pickup.t_s
+
+    def test_idle_dispatcher_serves_nothing(self, small_scenario):
+        scen = small_scenario
+        req = self._request_near(scen, scen.network.landmark_ids()[5])
+        sim = RescueSimulator(
+            scen,
+            [req],
+            IdleDispatcher(),
+            SimulationConfig(t0_s=self.T0, t1_s=self.T0 + 2 * 3_600, num_teams=2),
+        )
+        result = sim.run()
+        assert result.num_served == 0
+        assert result.num_unserved == 1
+
+    def test_immediate_pickup_when_team_pre_positioned(self, small_scenario):
+        """A team standing at the request's segment serves it at timeliness 0
+        (the paper's proactive case)."""
+        scen = small_scenario
+        target_node = scen.network.landmark_ids()[10]
+        seg = scen.network.out_segments(target_node)[0]
+        # Request appears two hours in; team is sent there in cycle 0.
+        req = RescueRequest(0, 999, self.T0 + 2 * 3_600, seg.segment_id, target_node)
+        script = {0: {0: command_segment(seg.segment_id)}}
+        sim = RescueSimulator(
+            scen,
+            [req],
+            ScriptedDispatcher(script),
+            SimulationConfig(t0_s=self.T0, t1_s=self.T0 + 6 * 3_600, num_teams=1, seed=3),
+        )
+        result = sim.run()
+        assert result.num_served == 1
+        assert result.pickups[0].timeliness_s == 0.0
+        assert result.pickups[0].driving_delay_s == 0.0
+
+    def test_depot_command_parks_team_at_hospital(self, small_scenario):
+        scen = small_scenario
+        sim = RescueSimulator(
+            scen,
+            [],
+            ScriptedDispatcher({0: {0: command_depot()}}),
+            SimulationConfig(t0_s=self.T0, t1_s=self.T0 + 3_600, num_teams=1, seed=3),
+        )
+        sim.run()
+        hospital_nodes = {h.node_id for h in scen.hospitals}
+        assert sim._teams[0].node in hospital_nodes
+        assert sim._teams[0].state is TeamState.IDLE
+
+    def test_capacity_respected(self, small_scenario):
+        """A capacity-2 team picks at most 2 of 3 co-located requests, then
+        delivers; the remainder needs another trip."""
+        scen = small_scenario
+        target_node = scen.network.landmark_ids()[20]
+        seg = scen.network.out_segments(target_node)[0]
+        reqs = [
+            RescueRequest(i, 100 + i, self.T0, seg.segment_id, target_node)
+            for i in range(3)
+        ]
+        script = {i: {0: command_segment(seg.segment_id)} for i in range(40)}
+        sim = RescueSimulator(
+            scen,
+            reqs,
+            ScriptedDispatcher(script),
+            SimulationConfig(
+                t0_s=self.T0, t1_s=self.T0 + 12 * 3_600, num_teams=1, team_capacity=2, seed=3
+            ),
+        )
+        result = sim.run()
+        assert result.num_served == 3
+        # First two pickups happen together, the third on a later trip.
+        ts = sorted(p.t_s for p in result.pickups)
+        assert ts[1] < ts[2]
+        assert len(result.deliveries) == 3
+
+    def test_observation_contents(self, small_scenario):
+        scen = small_scenario
+        req = self._request_near(scen, scen.network.landmark_ids()[3])
+        disp = ScriptedDispatcher({})
+        sim = RescueSimulator(
+            scen,
+            [req],
+            disp,
+            SimulationConfig(t0_s=self.T0, t1_s=self.T0 + 1_800, num_teams=4),
+        )
+        sim.run()
+        obs = disp.observations[0]
+        assert len(obs.teams) == 4
+        assert obs.pending.get(req.segment_id) == 1
+        assert all(tv.assignable for tv in obs.teams)
+
+    def test_computation_delay_defers_commands(self, small_scenario):
+        """With a huge computation delay, commands never apply within the
+        window and nothing is served."""
+        scen = small_scenario
+        target_node = scen.network.landmark_ids()[10]
+        seg = scen.network.out_segments(target_node)[0]
+        req = RescueRequest(0, 999, self.T0, seg.segment_id, target_node)
+
+        class SlowDispatcher(ScriptedDispatcher):
+            computation_delay_s = 10 * 3_600.0
+
+        sim = RescueSimulator(
+            scen,
+            [req],
+            SlowDispatcher({i: {0: command_segment(seg.segment_id)} for i in range(40)}),
+            SimulationConfig(t0_s=self.T0, t1_s=self.T0 + 2 * 3_600, num_teams=1),
+        )
+        result = sim.run()
+        assert result.num_served == 0
+
+    def test_serving_samples_recorded_per_cycle(self, small_scenario):
+        scen = small_scenario
+        sim = RescueSimulator(
+            scen,
+            [],
+            IdleDispatcher(),
+            SimulationConfig(
+                t0_s=self.T0, t1_s=self.T0 + 3_600, num_teams=2, dispatch_period_s=600.0
+            ),
+        )
+        result = sim.run()
+        assert len(result.serving_samples) == 7  # t0, +600, ..., +3600
+        assert all(n == 0 for _, n in result.serving_samples)
+
+    def test_teams_spawn_at_hospitals(self, small_scenario):
+        scen = small_scenario
+        sim = RescueSimulator(
+            scen,
+            [],
+            IdleDispatcher(),
+            SimulationConfig(t0_s=self.T0, t1_s=self.T0 + 600, num_teams=20, seed=9),
+        )
+        hospital_nodes = {h.node_id for h in scen.hospitals}
+        assert all(t.node in hospital_nodes for t in sim._teams)
+
+
+class TestSimulationMetrics:
+    def _run(self, small_scenario):
+        scen = small_scenario
+        t0 = 2 * DAY
+        target_node = scen.network.landmark_ids()[30]
+        seg = scen.network.out_segments(target_node)[0]
+        reqs = [RescueRequest(i, i, t0 + i * 1_800.0, seg.segment_id, target_node) for i in range(4)]
+        script = {i: {0: command_segment(seg.segment_id)} for i in range(60)}
+        sim = RescueSimulator(
+            scen,
+            reqs,
+            ScriptedDispatcher(script),
+            SimulationConfig(t0_s=t0, t1_s=t0 + 24 * 3_600, num_teams=1, seed=3),
+        )
+        return sim.run()
+
+    def test_hourly_shapes(self, small_scenario):
+        result = self._run(small_scenario)
+        m = SimulationMetrics(result)
+        assert m.num_hours == 24
+        assert m.timely_served_per_hour().shape == (24,)
+        assert m.served_per_hour().sum() == result.num_served
+        assert m.served_per_team().shape == (1,)
+
+    def test_delay_and_timeliness_alignment(self, small_scenario):
+        result = self._run(small_scenario)
+        m = SimulationMetrics(result)
+        assert len(m.driving_delays()) == result.num_served
+        assert (m.timeliness_values() >= 0).all()
+        # Timeliness includes waiting; it can never be below driving delay
+        # for requests that pre-date the response.
+        assert m.total_timely_served <= result.num_served
+
+    def test_delivery_stats(self, small_scenario):
+        result = self._run(small_scenario)
+        m = SimulationMetrics(result)
+        assert m.delivered_count() == len(result.deliveries)
+        if result.deliveries:
+            assert m.mean_request_to_delivery_s() > 0

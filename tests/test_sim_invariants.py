@@ -1,0 +1,194 @@
+"""Property-style invariant tests for the simulator.
+
+Random request sets and random (but valid) dispatchers must never violate
+the request lifecycle: at-most-once pickup, delivery only after pickup,
+capacity bounds, causality of timestamps.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.charlotte import build_charlotte_scenario
+from repro.dispatch.base import Dispatcher, command_depot, command_segment
+from repro.dispatch.nearest import NearestDispatcher
+from repro.roadnet.generator import RoadNetworkConfig
+from repro.sim.engine import RescueSimulator, SimulationConfig
+from repro.sim.requests import RescueRequest
+from repro.weather.storms import FLORENCE
+
+DAY = 86_400.0
+
+
+@pytest.fixture(scope="module")
+def scen():
+    return build_charlotte_scenario(FLORENCE, RoadNetworkConfig(grid_cols=7, grid_rows=7))
+
+
+class RandomDispatcher(Dispatcher):
+    """Sends every assignable team to a uniformly random operable segment
+    (or the depot) each cycle — a worst-case-chaotic but valid policy."""
+
+    name = "Random"
+    computation_delay_s = 30.0
+
+    def __init__(self, seed: int):
+        self.rng = np.random.default_rng(seed)
+
+    def dispatch(self, obs):
+        commands = {}
+        operable = [s for s in obs.network.segment_ids() if s not in obs.closed]
+        for tv in obs.assignable_teams():
+            if self.rng.random() < 0.25 or not operable:
+                commands[tv.team_id] = command_depot()
+            else:
+                commands[tv.team_id] = command_segment(
+                    int(self.rng.choice(operable))
+                )
+        return commands
+
+
+def random_requests(scen, rng, n: int, t0: float, span_s: float):
+    nodes = scen.network.landmark_ids()
+    out = []
+    for i in range(n):
+        node = int(rng.choice(nodes))
+        seg = scen.network.out_segments(node)[0].segment_id
+        out.append(RescueRequest(i, 1_000 + i, t0 + float(rng.uniform(0, span_s)), seg, node))
+    return out
+
+
+def check_invariants(result, requests, capacity: int):
+    req_by_id = {r.request_id: r for r in requests}
+    # Pickups reference real requests, at most once each.
+    picked_ids = [p.request_id for p in result.pickups]
+    assert len(picked_ids) == len(set(picked_ids))
+    assert set(picked_ids) <= set(req_by_id)
+    for p in result.pickups:
+        assert p.t_s >= req_by_id[p.request_id].time_s - 1e-6
+        assert p.driving_delay_s >= 0
+        assert p.timeliness_s >= 0
+        assert p.timeliness_s >= p.driving_delay_s - 1e-6 or p.driving_delay_s == 0
+    # Deliveries only for picked requests, after their pickups, once each.
+    pickup_t = {p.request_id: p.t_s for p in result.pickups}
+    delivered_ids = [d.request_id for d in result.deliveries]
+    assert len(delivered_ids) == len(set(delivered_ids))
+    assert set(delivered_ids) <= set(pickup_t)
+    for d in result.deliveries:
+        assert d.t_s >= pickup_t[d.request_id] - 1e-6
+    # A team can never hold more passengers than its capacity: pickups
+    # between consecutive deliveries of one team are bounded.
+    per_team_events = {}
+    for p in result.pickups:
+        per_team_events.setdefault(p.team_id, []).append((p.t_s, +1))
+    for d in result.deliveries:
+        per_team_events.setdefault(d.team_id, []).append((d.t_s, 0))
+    for team_id, events in per_team_events.items():
+        onboard = 0
+        for _, kind in sorted(events, key=lambda e: (e[0], -e[1])):
+            if kind == +1:
+                onboard += 1
+                assert onboard <= capacity
+            else:
+                onboard = 0  # deliveries drop everyone
+
+
+@settings(max_examples=6, deadline=None)
+@given(st.integers(0, 10_000))
+def test_random_dispatcher_invariants(seed):
+    scen = build_charlotte_scenario(FLORENCE, RoadNetworkConfig(grid_cols=7, grid_rows=7))
+    rng = np.random.default_rng(seed)
+    t0 = 2 * DAY
+    requests = random_requests(scen, rng, n=12, t0=t0, span_s=6 * 3_600)
+    capacity = int(rng.integers(1, 6))
+    sim = RescueSimulator(
+        scen,
+        requests,
+        RandomDispatcher(seed),
+        SimulationConfig(
+            t0_s=t0, t1_s=t0 + 12 * 3_600, num_teams=6,
+            team_capacity=capacity, seed=seed,
+        ),
+    )
+    result = sim.run()
+    check_invariants(result, requests, capacity)
+
+
+@settings(max_examples=4, deadline=None)
+@given(st.integers(0, 10_000))
+def test_nearest_dispatcher_invariants_during_flood(seed):
+    """Invariants hold mid-disaster, with closures and re-anchoring live."""
+    scen = build_charlotte_scenario(FLORENCE, RoadNetworkConfig(grid_cols=7, grid_rows=7))
+    rng = np.random.default_rng(seed)
+    t0 = 22 * DAY  # Sep 16, flood near crest
+    requests = random_requests(scen, rng, n=10, t0=t0, span_s=8 * 3_600)
+    sim = RescueSimulator(
+        scen,
+        requests,
+        NearestDispatcher(),
+        SimulationConfig(t0_s=t0, t1_s=t0 + 16 * 3_600, num_teams=5, seed=seed),
+    )
+    result = sim.run()
+    check_invariants(result, requests, 5)
+
+
+class TestDegenerateConditions:
+    def test_everything_flooded_no_crash(self, scen):
+        """A dispatcher targeting closed segments simply strands teams."""
+
+        class StubbornDispatcher(Dispatcher):
+            name = "Stubborn"
+
+            def dispatch(self, obs):
+                closed = sorted(obs.closed)
+                if not closed:
+                    return {}
+                return {
+                    tv.team_id: command_segment(closed[0])
+                    for tv in obs.assignable_teams()
+                }
+
+        t0 = 22 * DAY
+        sim = RescueSimulator(
+            scen, [], StubbornDispatcher(),
+            SimulationConfig(t0_s=t0, t1_s=t0 + 2 * 3_600, num_teams=3),
+        )
+        result = sim.run()
+        assert result.num_served == 0
+
+    def test_zero_requests(self, scen):
+        sim = RescueSimulator(
+            scen, [], NearestDispatcher(),
+            SimulationConfig(t0_s=0.0, t1_s=3_600.0, num_teams=2),
+        )
+        result = sim.run()
+        assert result.num_served == 0
+        assert result.deliveries == []
+
+    def test_request_flood_wave_reanchoring(self, scen):
+        """A request whose anchor floods mid-run is still servable."""
+        t0 = 21 * DAY  # flood rising through the day
+        rng = np.random.default_rng(3)
+        # Pick a node whose first out-segment closes at some point today.
+        target = None
+        for node in scen.network.landmark_ids():
+            seg = scen.network.out_segments(node)[0]
+            closed_early = seg.segment_id in scen.network.closed_segments(
+                scen.flood, t0
+            )
+            closed_late = seg.segment_id in scen.network.closed_segments(
+                scen.flood, t0 + 20 * 3_600
+            )
+            if not closed_early and closed_late:
+                target = (node, seg.segment_id)
+                break
+        if target is None:
+            pytest.skip("no segment floods during the window at this scale")
+        node, seg_id = target
+        req = RescueRequest(0, 1, t0 + 3_600.0, seg_id, node)
+        sim = RescueSimulator(
+            scen, [req], NearestDispatcher(),
+            SimulationConfig(t0_s=t0, t1_s=t0 + 24 * 3_600, num_teams=4, seed=1),
+        )
+        result = sim.run()
+        assert result.num_served == 1

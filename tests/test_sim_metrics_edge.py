@@ -1,0 +1,98 @@
+"""Edge-case tests for simulation metrics and result containers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import (
+    DeliveryEvent,
+    PickupEvent,
+    SimulationConfig,
+    SimulationResult,
+)
+from repro.sim.metrics import SimulationMetrics
+from repro.sim.requests import RescueRequest
+
+
+def make_result(pickups=(), deliveries=(), requests=(), num_teams=4, hours=24):
+    cfg = SimulationConfig(t0_s=0.0, t1_s=hours * 3_600.0, num_teams=num_teams)
+    return SimulationResult(
+        config=cfg,
+        dispatcher_name="test",
+        requests=list(requests),
+        pickups=list(pickups),
+        deliveries=list(deliveries),
+    )
+
+
+class TestEmptyResult:
+    def test_all_metrics_well_defined(self):
+        m = SimulationMetrics(make_result())
+        assert m.timely_served_per_hour().sum() == 0
+        assert m.served_per_hour().sum() == 0
+        assert m.served_per_team().shape == (4,)
+        assert m.driving_delays().size == 0
+        assert m.timeliness_values().size == 0
+        assert m.total_timely_served == 0
+        assert m.service_rate == 0.0
+        assert m.delivered_count() == 0
+        assert math.isnan(m.mean_request_to_delivery_s())
+        assert np.isnan(m.avg_delay_per_hour()).all()
+        assert np.isnan(m.serving_teams_per_hour()).all()
+
+
+class TestBinning:
+    def test_hour_boundaries(self):
+        pickups = [
+            PickupEvent(0, 0, 0.0, 10.0, 10.0),
+            PickupEvent(1, 1, 3_599.9, 20.0, 20.0),
+            PickupEvent(2, 1, 3_600.0, 30.0, 30.0),
+            PickupEvent(3, 2, 23 * 3_600.0 + 1, 40.0, 5_000.0),
+        ]
+        reqs = [RescueRequest(i, i, 0.0, 0, 0) for i in range(4)]
+        m = SimulationMetrics(make_result(pickups=pickups, requests=reqs))
+        per_hour = m.served_per_hour()
+        assert per_hour[0] == 2
+        assert per_hour[1] == 1
+        assert per_hour[23] == 1
+        # Timely bound (1800 s default) excludes the 5000 s pickup.
+        assert m.total_timely_served == 3
+        assert m.timely_served_per_hour()[23] == 0
+
+    def test_out_of_window_times_clamped(self):
+        pickups = [PickupEvent(0, 0, 10_000_000.0, 1.0, 1.0)]
+        reqs = [RescueRequest(0, 0, 0.0, 0, 0)]
+        m = SimulationMetrics(make_result(pickups=pickups, requests=reqs))
+        assert m.served_per_hour().sum() == 1  # clamped into the last hour
+
+    def test_avg_delay_ignores_empty_hours(self):
+        pickups = [
+            PickupEvent(0, 0, 1_800.0, 100.0, 100.0),
+            PickupEvent(1, 0, 1_900.0, 300.0, 300.0),
+        ]
+        reqs = [RescueRequest(i, i, 0.0, 0, 0) for i in range(2)]
+        m = SimulationMetrics(make_result(pickups=pickups, requests=reqs))
+        delays = m.avg_delay_per_hour()
+        assert delays[0] == pytest.approx(200.0)
+        assert np.isnan(delays[5])
+
+
+class TestDeliveryStats:
+    def test_mean_request_to_delivery(self):
+        reqs = [RescueRequest(0, 0, 100.0, 0, 0), RescueRequest(1, 1, 200.0, 0, 0)]
+        deliveries = [
+            DeliveryEvent(0, 0, 1_100.0, 5),
+            DeliveryEvent(1, 0, 2_200.0, 5),
+        ]
+        m = SimulationMetrics(make_result(deliveries=deliveries, requests=reqs))
+        assert m.mean_request_to_delivery_s() == pytest.approx(1_500.0)
+
+    def test_unserved_accounting(self):
+        reqs = [RescueRequest(i, i, 0.0, 0, 0) for i in range(5)]
+        pickups = [PickupEvent(0, 0, 10.0, 1.0, 1.0)]
+        result = make_result(pickups=pickups, requests=reqs)
+        assert result.num_served == 1
+        assert result.num_unserved == 4
+        m = SimulationMetrics(result)
+        assert m.service_rate == pytest.approx(0.2)

@@ -1,0 +1,198 @@
+"""Tests for storm timelines, weather fields and the weather service."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geo.regions import charlotte_regions
+from repro.geo.terrain import TerrainField
+from repro.geo.flood import FloodModel
+from repro.weather.fields import RegionWeatherField
+from repro.weather.service import WeatherService
+from repro.weather.storms import (
+    FLORENCE,
+    MICHAEL,
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    StormTimeline,
+    day_index,
+    day_label,
+)
+
+W, H = 70_000.0, 45_000.0
+
+
+class TestStormTimeline:
+    def test_florence_window_covers_paper_days(self):
+        # Aug 25 (Fig 2 before-day) .. Sep 20 (after-day), storm Sep 12-15.
+        assert day_label(FLORENCE, 0) == "Aug 25"
+        assert day_label(FLORENCE, 26) == "Sep 20"
+        assert day_index(FLORENCE, "Sep 16") == 22
+        assert 18.0 <= FLORENCE.storm_start_day <= 19.0
+        assert 21.0 <= FLORENCE.storm_end_day <= 22.0
+
+    def test_intensity_zero_outside_storm(self):
+        assert FLORENCE.intensity(0.0) == 0.0
+        assert FLORENCE.intensity(FLORENCE.duration_s) == 0.0
+
+    def test_intensity_peaks_mid_storm(self):
+        mid = (FLORENCE.storm_start_s + FLORENCE.storm_end_s) / 2
+        assert FLORENCE.intensity(mid) == pytest.approx(1.0)
+
+    @given(st.floats(0, 27 * SECONDS_PER_DAY))
+    def test_intensity_bounded(self, t):
+        assert 0.0 <= FLORENCE.intensity(t) <= 1.0
+
+    @given(st.floats(0, 27 * SECONDS_PER_DAY))
+    def test_flood_level_bounded(self, t):
+        assert 0.0 <= FLORENCE.flood_level(t) <= 1.0
+
+    def test_flood_crests_after_storm_end(self):
+        """The flood level peaks after the rain stops (river-crest lag)."""
+        ts = np.arange(0, FLORENCE.duration_s, 600.0)
+        levels = np.array([FLORENCE.flood_level(t) for t in ts])
+        t_peak = ts[int(np.argmax(levels))]
+        assert t_peak > FLORENCE.storm_end_s
+
+    def test_flood_level_sep16_near_peak(self):
+        sep16_noon = (day_index(FLORENCE, "Sep 16") + 0.5) * SECONDS_PER_DAY
+        sep14_noon = (day_index(FLORENCE, "Sep 14") + 0.5) * SECONDS_PER_DAY
+        assert FLORENCE.flood_level(sep16_noon) > 0.8
+        assert FLORENCE.flood_level(sep16_noon) > 1.5 * FLORENCE.flood_level(sep14_noon)
+
+    def test_flood_recedes_but_persists(self):
+        sep20 = (day_index(FLORENCE, "Sep 20") + 0.5) * SECONDS_PER_DAY
+        level = FLORENCE.flood_level(sep20)
+        assert 0.1 < level < 0.8
+
+    def test_intensity_integral_matches_numeric(self):
+        t0, t1 = FLORENCE.storm_start_s - 3600, FLORENCE.storm_end_s + 3600
+        ts = np.linspace(t0, t1, 20_000)
+        numeric = np.trapezoid([FLORENCE.intensity(t) for t in ts], ts) / SECONDS_PER_HOUR
+        assert FLORENCE.intensity_integral_h(t0, t1) == pytest.approx(numeric, rel=1e-4)
+
+    def test_intensity_integral_additive(self):
+        a, b, c = FLORENCE.storm_start_s, FLORENCE.storm_start_s + 40_000, FLORENCE.storm_end_s
+        assert FLORENCE.intensity_integral_h(a, c) == pytest.approx(
+            FLORENCE.intensity_integral_h(a, b) + FLORENCE.intensity_integral_h(b, c)
+        )
+
+    def test_phase(self):
+        assert FLORENCE.phase(0.0) == "before"
+        assert FLORENCE.phase((FLORENCE.storm_start_s + FLORENCE.storm_end_s) / 2) == "during"
+        assert FLORENCE.phase(FLORENCE.duration_s) == "after"
+
+    def test_michael_valid(self):
+        assert MICHAEL.total_days == 14
+        # Michael hit Charlotte less hard than Florence: its flood crest
+        # stays well below Florence's.
+        crest = max(MICHAEL.flood_level(d * 0.1 * SECONDS_PER_DAY) for d in range(140))
+        assert 0.3 < crest < 0.95
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StormTimeline("x", "Sep 1", 10, 8.0, 5.0)
+        with pytest.raises(ValueError):
+            StormTimeline("x", "Sep 1", 10, 1.0, 5.0, rise_tau_days=0.0)
+        with pytest.raises(ValueError):
+            StormTimeline("x", "Sep 1", 10, 1.0, 5.0, crest_gain=0.5)
+
+    def test_day_label_roundtrip(self):
+        for d in range(FLORENCE.total_days):
+            assert day_index(FLORENCE, day_label(FLORENCE, d)) == d
+
+    def test_day_label_month_rollover(self):
+        assert day_label(FLORENCE, 6) == "Aug 31"
+        assert day_label(FLORENCE, 7) == "Sep 1"
+
+
+class TestRegionWeatherField:
+    @pytest.fixture(scope="class")
+    def field(self):
+        return RegionWeatherField(charlotte_regions(W, H), FLORENCE)
+
+    def test_peak_precip_matches_profile(self, field):
+        mid = (FLORENCE.storm_start_s + FLORENCE.storm_end_s) / 2
+        assert field.precipitation_mm_per_h(1, mid) == pytest.approx(127.0)
+        assert field.precipitation_mm_per_h(2, mid) == pytest.approx(152.0)
+
+    def test_wind_floor_when_calm(self, field):
+        assert field.wind_mph(1, 0.0) == 5.0
+
+    def test_severity_ordering_matches_profiles(self, field):
+        t = (FLORENCE.storm_end_s + 12 * SECONDS_PER_HOUR)
+        sev = {r: field.severity(r, t) for r in field.partition.region_ids}
+        assert sev[3] > sev[2] > sev[1]
+
+    def test_severity_zero_before_storm(self, field):
+        for r in field.partition.region_ids:
+            assert field.severity(r, 0.0) == 0.0
+
+    def test_factor_precipitation_positive_after_storm(self, field):
+        """The trailing-window factor stays informative on Sep 16."""
+        sep16 = (day_index(FLORENCE, "Sep 16") + 0.5) * SECONDS_PER_DAY
+        assert field.factor_precipitation_mm_per_h(3, sep16) > 5.0
+        assert field.precipitation_mm_per_h(3, sep16) == 0.0
+
+    def test_factor_precipitation_ordering(self, field):
+        sep16 = (day_index(FLORENCE, "Sep 16") + 0.5) * SECONDS_PER_DAY
+        fp = {r: field.factor_precipitation_mm_per_h(r, sep16) for r in (1, 2, 3)}
+        assert fp[3] > fp[2] > fp[1]
+
+    def test_accumulated_monotone(self, field):
+        acc = [
+            field.accumulated_precipitation_mm(3, d * SECONDS_PER_DAY)
+            for d in range(FLORENCE.total_days)
+        ]
+        assert all(b >= a for a, b in zip(acc, acc[1:]))
+
+    def test_accumulated_total_scale(self, field):
+        """Total accumulation = peak rate x sine-pulse integral."""
+        total = field.accumulated_precipitation_mm(3, FLORENCE.duration_s)
+        storm_hours = (FLORENCE.storm_end_s - FLORENCE.storm_start_s) / SECONDS_PER_HOUR
+        expected = 165.0 * storm_hours * 2.0 / np.pi
+        assert total == pytest.approx(expected, rel=1e-6)
+
+
+class TestWeatherService:
+    @pytest.fixture(scope="class")
+    def service(self):
+        part = charlotte_regions(W, H)
+        terr = TerrainField(part)
+        field = RegionWeatherField(part, FLORENCE)
+        flood = FloodModel(terr, field.severity_fn())
+        return WeatherService(field, terr, flood)
+
+    def test_factor_vector_shape_and_content(self, service):
+        t = 20 * SECONDS_PER_DAY
+        h = service.factor_vector(W / 2, H / 2, t)
+        assert h.shape == (3,)
+        precip, wind, alt = h
+        assert precip > 0
+        assert wind >= 5.0
+        assert 150 < alt < 260
+
+    def test_factor_vectors_match_scalar(self, service):
+        t = 20 * SECONDS_PER_DAY
+        rng = np.random.default_rng(4)
+        xy = rng.uniform([0, 0], [W, H], size=(50, 2))
+        batch = service.factor_vectors(xy, t)
+        for i in range(10):
+            np.testing.assert_allclose(
+                batch[i], service.factor_vector(xy[i, 0], xy[i, 1], t), rtol=1e-9
+            )
+
+    def test_flood_query_consistent(self, service):
+        t = 22.5 * SECONDS_PER_DAY
+        assert service.is_flooded(W / 2, H / 2, t) == service.flood.is_flooded(
+            W / 2, H / 2, t
+        )
+
+    def test_mismatched_partition_rejected(self):
+        part_a = charlotte_regions(W, H)
+        part_b = charlotte_regions(W, H)
+        terr = TerrainField(part_a)
+        field = RegionWeatherField(part_b, FLORENCE)
+        flood = FloodModel(terr, field.severity_fn())
+        with pytest.raises(ValueError):
+            WeatherService(field, terr, flood)

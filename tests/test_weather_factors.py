@@ -1,0 +1,71 @@
+"""Tests for the factor-vector semantics (hydrological precipitation,
+wake wind) and their temporal alignment with the flood."""
+
+import numpy as np
+import pytest
+
+from repro.geo.regions import charlotte_regions
+from repro.weather.fields import RegionWeatherField
+from repro.weather.storms import FLORENCE, MICHAEL, SECONDS_PER_DAY, day_index
+
+W, H = 70_000.0, 45_000.0
+
+
+@pytest.fixture(scope="module")
+def field():
+    return RegionWeatherField(charlotte_regions(W, H), FLORENCE)
+
+
+class TestFactorPrecipitation:
+    def test_tracks_flood_level(self, field):
+        """The precipitation factor is temporally aligned with the flood
+        (water on the ground), not with the instantaneous rain rate."""
+        tl = field.timeline
+        for t in np.linspace(0, tl.duration_s, 40):
+            expected = (
+                field.partition.profile(3).precipitation_mm * tl.flood_level(float(t))
+            )
+            assert field.factor_precipitation_mm_per_h(3, float(t)) == pytest.approx(
+                expected
+            )
+
+    def test_peaks_at_crest_not_at_peak_rain(self, field):
+        tl = field.timeline
+        peak_rain_t = (tl.storm_start_s + tl.storm_end_s) / 2
+        crest_t = tl.storm_end_s + tl.crest_lag_days * SECONDS_PER_DAY
+        assert field.factor_precipitation_mm_per_h(3, crest_t) > (
+            field.factor_precipitation_mm_per_h(3, peak_rain_t)
+        )
+
+    def test_regional_ordering_preserved(self, field):
+        sep16 = (day_index(FLORENCE, "Sep 16") + 0.5) * SECONDS_PER_DAY
+        fp = {r: field.factor_precipitation_mm_per_h(r, sep16) for r in (1, 2, 3)}
+        assert fp[3] > fp[2] > fp[1]
+
+    def test_cross_storm_scale(self):
+        """Michael's smaller flood yields smaller precipitation factors than
+        Florence's at the respective crests — the transferable signal."""
+        part = charlotte_regions(W, H)
+        flor = RegionWeatherField(part, FLORENCE)
+        mich = RegionWeatherField(part, MICHAEL)
+        f_crest = FLORENCE.storm_end_s + FLORENCE.crest_lag_days * SECONDS_PER_DAY
+        m_crest = MICHAEL.storm_end_s + MICHAEL.crest_lag_days * SECONDS_PER_DAY
+        assert flor.factor_precipitation_mm_per_h(3, f_crest) > (
+            mich.factor_precipitation_mm_per_h(3, m_crest)
+        )
+
+
+class TestFactorWind:
+    def test_floor_in_calm_weather(self, field):
+        assert field.factor_wind_mph(1, 0.0) == 5.0
+
+    def test_peak_during_storm(self, field):
+        tl = field.timeline
+        mid = (tl.storm_start_s + tl.storm_end_s) / 2
+        assert field.factor_wind_mph(2, mid) == pytest.approx(72.0)
+
+    def test_wake_term_after_storm(self, field):
+        """Wind keeps a flood-wake component after the rain stops."""
+        sep16 = (day_index(FLORENCE, "Sep 16") + 0.5) * SECONDS_PER_DAY
+        assert field.factor_wind_mph(3, sep16) > 5.0
+        assert field.factor_wind_mph(3, sep16) < 78.0
