@@ -21,4 +21,10 @@ Subpackages
 ``eval``       experiment harness, one entry per paper table/figure
 """
 
+import logging as _logging
+
+# Library default: the ``repro.*`` loggers stay silent unless the
+# application attaches handlers (see :mod:`repro.core.log`).
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
+
 __version__ = "1.0.0"

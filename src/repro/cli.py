@@ -19,7 +19,14 @@ Commands
     Train and deploy the full MobiRescue system, optionally saving the
     trained models with ``--save``.
 
-All commands accept ``--population`` (default 800) and ``--seed``.
+``robustness``
+    Sweep fault-injection profiles × dispatchers and print the
+    degradation table (served/delay/timeliness vs. fault severity plus
+    fallback-activation, dropped-command, breakdown and reroute counts).
+
+All commands accept ``--population`` (default 800), ``--seed`` and
+``--verbose`` (stream ``repro.*`` logs — incident and degradation events
+included — to stderr).
 """
 
 from __future__ import annotations
@@ -38,6 +45,10 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="experiment seed")
     parser.add_argument(
         "--episodes", type=int, default=4, help="MobiRescue training episodes"
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="stream repro.* logs (incident/degradation events) to stderr",
     )
 
 
@@ -186,6 +197,51 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def cmd_robustness(args) -> int:
+    from repro.eval.harness import ExperimentHarness, HarnessConfig
+    from repro.eval.robustness import (
+        RobustnessConfig,
+        RobustnessSweep,
+        format_degradation_table,
+    )
+    from repro.faults import get_profile
+
+    profiles = tuple(p.strip() for p in args.profiles.split(",") if p.strip())
+    methods = tuple(m.strip() for m in args.methods.split(",") if m.strip())
+    # Fail fast on bad names — before the expensive dataset build.
+    if not profiles or not methods:
+        print("need at least one profile and one method", file=sys.stderr)
+        return 2
+    try:
+        for name in profiles:
+            get_profile(name)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    unknown = [m for m in methods if m not in ExperimentHarness.METHODS]
+    if unknown:
+        print(f"unknown methods {unknown}; choose from "
+              f"{', '.join(ExperimentHarness.METHODS)}", file=sys.stderr)
+        return 2
+    florence, michael = _datasets(args)
+    sweep = RobustnessSweep(
+        florence,
+        michael,
+        RobustnessConfig(
+            profiles=profiles,
+            methods=methods,
+            harness=HarnessConfig(
+                mobirescue_episodes=args.episodes,
+                seed=args.seed,
+                dispatch_budget_s=args.budget if args.budget > 0 else None,
+            ),
+        ),
+    )
+    cells = sweep.run(progress=lambda msg: print(msg, file=sys.stderr))
+    print(format_degradation_table(cells))
+    return 0
+
+
 FIGURES = {
     "fig9": ("fig9_served_per_hour", "timely served requests per hour"),
     "fig11": ("fig11_delay_per_hour", "average driving delay per hour (s)"),
@@ -254,11 +310,33 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     p.set_defaults(func=cmd_figure)
 
+    p = sub.add_parser(
+        "robustness", help="fault-injection sweep: degradation table"
+    )
+    _add_common(p)
+    p.add_argument(
+        "--profiles", type=str, default="none,mild,severe",
+        help="comma-separated fault profiles (none, mild, severe, blackout)",
+    )
+    p.add_argument(
+        "--methods", type=str, default="MobiRescue,Rescue,Schedule,Nearest",
+        help="comma-separated dispatchers to sweep",
+    )
+    p.add_argument(
+        "--budget", type=float, default=0.0,
+        help="wall-clock compute budget per dispatch call, seconds (0 = off)",
+    )
+    p.set_defaults(func=cmd_robustness)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "verbose", False):
+        from repro.core.log import configure
+
+        configure(verbose=True)
     return args.func(args)
 
 

@@ -14,14 +14,21 @@ facade.
 """
 
 from repro.core.config import MobiRescueConfig
+from repro.core.log import configure as configure_logging
+from repro.core.log import get_logger
 from repro.core.predictor import RequestPredictor, TrainingSet, build_training_set
-from repro.core.positions import HistoricalFallbackFeed, PopulationFeed
+from repro.core.positions import (
+    DegradedPositionFeed,
+    HistoricalFallbackFeed,
+    PopulationFeed,
+)
 from repro.core.rl_dispatcher import MobiRescueDispatcher
 from repro.core.training import train_mobirescue
 from repro.core.system import MobiRescueSystem
 from repro.core.persistence import load_trained, save_trained
 
 __all__ = [
+    "DegradedPositionFeed",
     "HistoricalFallbackFeed",
     "MobiRescueConfig",
     "MobiRescueDispatcher",
@@ -30,6 +37,8 @@ __all__ = [
     "RequestPredictor",
     "TrainingSet",
     "build_training_set",
+    "configure_logging",
+    "get_logger",
     "load_trained",
     "save_trained",
     "train_mobirescue",

@@ -1,0 +1,63 @@
+"""Structured logging for the ``repro`` package.
+
+Every module logs through the stdlib under the ``repro.*`` namespace
+(``logging.getLogger("repro.sim.engine")`` etc.).  As a library, repro
+stays silent by default: a :class:`logging.NullHandler` is attached to the
+``repro`` root logger so nothing reaches stderr unless the application
+opts in.
+
+The CLI opts in with ``--verbose`` / ``-v``, which calls
+:func:`configure`; programmatic users can do the same or attach their own
+handlers to the ``repro`` logger.
+
+Degradation and incident events (dispatcher fallbacks, dropped commands,
+breakdowns, reroutes) are emitted at INFO/WARNING level by the simulation
+engine and the fault injector, so a verbose robustness run narrates what
+the fault layer is doing.
+"""
+
+from __future__ import annotations
+
+import logging
+
+ROOT_NAME = "repro"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+# Library default: silent unless the application configures handlers.
+logging.getLogger(ROOT_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` namespace.
+
+    ``get_logger("sim.engine")`` and ``get_logger("repro.sim.engine")``
+    return the same logger; with no argument, the package root.
+    """
+    if not name:
+        return logging.getLogger(ROOT_NAME)
+    if name == ROOT_NAME or name.startswith(ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_NAME}.{name}")
+
+
+def configure(verbose: bool = False, level: int | None = None) -> logging.Logger:
+    """Attach a stderr handler to the ``repro`` logger (idempotent).
+
+    ``verbose`` selects DEBUG, otherwise INFO; an explicit ``level``
+    overrides both.  Returns the configured root logger.
+    """
+    root = logging.getLogger(ROOT_NAME)
+    resolved = level if level is not None else (logging.DEBUG if verbose else logging.INFO)
+    root.setLevel(resolved)
+    for handler in root.handlers:
+        if isinstance(handler, logging.StreamHandler) and not isinstance(
+            handler, logging.NullHandler
+        ):
+            handler.setLevel(resolved)
+            return root
+    handler = logging.StreamHandler()
+    handler.setLevel(resolved)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    root.addHandler(handler)
+    return root

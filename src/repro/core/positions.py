@@ -14,38 +14,74 @@ estimate the approximate position."  When a person's last fix is older
 than a staleness bound, their position is estimated from their historical
 hour-of-day pattern (most-visited landmark at this hour over the
 pre-disaster days).
+
+``DegradedPositionFeed`` overlays injected GPS outages (``repro.faults``)
+on any inner feed: people inside an outage window lose their fresh fix
+and either fall back to the historical estimate or drop out of the
+snapshot, exactly as the dispatch center would experience it.
 """
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import Counter, OrderedDict, defaultdict
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
 from repro.mobility.mapmatch import MatchedTrajectories
 from repro.weather.storms import SECONDS_PER_DAY, SECONDS_PER_HOUR
 
+if TYPE_CHECKING:
+    from repro.faults.models import FaultInjector
+
+#: Any callable position feed: ``t_seconds -> {person_id: landmark}``.
+PositionFeed = Callable[[float], dict[int, int]]
+
+
+class _QueryCache:
+    """Small LRU of per-timestamp query results.
+
+    One :class:`collections.OrderedDict` holds both the mapping and the
+    recency order, so entries can never desynchronise (the previous
+    parallel list + dict could, on duplicate timestamps) and eviction is
+    O(1) instead of an O(n) ``list.pop(0)``.
+    """
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError("cache_size must be positive")
+        self._size = size
+        self._entries: OrderedDict[float, dict[int, int]] = OrderedDict()
+
+    def get(self, key: float) -> dict[int, int] | None:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key: float, value: dict[int, int]) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        if len(self._entries) > self._size:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
 
 class PopulationFeed:
     """Callable ``t_seconds -> {person_id: landmark}`` over a matched trace."""
 
     def __init__(self, matched: MatchedTrajectories, cache_size: int = 8) -> None:
-        if cache_size < 1:
-            raise ValueError("cache_size must be positive")
         self.matched = matched
-        self._cache: dict[float, dict[int, int]] = {}
-        self._cache_order: list[float] = []
-        self._cache_size = cache_size
+        self._cache = _QueryCache(cache_size)
 
     def __call__(self, t_seconds: float) -> dict[int, int]:
-        if t_seconds in self._cache:
-            return self._cache[t_seconds]
+        cached = self._cache.get(t_seconds)
+        if cached is not None:
+            return cached
         positions = self.matched.nodes_at_time(t_seconds)
-        self._cache[t_seconds] = positions
-        self._cache_order.append(t_seconds)
-        if len(self._cache_order) > self._cache_size:
-            oldest = self._cache_order.pop(0)
-            self._cache.pop(oldest, None)
+        self._cache.put(t_seconds, positions)
         return positions
 
 
@@ -75,9 +111,7 @@ class HistoricalFallbackFeed:
         self.matched = matched
         self.staleness_s = float(staleness_s)
         self._habits = self._build_habits(history_start_s, history_end_s)
-        self._cache: dict[float, dict[int, int]] = {}
-        self._cache_order: list[float] = []
-        self._cache_size = cache_size
+        self._cache = _QueryCache(cache_size)
         #: Query-time statistics, for observability.
         self.fallback_uses = 0
 
@@ -112,8 +146,9 @@ class HistoricalFallbackFeed:
         return None
 
     def __call__(self, t_seconds: float) -> dict[int, int]:
-        if t_seconds in self._cache:
-            return self._cache[t_seconds]
+        cached = self._cache.get(t_seconds)
+        if cached is not None:
+            return cached
         out: dict[int, int] = {}
         for pid, (ts, nodes) in self.matched.trajectories.items():
             i = int(np.searchsorted(ts, t_seconds, side="right")) - 1
@@ -126,8 +161,52 @@ class HistoricalFallbackFeed:
                     self.fallback_uses += 1
                     continue
             out[pid] = int(nodes[i])
-        self._cache[t_seconds] = out
-        self._cache_order.append(t_seconds)
-        if len(self._cache_order) > self._cache_size:
-            self._cache.pop(self._cache_order.pop(0), None)
+        self._cache.put(t_seconds, out)
+        return out
+
+
+class DegradedPositionFeed:
+    """A position feed seen through injected GPS outages.
+
+    While a person is inside one of their sampled outage windows the
+    dispatch center has no fresh fix for them.  If the inner feed knows
+    historical habits (:class:`HistoricalFallbackFeed`), the person is
+    placed at their habitual hour-of-day landmark — the paper's Section
+    IV-C5 degraded-sensing path; otherwise the person is withheld from
+    the snapshot entirely, so the predictor plans only on what the
+    dispatch center would actually see.
+
+    Results are not cached here: the inner feed caches its own answers,
+    and the outage overlay is a cheap per-person membership test.
+    """
+
+    def __init__(self, inner: PositionFeed, faults: "FaultInjector") -> None:
+        self.inner = inner
+        self.faults = faults
+        #: People placed at their historical estimate so far.
+        self.fallback_uses = 0
+        #: People withheld (stale fix, no history to fall back on).
+        self.stale_drops = 0
+
+    def habitual_node(self, pid: int, t_seconds: float) -> int | None:
+        """Delegate so stacked wrappers keep the fallback path."""
+        inner_habitual = getattr(self.inner, "habitual_node", None)
+        if inner_habitual is None:
+            return None
+        return inner_habitual(pid, t_seconds)
+
+    def __call__(self, t_seconds: float) -> dict[int, int]:
+        base = self.inner(t_seconds)
+        inner_habitual = getattr(self.inner, "habitual_node", None)
+        out: dict[int, int] = {}
+        for pid, node in base.items():
+            if not self.faults.gps_stale(pid, t_seconds):
+                out[pid] = node
+                continue
+            estimated = inner_habitual(pid, t_seconds) if inner_habitual else None
+            if estimated is None:
+                self.stale_drops += 1
+            else:
+                out[pid] = estimated
+                self.fallback_uses += 1
         return out

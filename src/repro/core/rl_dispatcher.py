@@ -20,6 +20,7 @@ exactly as Section IV-C4 prescribes.
 
 from __future__ import annotations
 
+import logging
 from collections import defaultdict
 from dataclasses import dataclass
 
@@ -38,6 +39,8 @@ from repro.dispatch.base import (
 )
 from repro.ml.dqn import DQNAgent, DQNConfig
 from repro.roadnet.matrix import travel_time_oracle
+
+logger = logging.getLogger("repro.core.rl_dispatcher")
 
 
 @dataclass
@@ -93,6 +96,9 @@ class MobiRescueDispatcher(Dispatcher):
         #: ñ_e of the last cycle, for the Fig 15/16 prediction experiments.
         self.last_prediction: dict[int, int] = {}
         self._anchor_cache: tuple[frozenset[int], dict[int, int]] | None = None
+        #: Cycles where the prediction stage failed and the dispatcher
+        #: degraded to reactive (pending-only) dispatching.
+        self.prediction_failures = 0
 
     def _operable_anchor(self, segment_id: int, obs: DispatchObservation) -> int:
         """Nearest operable segment to a (possibly submerged) segment."""
@@ -117,9 +123,22 @@ class MobiRescueDispatcher(Dispatcher):
         t = obs.t_s
         flood_level = self.scenario.timeline.flood_level(t)
 
-        raw_predicted = self.predictor.predict_request_distribution(
-            self.positions_fn(t), t
-        )
+        # Degraded sensing must not take the dispatch center down: if the
+        # position feed or the predictor fails (dead GPS backends, a
+        # diverged model), fall back to reactive dispatching on called-in
+        # requests only — stage A still works without stage-2 predictions.
+        try:
+            raw_predicted = self.predictor.predict_request_distribution(
+                self.positions_fn(t), t
+            )
+        except Exception as exc:  # noqa: BLE001 - any sensing failure degrades
+            self.prediction_failures += 1
+            logger.warning(
+                "t=%.0f prediction stage failed (%s: %s); "
+                "degrading to pending-only dispatch",
+                t, type(exc).__name__, exc,
+            )
+            raw_predicted = {}
         self.last_prediction = dict(raw_predicted)
         predicted: dict[int, float] = defaultdict(float)
         for seg, n in raw_predicted.items():

@@ -15,6 +15,8 @@ to solve, the trained RL model answers in < 0.5 s.
 from __future__ import annotations
 
 import abc
+import logging
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -104,3 +106,77 @@ class Dispatcher(abc.ABC):
     def on_cycle_end(self, obs: DispatchObservation) -> None:
         """Hook invoked after commands are applied; used by learning
         dispatchers for online training.  Default: no-op."""
+
+
+class DispatchGuard:
+    """Defensive wrapper around one dispatcher's cycle calls.
+
+    The dispatch center is software running inside a disaster: it can
+    crash, and an overloaded solver can blow its compute budget.  Neither
+    may abort the rescue operation.  The guard converts both failure
+    modes into a *fallback activation*: the cycle yields no new commands
+    (teams retain their current orders, idle teams hold position) and the
+    incident is reported to the caller instead of propagating.
+
+    ``budget_s`` is a wall-clock bound on one ``dispatch`` call; ``None``
+    disables the budget check.  Hook calls (``observe_requests``,
+    ``on_cycle_end``) are guarded too — a learning dispatcher whose
+    training step diverges must not take the simulation down with it.
+    """
+
+    def __init__(self, dispatcher: Dispatcher, budget_s: float | None = None) -> None:
+        if budget_s is not None and budget_s <= 0:
+            raise ValueError("compute budget must be positive (or None to disable)")
+        self.dispatcher = dispatcher
+        self.budget_s = budget_s
+        self.fallback_count = 0
+        self.hook_error_count = 0
+        self._log = logging.getLogger("repro.dispatch.guard")
+
+    def dispatch(
+        self, obs: DispatchObservation
+    ) -> tuple[dict[int, TeamCommand], str | None]:
+        """One guarded cycle: ``(commands, incident)``.
+
+        ``incident`` is ``None`` on success, otherwise a short description
+        of why the fallback policy was activated (and ``commands`` is
+        empty).
+        """
+        t_s = getattr(obs, "t_s", float("nan"))
+        start = time.perf_counter()
+        try:
+            action = self.dispatcher.dispatch(obs)
+        except Exception as exc:  # noqa: BLE001 - the whole point of the guard
+            self.fallback_count += 1
+            incident = f"dispatcher raised {type(exc).__name__}: {exc}"
+            self._log.warning("t=%.0f %s; fallback policy active", t_s, incident)
+            return {}, incident
+        elapsed = time.perf_counter() - start
+        if self.budget_s is not None and elapsed > self.budget_s:
+            self.fallback_count += 1
+            incident = (
+                f"dispatcher exceeded compute budget ({elapsed:.3f}s > {self.budget_s:.3f}s)"
+            )
+            self._log.warning("t=%.0f %s; commands discarded", t_s, incident)
+            return {}, incident
+        return action, None
+
+    def observe_requests(self, requests: "list[RescueRequest]") -> str | None:
+        try:
+            self.dispatcher.observe_requests(requests)
+            return None
+        except Exception as exc:  # noqa: BLE001
+            self.hook_error_count += 1
+            incident = f"observe_requests raised {type(exc).__name__}: {exc}"
+            self._log.warning("%s; ignored", incident)
+            return incident
+
+    def on_cycle_end(self, obs: DispatchObservation) -> str | None:
+        try:
+            self.dispatcher.on_cycle_end(obs)
+            return None
+        except Exception as exc:  # noqa: BLE001
+            self.hook_error_count += 1
+            incident = f"on_cycle_end raised {type(exc).__name__}: {exc}"
+            self._log.warning("%s; ignored", incident)
+            return incident

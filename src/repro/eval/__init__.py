@@ -5,6 +5,12 @@ from repro.eval.stats import cdf, cdf_at, pearson
 from repro.eval.harness import ExperimentHarness, HarnessConfig, MethodRun
 from repro.eval.ascii import ascii_cdf, ascii_chart
 from repro.eval.experiments import DispatchExperiments, MeasurementSuite
+from repro.eval.robustness import (
+    RobustnessCell,
+    RobustnessConfig,
+    RobustnessSweep,
+    format_degradation_table,
+)
 
 __all__ = [
     "DispatchExperiments",
@@ -12,9 +18,13 @@ __all__ = [
     "HarnessConfig",
     "MeasurementSuite",
     "MethodRun",
+    "RobustnessCell",
+    "RobustnessConfig",
+    "RobustnessSweep",
     "ascii_cdf",
     "ascii_chart",
     "cdf",
     "cdf_at",
+    "format_degradation_table",
     "pearson",
 ]

@@ -38,6 +38,11 @@ class HarnessConfig:
     mobirescue_episodes: int = 6
     mobirescue_config: MobiRescueConfig = field(default_factory=MobiRescueConfig)
     seed: int = 0
+    #: Named fault profile (``repro.faults``) injected into every run;
+    #: ``"none"`` keeps the fault layer disabled and zero-cost.
+    fault_profile: str = "none"
+    #: Wall-clock budget per dispatcher invocation (None disables).
+    dispatch_budget_s: float | None = None
 
 
 @dataclass
@@ -108,6 +113,20 @@ class ExperimentHarness:
             )
         return self._system
 
+    def adopt_system(self, system: MobiRescueSystem) -> None:
+        """Reuse an already-trained system (robustness sweeps train once
+        and evaluate the same models under every fault profile)."""
+        self._system = system
+
+    def fault_injector(self):
+        """A fresh injector for this harness's profile, or ``None``."""
+        from repro.faults import make_injector
+
+        t0, t1 = self.eval_window
+        return make_injector(
+            self.config.fault_profile, t0, t1, seed=self.config.seed
+        )
+
     # -- dispatch construction --------------------------------------------------
 
     def make_dispatcher(self, name: str) -> Dispatcher:
@@ -135,6 +154,17 @@ class ExperimentHarness:
             return self._runs[name]
         t0, t1 = self.eval_window
         dispatcher = self.make_dispatcher(name)
+        injector = self.fault_injector()
+        if injector is not None and injector.profile.gps.enabled and hasattr(
+            dispatcher, "positions_fn"
+        ):
+            # GPS dropout degrades the dispatch center's population feed —
+            # only MobiRescue senses positions, so only it is affected.
+            from repro.core.positions import DegradedPositionFeed
+
+            dispatcher.positions_fn = DegradedPositionFeed(
+                dispatcher.positions_fn, injector
+            )
         sim = RescueSimulator(
             self.florence_scenario,
             self.eval_requests(),
@@ -147,7 +177,9 @@ class ExperimentHarness:
                 dispatch_period_s=self.config.dispatch_period_s,
                 step_s=self.config.step_s,
                 seed=self.config.seed,
+                dispatch_budget_s=self.config.dispatch_budget_s,
             ),
+            faults=injector,
         )
         result = sim.run()
         run = MethodRun(

@@ -1,0 +1,170 @@
+"""Robustness evaluation: dispatchers under fault-injection profiles.
+
+Sweeps fault severity (``repro.faults`` profiles) × dispatching methods
+over the same evaluation window and reports a degradation table: how
+served requests, delays and timeliness erode as the disaster degrades the
+infrastructure the dispatch center depends on, plus the degradation
+events themselves (fallback activations, dropped commands, breakdowns,
+reroutes).
+
+The MobiRescue models are trained once and evaluated under every
+profile — the point is how a fixed policy *degrades*, not how it would
+train under faults.
+
+Typical use::
+
+    from repro.eval.robustness import RobustnessSweep, format_degradation_table
+
+    sweep = RobustnessSweep(florence, michael)
+    cells = sweep.run()
+    print(format_degradation_table(cells))
+
+or from the CLI: ``python -m repro robustness --profiles none,severe``.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.eval.harness import ExperimentHarness, HarnessConfig, MethodRun
+from repro.eval.tables import format_table
+
+logger = logging.getLogger("repro.eval.robustness")
+
+
+@dataclass(frozen=True)
+class RobustnessConfig:
+    """One sweep: which profiles, which methods, shared harness params."""
+
+    profiles: tuple[str, ...] = ("none", "mild", "severe")
+    methods: tuple[str, ...] = ("MobiRescue", "Rescue", "Schedule", "Nearest")
+    harness: HarnessConfig = field(default_factory=HarnessConfig)
+
+    def __post_init__(self) -> None:
+        if not self.profiles:
+            raise ValueError("need at least one fault profile")
+        if not self.methods:
+            raise ValueError("need at least one method")
+
+
+@dataclass(frozen=True)
+class RobustnessCell:
+    """One (profile, method) outcome of the sweep."""
+
+    profile: str
+    method: str
+    served: int
+    timely: int
+    service_rate: float
+    median_delay_s: float
+    mean_timeliness_s: float
+    fallback_activations: int
+    dropped_commands: int
+    breakdowns: int
+    reroutes: int
+
+
+def _cell(profile: str, run: MethodRun) -> RobustnessCell:
+    m = run.metrics
+    delays = m.driving_delays()
+    timeliness = m.timeliness_values()
+    return RobustnessCell(
+        profile=profile,
+        method=run.name,
+        served=run.result.num_served,
+        timely=m.total_timely_served,
+        service_rate=m.service_rate,
+        median_delay_s=float(np.median(delays)) if len(delays) else float("nan"),
+        mean_timeliness_s=float(np.mean(timeliness)) if len(timeliness) else float("nan"),
+        fallback_activations=m.fallback_activations,
+        dropped_commands=m.dropped_commands,
+        breakdowns=m.breakdowns,
+        reroutes=m.reroutes,
+    )
+
+
+class RobustnessSweep:
+    """Run every method under every fault profile, same window and seed."""
+
+    def __init__(
+        self,
+        florence,
+        michael,
+        config: RobustnessConfig | None = None,
+    ) -> None:
+        self.florence = florence
+        self.michael = michael
+        self.config = config or RobustnessConfig()
+
+    def run(self, progress=None) -> list[RobustnessCell]:
+        """All (profile, method) cells, profiles in configured order.
+
+        ``progress`` is an optional ``callable(str)`` invoked before each
+        run (the CLI routes it to stderr).
+        """
+        cfg = self.config
+        cells: list[RobustnessCell] = []
+        trained = None
+        for profile in cfg.profiles:
+            harness = ExperimentHarness(
+                self.florence,
+                self.michael,
+                replace(cfg.harness, fault_profile=profile),
+            )
+            if "MobiRescue" in cfg.methods:
+                if trained is None:
+                    if progress:
+                        progress("training MobiRescue...")
+                    trained = harness.system()
+                else:
+                    harness.adopt_system(trained)
+            for method in cfg.methods:
+                if progress:
+                    progress(f"running {method} under {profile!r}...")
+                run = harness.run_method(method)
+                cell = _cell(profile, run)
+                cells.append(cell)
+                logger.info(
+                    "profile=%s method=%s served=%d timely=%d fallbacks=%d "
+                    "dropped=%d breakdowns=%d reroutes=%d",
+                    profile, method, cell.served, cell.timely,
+                    cell.fallback_activations, cell.dropped_commands,
+                    cell.breakdowns, cell.reroutes,
+                )
+        return cells
+
+
+def format_degradation_table(cells: list[RobustnessCell]) -> str:
+    """The sweep as one fixed-width degradation table."""
+
+    def _minutes(seconds: float) -> str:
+        return f"{seconds / 60:.1f}" if np.isfinite(seconds) else "-"
+
+    rows = [
+        [
+            c.profile,
+            c.method,
+            c.served,
+            c.timely,
+            f"{c.service_rate:.2f}",
+            _minutes(c.median_delay_s),
+            _minutes(c.mean_timeliness_s),
+            c.fallback_activations,
+            c.dropped_commands,
+            c.breakdowns,
+            c.reroutes,
+        ]
+        for c in cells
+    ]
+    return format_table(
+        [
+            "profile", "method", "served", "timely", "rate",
+            "med delay (min)", "mean timeliness (min)",
+            "fallbacks", "dropped cmds", "breakdowns", "reroutes",
+        ],
+        rows,
+        title="Degradation under fault injection",
+    )

@@ -1,0 +1,58 @@
+"""Disaster-grade fault injection for the dispatch pipeline.
+
+MobiRescue operates *inside* a disaster, where the infrastructure the
+dispatch center depends on is itself degraded: cellphone GPS feeds go
+stale (paper Section IV-C5), radio links to teams drop, vehicles break
+down mid-rescue, roads close beyond what the flood model predicts, and
+the dispatch software itself can crash or blow its compute budget.
+
+This package provides deterministic, seeded fault models for all five
+failure families plus named severity profiles (``none``, ``mild``,
+``severe``, ``blackout``) so robustness experiments are reproducible:
+the same seed and profile always produce bit-identical fault schedules,
+independent of query order.
+
+Typical use::
+
+    from repro.faults import make_injector
+
+    injector = make_injector("severe", t0_s, t1_s, seed=0)
+    sim = RescueSimulator(scenario, requests, dispatcher, config,
+                          faults=injector)
+"""
+
+from repro.faults.models import (
+    CommLossFault,
+    DispatcherFailureFault,
+    FaultInjector,
+    FaultModel,
+    GpsDropoutFault,
+    InjectedDispatcherFault,
+    OutageWindow,
+    RoadClosureFault,
+    TeamBreakdownFault,
+    sample_windows,
+)
+from repro.faults.profiles import (
+    PROFILES,
+    FaultProfile,
+    get_profile,
+    make_injector,
+)
+
+__all__ = [
+    "CommLossFault",
+    "DispatcherFailureFault",
+    "FaultInjector",
+    "FaultModel",
+    "FaultProfile",
+    "GpsDropoutFault",
+    "InjectedDispatcherFault",
+    "OutageWindow",
+    "PROFILES",
+    "RoadClosureFault",
+    "TeamBreakdownFault",
+    "get_profile",
+    "make_injector",
+    "sample_windows",
+]

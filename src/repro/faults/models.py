@@ -1,0 +1,354 @@
+"""Composable, seeded fault models and the injection oracle.
+
+Each fault family is a frozen dataclass of parameters implementing the
+:class:`FaultModel` protocol: given a per-entity random generator and the
+simulation window, it samples that entity's outage windows.  The
+:class:`FaultInjector` answers the engine's point queries ("is team 7's
+radio down at t?", "which extra segments are closed now?") from those
+schedules.
+
+Determinism is the load-bearing property.  Every random draw comes from a
+generator keyed by ``(seed, family tag, entity id)``, so an entity's
+schedule depends only on the seed — never on how many other entities
+exist, which order queries arrive in, or what the dispatcher happens to
+do.  Two runs with the same seed and profile see bit-identical faults.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+import numpy as np
+
+if TYPE_CHECKING:
+    from repro.faults.profiles import FaultProfile
+
+logger = logging.getLogger("repro.faults")
+
+#: Stream tags keep each family's random substream independent: the
+#: generator for (seed, tag, entity) never collides across families.
+_TAG_GPS = 101
+_TAG_COMM = 102
+_TAG_BREAKDOWN = 103
+_TAG_CLOSURE = 104
+_TAG_DISPATCHER = 105
+
+
+class InjectedDispatcherFault(RuntimeError):
+    """Raised (conceptually) by a failing dispatch center; the engine's
+    guard converts it into a fallback activation."""
+
+
+@dataclass(frozen=True)
+class OutageWindow:
+    """One half-open fault interval ``[start_s, end_s)``."""
+
+    start_s: float
+    end_s: float
+
+    def covers(self, t_s: float) -> bool:
+        return self.start_s <= t_s < self.end_s
+
+
+def _merge(spans: list[tuple[float, float]]) -> tuple[OutageWindow, ...]:
+    """Sort and coalesce overlapping spans into disjoint windows."""
+    merged: list[tuple[float, float]] = []
+    for start, end in sorted(spans):
+        if end <= start:
+            continue
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return tuple(OutageWindow(s, e) for s, e in merged)
+
+
+def sample_windows(
+    rng: np.random.Generator,
+    t0_s: float,
+    t1_s: float,
+    p_affected: float,
+    events_per_entity: float,
+    mean_duration_s: float,
+) -> tuple[OutageWindow, ...]:
+    """Sample one entity's outage windows over ``[t0, t1]``.
+
+    With probability ``p_affected`` the entity suffers at least one
+    outage; the outage count is Poisson around ``events_per_entity`` and
+    each duration is exponential around ``mean_duration_s``, clipped to
+    the window.  Overlaps are merged.
+    """
+    if p_affected <= 0.0 or rng.random() >= p_affected:
+        return ()
+    n = max(1, int(rng.poisson(max(events_per_entity, 1e-9))))
+    spans = []
+    for _ in range(n):
+        start = float(rng.uniform(t0_s, t1_s))
+        duration = float(rng.exponential(mean_duration_s))
+        spans.append((start, min(t1_s, start + duration)))
+    return _merge(spans)
+
+
+@runtime_checkable
+class FaultModel(Protocol):
+    """One composable fault family.
+
+    ``enabled`` lets the injector skip a family entirely (the ``none``
+    profile must be zero-cost); ``windows_for`` samples one entity's
+    outage schedule from a generator private to that entity.
+    """
+
+    @property
+    def enabled(self) -> bool: ...
+
+    def windows_for(
+        self, rng: np.random.Generator, t0_s: float, t1_s: float
+    ) -> tuple[OutageWindow, ...]: ...
+
+
+@dataclass(frozen=True)
+class GpsDropoutFault:
+    """A fraction of the population loses GPS fixes for sampled windows.
+
+    While a person is inside an outage window the dispatch center sees no
+    fresh fix for them: the position feed falls back to their historical
+    hour-of-day estimate (Section IV-C5) when available, or withholds the
+    person entirely.
+    """
+
+    p_affected: float = 0.0
+    outages_per_person: float = 1.0
+    mean_outage_s: float = 4 * 3_600.0
+
+    @property
+    def enabled(self) -> bool:
+        return self.p_affected > 0.0
+
+    def windows_for(self, rng, t0_s, t1_s):
+        return sample_windows(
+            rng, t0_s, t1_s, self.p_affected, self.outages_per_person, self.mean_outage_s
+        )
+
+
+@dataclass(frozen=True)
+class CommLossFault:
+    """Dispatch commands to a team are lost during radio outages.
+
+    A command whose apply time falls inside an affected team's outage
+    window never reaches the vehicle: the team keeps executing its last
+    command (or holds position).  ``extra_latency_s`` additionally delays
+    *every* command's application, modelling a congested disaster
+    network.
+    """
+
+    p_affected: float = 0.0
+    outages_per_team: float = 1.0
+    mean_outage_s: float = 2 * 3_600.0
+    extra_latency_s: float = 0.0
+
+    @property
+    def enabled(self) -> bool:
+        return self.p_affected > 0.0 or self.extra_latency_s > 0.0
+
+    def windows_for(self, rng, t0_s, t1_s):
+        return sample_windows(
+            rng, t0_s, t1_s, self.p_affected, self.outages_per_team, self.mean_outage_s
+        )
+
+
+@dataclass(frozen=True)
+class TeamBreakdownFault:
+    """A team becomes inoperable mid-leg for a repair duration.
+
+    The vehicle stops where it is; onboard passengers are stranded until
+    the repair completes, after which the team resumes (delivering
+    passengers first if it carries any).
+    """
+
+    p_affected: float = 0.0
+    breakdowns_per_team: float = 1.0
+    mean_repair_s: float = 1 * 3_600.0
+
+    @property
+    def enabled(self) -> bool:
+        return self.p_affected > 0.0
+
+    def windows_for(self, rng, t0_s, t1_s):
+        return sample_windows(
+            rng, t0_s, t1_s, self.p_affected, self.breakdowns_per_team, self.mean_repair_s
+        )
+
+
+@dataclass(frozen=True)
+class RoadClosureFault:
+    """Operable segments close beyond the flood model (debris, collapse).
+
+    Affected segments are treated exactly like flooded ones: routing
+    avoids them, teams driving into one detour, pending requests anchored
+    on one are re-anchored to the water's edge.
+    """
+
+    p_affected: float = 0.0
+    closures_per_segment: float = 1.0
+    mean_closure_s: float = 6 * 3_600.0
+
+    @property
+    def enabled(self) -> bool:
+        return self.p_affected > 0.0
+
+    def windows_for(self, rng, t0_s, t1_s):
+        return sample_windows(
+            rng, t0_s, t1_s, self.p_affected, self.closures_per_segment, self.mean_closure_s
+        )
+
+
+@dataclass(frozen=True)
+class DispatcherFailureFault:
+    """The dispatch software fails on a fraction of cycles.
+
+    A failing cycle behaves as if the dispatcher raised: the engine's
+    guard activates the fallback policy (teams retain their current
+    commands; idle teams hold position) and records the incident.
+    """
+
+    p_fail_per_cycle: float = 0.0
+
+    @property
+    def enabled(self) -> bool:
+        return self.p_fail_per_cycle > 0.0
+
+    def windows_for(self, rng, t0_s, t1_s):  # pragma: no cover - not window-based
+        return ()
+
+    def fails(self, rng: np.random.Generator) -> bool:
+        return bool(rng.random() < self.p_fail_per_cycle)
+
+
+class FaultInjector:
+    """Deterministic fault oracle for one simulation window.
+
+    Built from a :class:`~repro.faults.profiles.FaultProfile`, a seed and
+    the window ``[t0, t1]``.  Per-entity schedules are sampled lazily and
+    cached; closure schedules are sampled eagerly when the engine binds
+    the segment universe via :meth:`bind_segments`.
+    """
+
+    def __init__(
+        self, profile: "FaultProfile", t0_s: float, t1_s: float, seed: int = 0
+    ) -> None:
+        if t1_s <= t0_s:
+            raise ValueError("need t0 < t1")
+        if seed < 0:
+            raise ValueError("seed must be non-negative")
+        self.profile = profile
+        self.t0_s = float(t0_s)
+        self.t1_s = float(t1_s)
+        self.seed = int(seed)
+        self._gps: dict[int, tuple[OutageWindow, ...]] = {}
+        self._comm: dict[int, tuple[OutageWindow, ...]] = {}
+        self._breakdown: dict[int, tuple[OutageWindow, ...]] = {}
+        #: segment -> closure windows; populated by :meth:`bind_segments`.
+        self._closures: dict[int, tuple[OutageWindow, ...]] = {}
+        self._segments_bound = False
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _rng(self, tag: int, entity: int) -> np.random.Generator:
+        return np.random.default_rng([self.seed, tag, int(entity)])
+
+    def _windows(
+        self,
+        model: FaultModel,
+        tag: int,
+        entity: int,
+        cache: dict[int, tuple[OutageWindow, ...]],
+    ) -> tuple[OutageWindow, ...]:
+        if not model.enabled:
+            return ()
+        if entity not in cache:
+            cache[entity] = model.windows_for(self._rng(tag, entity), self.t0_s, self.t1_s)
+        return cache[entity]
+
+    @staticmethod
+    def _covering(windows: tuple[OutageWindow, ...], t_s: float) -> OutageWindow | None:
+        for w in windows:
+            if w.covers(t_s):
+                return w
+        return None
+
+    @property
+    def is_null(self) -> bool:
+        """True when no fault family is active (the ``none`` profile)."""
+        return self.profile.is_null
+
+    # -- GPS ----------------------------------------------------------------
+
+    def gps_stale(self, person_id: int, t_s: float) -> bool:
+        """Is this person's GPS fix unavailable right now?"""
+        windows = self._windows(self.profile.gps, _TAG_GPS, person_id, self._gps)
+        return self._covering(windows, t_s) is not None
+
+    # -- communication ------------------------------------------------------
+
+    def comm_blocked(self, team_id: int, t_s: float) -> bool:
+        """Is this team's radio link down right now?"""
+        windows = self._windows(self.profile.comm, _TAG_COMM, team_id, self._comm)
+        return self._covering(windows, t_s) is not None
+
+    @property
+    def comm_latency_s(self) -> float:
+        """Extra network latency applied to every command's apply time."""
+        return self.profile.comm.extra_latency_s
+
+    # -- breakdowns ---------------------------------------------------------
+
+    def breakdown_window(self, team_id: int, t_s: float) -> OutageWindow | None:
+        """The breakdown window covering ``t``, if the team is broken down."""
+        windows = self._windows(
+            self.profile.breakdown, _TAG_BREAKDOWN, team_id, self._breakdown
+        )
+        return self._covering(windows, t_s)
+
+    # -- road closures ------------------------------------------------------
+
+    def bind_segments(self, segment_ids: list[int]) -> None:
+        """Sample the closure schedule over the network's segments.
+
+        Idempotent; called once by the engine.  Per-segment schedules are
+        keyed by segment id, so they do not depend on the list's order.
+        """
+        if self._segments_bound or not self.profile.closure.enabled:
+            self._segments_bound = True
+            return
+        model = self.profile.closure
+        for seg in segment_ids:
+            windows = model.windows_for(self._rng(_TAG_CLOSURE, seg), self.t0_s, self.t1_s)
+            if windows:
+                self._closures[int(seg)] = windows
+        self._segments_bound = True
+        logger.info(
+            "fault closures bound: %d/%d segments affected",
+            len(self._closures),
+            len(segment_ids),
+        )
+
+    def closed_segments(self, t_s: float) -> frozenset[int]:
+        """Extra segments closed by injected faults at ``t`` (beyond flood)."""
+        if not self._closures:
+            return frozenset()
+        return frozenset(
+            seg
+            for seg, windows in self._closures.items()
+            if self._covering(windows, t_s) is not None
+        )
+
+    # -- dispatcher ---------------------------------------------------------
+
+    def dispatcher_fails(self, cycle_index: int) -> bool:
+        """Does the dispatch software fail on this cycle?"""
+        model = self.profile.dispatcher
+        if not model.enabled:
+            return False
+        return model.fails(self._rng(_TAG_DISPATCHER, cycle_index))

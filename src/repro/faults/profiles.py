@@ -1,0 +1,133 @@
+"""Named fault profiles for reproducible robustness experiments.
+
+A profile bundles one parameterisation of every fault family.  The four
+shipped severities:
+
+``none``
+    Every family disabled.  The engine skips the fault layer entirely, so
+    results are bit-identical to a run without an injector.
+
+``mild``
+    Early-disaster degradation: scattered GPS outages, occasional radio
+    drops, a rare breakdown.  Dispatching should degrade by a few percent.
+
+``severe``
+    Peak-disaster degradation: a third of phones dark for hours, frequent
+    radio loss, breakdowns and surprise closures, the dispatch software
+    failing one cycle in twenty.
+
+``blackout``
+    Infrastructure collapse: most phones dark, most radio traffic lost
+    with heavy latency, widespread closures, the dispatcher failing every
+    fifth cycle.  A stress ceiling, not a realistic operating point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.faults.models import (
+    CommLossFault,
+    DispatcherFailureFault,
+    FaultInjector,
+    GpsDropoutFault,
+    RoadClosureFault,
+    TeamBreakdownFault,
+)
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """One parameterisation of all five fault families."""
+
+    name: str
+    gps: GpsDropoutFault = field(default_factory=GpsDropoutFault)
+    comm: CommLossFault = field(default_factory=CommLossFault)
+    breakdown: TeamBreakdownFault = field(default_factory=TeamBreakdownFault)
+    closure: RoadClosureFault = field(default_factory=RoadClosureFault)
+    dispatcher: DispatcherFailureFault = field(default_factory=DispatcherFailureFault)
+
+    @property
+    def is_null(self) -> bool:
+        return not (
+            self.gps.enabled
+            or self.comm.enabled
+            or self.breakdown.enabled
+            or self.closure.enabled
+            or self.dispatcher.enabled
+        )
+
+
+PROFILES: dict[str, FaultProfile] = {
+    "none": FaultProfile(name="none"),
+    "mild": FaultProfile(
+        name="mild",
+        gps=GpsDropoutFault(p_affected=0.10, outages_per_person=1.0, mean_outage_s=2 * 3_600.0),
+        comm=CommLossFault(p_affected=0.10, outages_per_team=1.0, mean_outage_s=1 * 3_600.0),
+        breakdown=TeamBreakdownFault(
+            p_affected=0.05, breakdowns_per_team=1.0, mean_repair_s=0.5 * 3_600.0
+        ),
+        closure=RoadClosureFault(
+            p_affected=0.02, closures_per_segment=1.0, mean_closure_s=3 * 3_600.0
+        ),
+        dispatcher=DispatcherFailureFault(p_fail_per_cycle=0.01),
+    ),
+    "severe": FaultProfile(
+        name="severe",
+        gps=GpsDropoutFault(p_affected=0.35, outages_per_person=1.5, mean_outage_s=5 * 3_600.0),
+        comm=CommLossFault(
+            p_affected=0.30,
+            outages_per_team=2.0,
+            mean_outage_s=2 * 3_600.0,
+            extra_latency_s=30.0,
+        ),
+        breakdown=TeamBreakdownFault(
+            p_affected=0.15, breakdowns_per_team=1.0, mean_repair_s=1.5 * 3_600.0
+        ),
+        closure=RoadClosureFault(
+            p_affected=0.08, closures_per_segment=1.5, mean_closure_s=5 * 3_600.0
+        ),
+        dispatcher=DispatcherFailureFault(p_fail_per_cycle=0.05),
+    ),
+    "blackout": FaultProfile(
+        name="blackout",
+        gps=GpsDropoutFault(p_affected=0.80, outages_per_person=2.0, mean_outage_s=10 * 3_600.0),
+        comm=CommLossFault(
+            p_affected=0.70,
+            outages_per_team=3.0,
+            mean_outage_s=4 * 3_600.0,
+            extra_latency_s=120.0,
+        ),
+        breakdown=TeamBreakdownFault(
+            p_affected=0.30, breakdowns_per_team=1.5, mean_repair_s=2 * 3_600.0
+        ),
+        closure=RoadClosureFault(
+            p_affected=0.20, closures_per_segment=2.0, mean_closure_s=8 * 3_600.0
+        ),
+        dispatcher=DispatcherFailureFault(p_fail_per_cycle=0.20),
+    ),
+}
+
+
+def get_profile(name: str) -> FaultProfile:
+    """Look up a shipped profile by name."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(PROFILES))
+        raise ValueError(f"unknown fault profile {name!r} (choose from: {known})") from None
+
+
+def make_injector(
+    profile: str | FaultProfile, t0_s: float, t1_s: float, seed: int = 0
+) -> FaultInjector | None:
+    """Build an injector for a profile, or ``None`` for a null profile.
+
+    Returning ``None`` for ``none`` keeps the engine's fault layer
+    zero-cost when disabled — the hot loop never even branches on it.
+    """
+    if isinstance(profile, str):
+        profile = get_profile(profile)
+    if profile.is_null:
+        return None
+    return FaultInjector(profile, t0_s, t1_s, seed=seed)

@@ -12,10 +12,16 @@ comparison.
 
 from repro.sim.requests import RescueRequest, requests_from_rescues
 from repro.sim.teams import RescueTeam, TeamState
-from repro.sim.engine import RescueSimulator, SimulationConfig, SimulationResult
+from repro.sim.engine import (
+    IncidentEvent,
+    RescueSimulator,
+    SimulationConfig,
+    SimulationResult,
+)
 from repro.sim.metrics import SimulationMetrics
 
 __all__ = [
+    "IncidentEvent",
     "RescueRequest",
     "RescueSimulator",
     "RescueTeam",

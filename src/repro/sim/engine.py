@@ -17,17 +17,30 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import logging
 from collections import deque
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.data.charlotte import CharlotteScenario
-from repro.dispatch.base import DispatchObservation, Dispatcher, TeamCommand, TeamView
+from repro.dispatch.base import (
+    DispatchGuard,
+    DispatchObservation,
+    Dispatcher,
+    TeamCommand,
+    TeamView,
+)
 from repro.hospitals.hospitals import Hospital
 from repro.roadnet.routing import Route, route_to_segment, shortest_path, shortest_time_from
 from repro.sim.requests import RescueRequest
 from repro.sim.teams import RescueTeam, TeamState
+
+if TYPE_CHECKING:  # the fault layer is optional; only the type is needed here
+    from repro.faults.models import FaultInjector
+
+logger = logging.getLogger("repro.sim.engine")
 
 
 @dataclass(frozen=True)
@@ -46,6 +59,10 @@ class SimulationConfig:
     #: Requests served within this bound are "timely served" (paper: 30 min).
     timely_window_s: float = 1_800.0
     seed: int = 0
+    #: Wall-clock budget for one dispatcher invocation; an overrun
+    #: activates the fallback policy for that cycle.  ``None`` disables
+    #: the check (exceptions are always guarded regardless).
+    dispatch_budget_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.t1_s <= self.t0_s:
@@ -56,6 +73,12 @@ class SimulationConfig:
             raise ValueError("step and dispatch period must be positive")
         if self.step_s > self.dispatch_period_s:
             raise ValueError("step must not exceed the dispatch period")
+        if self.timely_window_s <= 0:
+            raise ValueError("timely window must be positive")
+        if not 0.0 < self.storm_slowdown <= 1.0:
+            raise ValueError("storm slowdown must be in (0, 1]")
+        if self.dispatch_budget_s is not None and self.dispatch_budget_s <= 0:
+            raise ValueError("dispatch budget must be positive (or None to disable)")
 
 
 @dataclass(frozen=True)
@@ -77,6 +100,24 @@ class DeliveryEvent:
     hospital_node: int
 
 
+@dataclass(frozen=True)
+class IncidentEvent:
+    """One degradation event recorded during a run.
+
+    Kinds: ``dispatcher_fallback`` (dispatcher raised, blew its compute
+    budget, or an injected dispatch-center failure), ``dropped_command``
+    (radio outage ate a command), ``breakdown`` / ``repair_complete``
+    (vehicle failure lifecycle), ``reroute`` (a team detoured around a
+    closed segment mid-leg), ``hook_error`` (a dispatcher hook raised and
+    was ignored).
+    """
+
+    kind: str
+    t_s: float
+    team_id: int | None = None
+    detail: str = ""
+
+
 @dataclass
 class SimulationResult:
     """Everything recorded during one simulation run."""
@@ -88,6 +129,8 @@ class SimulationResult:
     deliveries: list[DeliveryEvent] = field(default_factory=list)
     #: (cycle time, number of serving teams) samples, one per dispatch cycle.
     serving_samples: list[tuple[float, int]] = field(default_factory=list)
+    #: Degradation events (fault injection and graceful-degradation paths).
+    incidents: list[IncidentEvent] = field(default_factory=list)
 
     @property
     def num_served(self) -> int:
@@ -107,6 +150,7 @@ class RescueSimulator:
         requests: list[RescueRequest],
         dispatcher: Dispatcher,
         config: SimulationConfig,
+        faults: "FaultInjector | None" = None,
     ) -> None:
         self.scenario = scenario
         self.network = scenario.network
@@ -126,6 +170,14 @@ class RescueSimulator:
         )
         self._action_queue: list[tuple[float, int, dict[int, TeamCommand]]] = []
         self._action_counter = itertools.count()
+        #: Fault layer: ``None`` means zero-cost (no per-step branching
+        #: beyond one identity check).  A null injector is dropped here.
+        self.faults = faults if faults is not None and not faults.is_null else None
+        if self.faults is not None:
+            self.faults.bind_segments(self.network.segment_ids())
+        self._guard = DispatchGuard(dispatcher, budget_s=config.dispatch_budget_s)
+        #: (team_id, window start) of breakdowns already triggered.
+        self._handled_breakdowns: set[tuple[int, float]] = set()
 
     # -- setup ----------------------------------------------------------------
 
@@ -143,6 +195,20 @@ class RescueSimulator:
         ]
 
     # -- helpers ----------------------------------------------------------------
+
+    def _record_incident(
+        self, kind: str, t_s: float, team_id: int | None = None, detail: str = ""
+    ) -> None:
+        self._result.incidents.append(
+            IncidentEvent(kind=kind, t_s=t_s, team_id=team_id, detail=detail)
+        )
+        logger.info(
+            "incident %s t=%.0f%s%s",
+            kind,
+            t_s,
+            f" team={team_id}" if team_id is not None else "",
+            f" ({detail})" if detail else "",
+        )
 
     def _speed_multiplier(self, t: float) -> float:
         return max(0.2, 1.0 - self.config.storm_slowdown * self.scenario.timeline.flood_level(t))
@@ -192,7 +258,9 @@ class RescueSimulator:
             self._pending.setdefault(req.segment_id, deque()).append(req)
             newly.append(req)
         if newly:
-            self.dispatcher.observe_requests(newly)
+            incident = self._guard.observe_requests(newly)
+            if incident is not None:
+                self._record_incident("hook_error", upto_t, detail=incident)
             for req in newly:
                 self._immediate_pickup(req)
 
@@ -204,6 +272,7 @@ class RescueSimulator:
         for team in self._teams:
             if (
                 team.state is TeamState.IDLE
+                and not team.is_down
                 and team.capacity_left > 0
                 and team.node in (seg.u, seg.v)
             ):
@@ -394,6 +463,10 @@ class RescueSimulator:
                 orig_state = team.state
                 orig_target = team.target_segment
                 team.stop()
+                self._record_incident(
+                    "reroute", stall_t, team_id=team.team_id,
+                    detail=f"segment {seg} closed mid-leg",
+                )
                 if orig_state is TeamState.TO_HOSPITAL or team.passengers:
                     self._route_to_hospital(team, stall_t)
                 elif orig_target is not None and orig_target not in self._closed:
@@ -424,6 +497,66 @@ class RescueSimulator:
                 team.stop()
                 self._route_to_hospital(team, node_t)
 
+    # -- fault handling ----------------------------------------------------------------------
+
+    def _update_breakdown(self, team: RescueTeam, t: float) -> bool:
+        """Advance the team's breakdown state; True while out of service.
+
+        A breakdown strands the team (and its passengers) where it stands
+        for the repair duration; on recovery a loaded team heads for a
+        hospital first, an empty one waits for re-dispatch.
+        """
+        if team.is_down:
+            if t < team.down_until_s:
+                return True
+            team.repair()
+            self._record_incident("repair_complete", t, team_id=team.team_id)
+            if team.passengers:
+                self._route_to_hospital(team, t)
+        window = self.faults.breakdown_window(team.team_id, t)
+        if window is not None:
+            key = (team.team_id, window.start_s)
+            if key not in self._handled_breakdowns:
+                self._handled_breakdowns.add(key)
+                team.break_down(window.end_s)
+                self._record_incident(
+                    "breakdown", t, team_id=team.team_id,
+                    detail=f"inoperable until t={window.end_s:.0f}s "
+                    f"({len(team.passengers)} stranded passengers)",
+                )
+                return True
+        return team.is_down
+
+    def _closed_now(self, t: float) -> frozenset[int]:
+        """Flood-closed segments, plus fault-injected closures if any."""
+        closed = self.network.closed_segments(self.scenario.flood, t)
+        if self.faults is not None:
+            extra = self.faults.closed_segments(t)
+            if extra:
+                closed = frozenset(closed | extra)
+        return closed
+
+    def _dispatch_cycle_action(
+        self, obs: DispatchObservation, t: float, cycle_index: int
+    ) -> tuple[dict[int, TeamCommand], bool]:
+        """One guarded dispatcher invocation: ``(commands, ran)``.
+
+        ``ran`` is False when an injected dispatch-center failure skipped
+        the call entirely (its hooks must not run either).  Exceptions and
+        compute-budget overruns inside the dispatcher yield the fallback
+        policy: no new commands — teams retain their current orders and
+        idle teams hold position.
+        """
+        if self.faults is not None and self.faults.dispatcher_fails(cycle_index):
+            self._record_incident(
+                "dispatcher_fallback", t, detail="injected dispatch-center failure"
+            )
+            return {}, False
+        action, incident = self._guard.dispatch(obs)
+        if incident is not None:
+            self._record_incident("dispatcher_fallback", t, detail=incident)
+        return action, True
+
     # -- main loop -------------------------------------------------------------------------------
 
     def run(self) -> SimulationResult:
@@ -431,14 +564,17 @@ class RescueSimulator:
         queue = deque(self.requests)
         t = cfg.t0_s
         next_dispatch = cfg.t0_s
+        cycle_index = 0
         while t <= cfg.t1_s:
             self._activate_requests(t, queue)
             if t >= next_dispatch:
-                self._closed = self.network.closed_segments(self.scenario.flood, t)
+                self._closed = self._closed_now(t)
                 self._reanchor_pending()
                 obs = self._observation(t)
-                action = self.dispatcher.dispatch(obs)
+                action, ran = self._dispatch_cycle_action(obs, t, cycle_index)
                 apply_at = t + self.dispatcher.computation_delay_s
+                if self.faults is not None:
+                    apply_at += self.faults.comm_latency_s
                 heapq.heappush(
                     self._action_queue, (apply_at, next(self._action_counter), action)
                 )
@@ -452,15 +588,30 @@ class RescueSimulator:
                 # A depot command overrides an in-flight serving leg.
                 serving_ids -= {tid for tid, c in action.items() if c.is_depot}
                 self._result.serving_samples.append((t, len(serving_ids)))
-                self.dispatcher.on_cycle_end(obs)
+                if ran:
+                    incident = self._guard.on_cycle_end(obs)
+                    if incident is not None:
+                        self._record_incident("hook_error", t, detail=incident)
                 next_dispatch += cfg.dispatch_period_s
+                cycle_index += 1
             while self._action_queue and self._action_queue[0][0] <= t:
-                _, _, action = heapq.heappop(self._action_queue)
+                apply_t, _, action = heapq.heappop(self._action_queue)
                 for team in self._teams:
                     cmd = action.get(team.team_id)
-                    if cmd is not None and team.is_assignable:
-                        team.pending_assignment = cmd
+                    if cmd is None or not team.is_assignable:
+                        continue
+                    if self.faults is not None and self.faults.comm_blocked(
+                        team.team_id, apply_t
+                    ):
+                        self._record_incident(
+                            "dropped_command", apply_t, team_id=team.team_id,
+                            detail="radio outage",
+                        )
+                        continue
+                    team.pending_assignment = cmd
             for team in self._teams:
+                if self.faults is not None and self._update_breakdown(team, t):
+                    continue
                 self._advance_team(team, t)
             t += cfg.step_s
         return self._result

@@ -6,6 +6,8 @@ All per-hour series are indexed by hour-of-window (0..23 for the paper's
 
 from __future__ import annotations
 
+from collections import Counter
+
 import numpy as np
 
 from repro.sim.engine import SimulationResult
@@ -98,6 +100,33 @@ class SimulationMetrics:
             counts[h] += 1
         with np.errstate(invalid="ignore"):
             return np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+
+    # -- degradation (fault injection / graceful-degradation paths) -----------
+
+    def incident_counts(self) -> dict[str, int]:
+        """Count of recorded degradation events by kind."""
+        return dict(Counter(e.kind for e in self.result.incidents))
+
+    @property
+    def fallback_activations(self) -> int:
+        """Dispatcher cycles that fell back to the safe no-op policy
+        (exception, compute-budget overrun, or injected failure)."""
+        return sum(1 for e in self.result.incidents if e.kind == "dispatcher_fallback")
+
+    @property
+    def dropped_commands(self) -> int:
+        """Dispatch commands lost to radio outages."""
+        return sum(1 for e in self.result.incidents if e.kind == "dropped_command")
+
+    @property
+    def breakdowns(self) -> int:
+        """Vehicle breakdown events."""
+        return sum(1 for e in self.result.incidents if e.kind == "breakdown")
+
+    @property
+    def reroutes(self) -> int:
+        """Mid-leg detours around closed segments."""
+        return sum(1 for e in self.result.incidents if e.kind == "reroute")
 
     # -- deliveries -----------------------------------------------------------------
 

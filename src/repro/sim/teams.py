@@ -50,6 +50,9 @@ class RescueTeam:
     #: Lifetime pickup counter; learning dispatchers read its deltas as the
     #: served-requests part of their reward signal.
     total_pickups: int = 0
+    #: When broken down (fault injection), the absolute time the repair
+    #: completes; ``None`` while operational.
+    down_until_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.capacity < 1:
@@ -66,8 +69,9 @@ class RescueTeam:
     @property
     def is_assignable(self) -> bool:
         """Dispatchers may (re)direct idle teams and teams en route to a
-        segment; hospital runs finish first."""
-        return self.state is not TeamState.TO_HOSPITAL
+        segment; hospital runs finish first and broken-down teams cannot
+        act on orders."""
+        return self.state is not TeamState.TO_HOSPITAL and not self.is_down
 
     def begin_leg(
         self,
@@ -99,6 +103,23 @@ class RescueTeam:
         self.state = state
         self.target_segment = target_segment
         self.leg_start_s = t_now
+
+    @property
+    def is_down(self) -> bool:
+        """Broken down and awaiting repair (fault injection)."""
+        return self.down_until_s is not None
+
+    def break_down(self, repair_done_s: float) -> None:
+        """The vehicle fails where it stands: the current leg is aborted
+        (passengers stay on board, stranded) and the team is inoperable
+        until ``repair_done_s``."""
+        if self.is_driving:
+            self.stop()
+        self.down_until_s = float(repair_done_s)
+
+    def repair(self) -> None:
+        """Repair complete; the team is operational (and idle) again."""
+        self.down_until_s = None
 
     def stop(self) -> None:
         """End the current leg (arrived, or ordered to stand by)."""

@@ -18,10 +18,21 @@ class TestParser:
 
     def test_known_commands(self):
         parser = build_parser()
-        for cmd in ("measure", "compare", "predict", "simulate"):
+        for cmd in ("measure", "compare", "predict", "simulate", "robustness"):
             args = parser.parse_args([cmd])
             assert callable(args.func)
             assert args.population == 800
+            assert args.verbose is False
+
+    def test_robustness_options(self):
+        args = build_parser().parse_args(
+            ["robustness", "--profiles", "none,severe",
+             "--methods", "Nearest", "--budget", "0.5", "-v"]
+        )
+        assert args.profiles == "none,severe"
+        assert args.methods == "Nearest"
+        assert args.budget == 0.5
+        assert args.verbose is True
 
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
@@ -56,6 +67,16 @@ class TestCommands:
 
     def test_figure_unknown(self, capsys):
         assert main(["figure", "fig99", *POP]) == 2
+
+    def test_robustness(self, capsys):
+        assert main([
+            "robustness", *POP,
+            "--profiles", "none,severe", "--methods", "Nearest",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Degradation under fault injection" in out
+        assert "severe" in out
+        assert "Nearest" in out
 
     def test_simulate_with_save(self, capsys, tmp_path):
         archive = str(tmp_path / "trained.npz")

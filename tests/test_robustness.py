@@ -1,0 +1,90 @@
+"""Robustness sweep: degradation table over fault profiles × methods."""
+
+import pytest
+
+from repro.eval.harness import HarnessConfig
+from repro.eval.robustness import (
+    RobustnessCell,
+    RobustnessConfig,
+    RobustnessSweep,
+    format_degradation_table,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep_cells(florence_small, michael_small):
+    """One small sweep over cheap (non-learning) methods, reused below."""
+    sweep = RobustnessSweep(
+        florence_small,
+        michael_small,
+        RobustnessConfig(
+            profiles=("none", "severe"),
+            methods=("Nearest", "Schedule"),
+            harness=HarnessConfig(seed=0),
+        ),
+    )
+    return sweep.run()
+
+
+class TestRobustnessConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RobustnessConfig(profiles=())
+        with pytest.raises(ValueError):
+            RobustnessConfig(methods=())
+
+
+class TestRobustnessSweep:
+    def test_cell_grid_complete(self, sweep_cells):
+        assert len(sweep_cells) == 4
+        assert {(c.profile, c.method) for c in sweep_cells} == {
+            ("none", "Nearest"), ("none", "Schedule"),
+            ("severe", "Nearest"), ("severe", "Schedule"),
+        }
+
+    def test_none_profile_records_no_fault_incidents(self, sweep_cells):
+        for c in sweep_cells:
+            if c.profile == "none":
+                assert c.fallback_activations == 0
+                assert c.dropped_commands == 0
+                assert c.breakdowns == 0
+
+    def test_severe_profile_completes_without_exception(self, sweep_cells):
+        # The run() above not raising IS the property; sanity-check values.
+        for c in sweep_cells:
+            assert c.served >= 0
+            assert 0.0 <= c.service_rate <= 1.0
+            assert c.timely <= c.served
+
+    def test_deterministic_across_sweeps(self, sweep_cells, florence_small, michael_small):
+        again = RobustnessSweep(
+            florence_small,
+            michael_small,
+            RobustnessConfig(
+                profiles=("severe",),
+                methods=("Nearest",),
+                harness=HarnessConfig(seed=0),
+            ),
+        ).run()
+        ref = next(
+            c for c in sweep_cells if c.profile == "severe" and c.method == "Nearest"
+        )
+        assert again[0] == ref
+
+
+class TestDegradationTable:
+    def test_format(self, sweep_cells):
+        table = format_degradation_table(sweep_cells)
+        assert "Degradation under fault injection" in table
+        assert "severe" in table
+        assert "dropped cmds" in table
+        assert "Nearest" in table
+
+    def test_format_handles_empty_metrics(self):
+        cell = RobustnessCell(
+            profile="none", method="Idle", served=0, timely=0, service_rate=0.0,
+            median_delay_s=float("nan"), mean_timeliness_s=float("nan"),
+            fallback_activations=0, dropped_commands=0, breakdowns=0, reroutes=0,
+        )
+        table = format_degradation_table([cell])
+        assert "-" in table

@@ -138,6 +138,30 @@ class TestSimulationConfig:
         with pytest.raises(ValueError):
             SimulationConfig(t0_s=0.0, t1_s=10.0, step_s=600.0, dispatch_period_s=300.0)
 
+    def test_timely_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(t0_s=0.0, t1_s=10.0, timely_window_s=0.0)
+        with pytest.raises(ValueError):
+            SimulationConfig(t0_s=0.0, t1_s=10.0, timely_window_s=-60.0)
+
+    def test_storm_slowdown_must_be_in_unit_interval(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(t0_s=0.0, t1_s=10.0, storm_slowdown=0.0)
+        with pytest.raises(ValueError):
+            SimulationConfig(t0_s=0.0, t1_s=10.0, storm_slowdown=1.5)
+        with pytest.raises(ValueError):
+            SimulationConfig(t0_s=0.0, t1_s=10.0, storm_slowdown=-0.2)
+        # Boundary: exactly 1.0 (no slowdown) is legal.
+        SimulationConfig(t0_s=0.0, t1_s=10.0, storm_slowdown=1.0)
+
+    def test_dispatch_budget_must_be_positive_or_none(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(t0_s=0.0, t1_s=10.0, dispatch_budget_s=0.0)
+        with pytest.raises(ValueError):
+            SimulationConfig(t0_s=0.0, t1_s=10.0, dispatch_budget_s=-1.0)
+        SimulationConfig(t0_s=0.0, t1_s=10.0, dispatch_budget_s=0.5)
+        SimulationConfig(t0_s=0.0, t1_s=10.0, dispatch_budget_s=None)
+
 
 class TestEngineMechanics:
     """Deterministic mechanics on a pre-storm day (no flooding)."""
