@@ -19,10 +19,22 @@ Commands
     Train and deploy the full MobiRescue system, optionally saving the
     trained models with ``--save``.
 
+``train``
+    Crash-safe, checkpointed MobiRescue training under the supervisor:
+    ``--checkpoint-dir`` commits resumable state every episode, and
+    ``--resume`` continues a killed run bit-identically from the latest
+    valid checkpoint (damaged checkpoints are quarantined).
+
+``experiments``
+    The method-comparison sweep with per-cell result persistence:
+    completed cells land in ``--results-dir`` as they finish, and
+    ``--resume`` re-runs only the uncompleted ones.
+
 ``robustness``
     Sweep fault-injection profiles × dispatchers and print the
     degradation table (served/delay/timeliness vs. fault severity plus
     fallback-activation, dropped-command, breakdown and reroute counts).
+    Also resumable with ``--results-dir``/``--resume``.
 
 All commands accept ``--population`` (default 800), ``--seed`` and
 ``--verbose`` (stream ``repro.*`` logs — incident and degradation events
@@ -197,6 +209,109 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def cmd_train(args) -> int:
+    from repro.core import save_trained, supervised_training
+    from repro.core.persistence import list_checkpoints
+    from repro.core.runner import RetryPolicy, Supervisor
+    from repro.data import build_michael_dataset
+
+    existing = list_checkpoints(args.checkpoint_dir)
+    if existing and not args.resume:
+        print(
+            f"{args.checkpoint_dir} already holds {len(existing)} checkpoint(s); "
+            "pass --resume to continue the run or choose a fresh directory",
+            file=sys.stderr,
+        )
+        return 2
+    if args.resume and not existing:
+        print(f"no checkpoints under {args.checkpoint_dir} to resume", file=sys.stderr)
+        return 2
+
+    print("building the Michael (training) dataset...", file=sys.stderr)
+    scenario, bundle = build_michael_dataset(population_size=args.population)
+    supervisor = Supervisor(
+        policy=RetryPolicy(
+            max_attempts=args.max_attempts,
+            attempt_timeout_s=args.attempt_timeout if args.attempt_timeout > 0 else None,
+        ),
+        name="train",
+        seed=args.seed,
+    )
+    trained = supervised_training(
+        scenario,
+        bundle,
+        checkpoint_dir=args.checkpoint_dir,
+        episodes=args.episodes,
+        checkpoint_every=args.checkpoint_every,
+        supervisor=supervisor,
+    )
+    rates = " ".join(f"{r:.2f}" for r in trained.episode_service_rates)
+    print(f"trained {trained.episodes_run} episode(s); service rates: {rates}")
+    if supervisor.incidents:
+        print(f"incidents: {len(supervisor.incidents)}", file=sys.stderr)
+        for incident in supervisor.incidents:
+            print(f"  [{incident.kind}] {incident.message}", file=sys.stderr)
+    if args.save:
+        save_trained(trained, args.save)
+        print(f"saved trained models to {args.save}")
+    return 0
+
+
+def _open_store(results_dir: str, resume: bool):
+    """(store, error) for the CLI sweeps, enforcing the --resume contract."""
+    from repro.eval.experiments import SweepStore
+
+    if not results_dir:
+        return None, None
+    store = SweepStore(results_dir)
+    if len(store) and not resume:
+        return None, (
+            f"{results_dir} already holds {len(store)} result cell(s); "
+            "pass --resume to reuse them or choose a fresh directory"
+        )
+    return store, None
+
+
+def cmd_experiments(args) -> int:
+    from repro.eval.experiments import (
+        ComparisonSweep,
+        ComparisonSweepConfig,
+        format_comparison_cells,
+    )
+    from repro.eval.harness import ExperimentHarness, HarnessConfig
+
+    methods = tuple(m.strip() for m in args.methods.split(",") if m.strip())
+    seeds = tuple(int(s) for s in args.seeds.split(",") if s.strip())
+    unknown = [m for m in methods if m not in ExperimentHarness.METHODS]
+    if unknown or not methods or not seeds:
+        print(
+            f"unknown methods {unknown}; choose from "
+            f"{', '.join(ExperimentHarness.METHODS)}",
+            file=sys.stderr,
+        )
+        return 2
+    store, error = _open_store(args.results_dir, args.resume)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    florence, michael = _datasets(args)
+    sweep = ComparisonSweep(
+        florence,
+        michael,
+        ComparisonSweepConfig(
+            methods=methods,
+            seeds=seeds,
+            harness=HarnessConfig(
+                mobirescue_episodes=args.episodes, seed=seeds[0]
+            ),
+        ),
+        store=store,
+    )
+    cells = sweep.run(progress=lambda msg: print(msg, file=sys.stderr))
+    print(format_comparison_cells(cells))
+    return 0
+
+
 def cmd_robustness(args) -> int:
     from repro.eval.harness import ExperimentHarness, HarnessConfig
     from repro.eval.robustness import (
@@ -223,6 +338,10 @@ def cmd_robustness(args) -> int:
         print(f"unknown methods {unknown}; choose from "
               f"{', '.join(ExperimentHarness.METHODS)}", file=sys.stderr)
         return 2
+    store, error = _open_store(args.results_dir, args.resume)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
     florence, michael = _datasets(args)
     sweep = RobustnessSweep(
         florence,
@@ -237,7 +356,9 @@ def cmd_robustness(args) -> int:
             ),
         ),
     )
-    cells = sweep.run(progress=lambda msg: print(msg, file=sys.stderr))
+    cells = sweep.run(
+        progress=lambda msg: print(msg, file=sys.stderr), store=store
+    )
     print(format_degradation_table(cells))
     return 0
 
@@ -311,6 +432,54 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_figure)
 
     p = sub.add_parser(
+        "train", help="crash-safe checkpointed training (resumable)"
+    )
+    _add_common(p)
+    p.add_argument(
+        "--checkpoint-dir", type=str, required=True,
+        help="directory for resumable training checkpoints",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="continue from the latest valid checkpoint",
+    )
+    p.add_argument(
+        "--checkpoint-every", type=int, default=1,
+        help="episodes between checkpoints (default: every episode)",
+    )
+    p.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="supervisor retry budget for transient failures",
+    )
+    p.add_argument(
+        "--attempt-timeout", type=float, default=0.0,
+        help="per-attempt wall-clock deadline, seconds (0 = off)",
+    )
+    p.add_argument("--save", type=str, default="", help="save trained models (.npz)")
+    p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser(
+        "experiments", help="method-comparison sweep with per-cell persistence"
+    )
+    _add_common(p)
+    p.add_argument(
+        "--methods", type=str, default="MobiRescue,Rescue,Schedule",
+        help="comma-separated dispatchers to sweep",
+    )
+    p.add_argument(
+        "--seeds", type=str, default="0", help="comma-separated evaluation seeds"
+    )
+    p.add_argument(
+        "--results-dir", type=str, default="",
+        help="persist per-cell results here (enables resumption)",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="reuse completed cells from --results-dir, run only the rest",
+    )
+    p.set_defaults(func=cmd_experiments)
+
+    p = sub.add_parser(
         "robustness", help="fault-injection sweep: degradation table"
     )
     _add_common(p)
@@ -325,6 +494,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--budget", type=float, default=0.0,
         help="wall-clock compute budget per dispatch call, seconds (0 = off)",
+    )
+    p.add_argument(
+        "--results-dir", type=str, default="",
+        help="persist per-cell results here (enables resumption)",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="reuse completed cells from --results-dir, run only the rest",
     )
     p.set_defaults(func=cmd_robustness)
 

@@ -13,6 +13,12 @@ The three-stage pipeline of Fig. 7:
 facade.
 """
 
+from repro.core.artifacts import (
+    ArtifactError,
+    ArtifactVersionError,
+    CorruptArtifactError,
+    MissingManifestError,
+)
 from repro.core.config import MobiRescueConfig
 from repro.core.log import configure as configure_logging
 from repro.core.log import get_logger
@@ -23,23 +29,32 @@ from repro.core.positions import (
     PopulationFeed,
 )
 from repro.core.rl_dispatcher import MobiRescueDispatcher
-from repro.core.training import train_mobirescue
+from repro.core.training import resume_training, train_mobirescue
+from repro.core.runner import RetryPolicy, Supervisor, supervised_training
 from repro.core.system import MobiRescueSystem
 from repro.core.persistence import load_trained, save_trained
 
 __all__ = [
+    "ArtifactError",
+    "ArtifactVersionError",
+    "CorruptArtifactError",
     "DegradedPositionFeed",
     "HistoricalFallbackFeed",
+    "MissingManifestError",
     "MobiRescueConfig",
     "MobiRescueDispatcher",
     "MobiRescueSystem",
     "PopulationFeed",
     "RequestPredictor",
+    "RetryPolicy",
+    "Supervisor",
     "TrainingSet",
     "build_training_set",
     "configure_logging",
     "get_logger",
     "load_trained",
+    "resume_training",
     "save_trained",
+    "supervised_training",
     "train_mobirescue",
 ]

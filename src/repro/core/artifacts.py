@@ -1,0 +1,292 @@
+"""Durable artifact I/O: atomic writes, integrity manifests, versioning.
+
+A disaster-response system is exactly the kind of software that gets
+killed mid-write — power loss, OOM, an operator pulling the plug to
+redeploy.  Every artifact the repro persists (trained models, training
+checkpoints, sweep cells) goes through this layer so that a crash leaves
+either the old state or the new state on disk, never a torn file:
+
+* **Atomic writes** — payloads are written to a temporary sibling, flushed
+  and fsynced, then :func:`os.replace`-d over the destination, and the
+  containing directory is fsynced so the rename itself is durable.
+* **Integrity manifests** — a directory-level ``manifest.json`` records
+  the SHA-256 and byte size of every payload file.  The manifest is
+  written last, so its presence marks a *committed* artifact; verification
+  detects truncation and bit flips.
+* **Typed errors** — corruption surfaces as :class:`CorruptArtifactError`
+  / :class:`MissingManifestError` / :class:`ArtifactVersionError` (all
+  :class:`ArtifactError`), so supervisors can distinguish "this checkpoint
+  is damaged, fall back" from programming errors.
+* **Versioned formats** — :class:`VersionedFormat` carries an on-disk
+  version number and a chain of migration hooks, so older archives keep
+  loading as the format evolves.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import logging
+import os
+import pathlib
+from contextlib import contextmanager
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+import numpy as np
+
+logger = logging.getLogger("repro.core.artifacts")
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_FORMAT = "repro-artifact"
+
+#: Monotonic suffix so concurrent writers in one process never collide.
+_TMP_COUNTER = itertools.count()
+
+
+class ArtifactError(Exception):
+    """Base class for durable-artifact failures."""
+
+
+class MissingManifestError(ArtifactError):
+    """The artifact directory has no (readable) manifest — an uncommitted
+    or partially written artifact."""
+
+
+class CorruptArtifactError(ArtifactError):
+    """The payload does not match its manifest (truncation, bit flip) or
+    cannot be parsed at all."""
+
+
+class ArtifactVersionError(ArtifactError, ValueError):
+    """The archive's format version cannot be migrated to the current one.
+
+    Also a :class:`ValueError` for callers of the pre-durability API,
+    which raised ``ValueError`` on unsupported versions.
+    """
+
+
+# -- atomic writes -----------------------------------------------------------
+
+
+def _tmp_sibling(path: pathlib.Path) -> pathlib.Path:
+    return path.parent / f".{path.name}.tmp-{os.getpid()}-{next(_TMP_COUNTER)}"
+
+
+def fsync_dir(directory: str | pathlib.Path) -> None:
+    """fsync a directory so a just-performed rename survives power loss."""
+    fd = os.open(str(directory), os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+@contextmanager
+def atomic_file(path: str | pathlib.Path) -> Iterator[pathlib.Path]:
+    """Yield a temporary sibling path; on success, fsync + rename it over
+    ``path``.  On error the temporary is removed and ``path`` untouched."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = _tmp_sibling(path)
+    try:
+        yield tmp
+        fd = os.open(str(tmp), os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, path)
+        fsync_dir(path.parent)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def atomic_write_bytes(path: str | pathlib.Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (tmp file + fsync + rename)."""
+    with atomic_file(path) as tmp:
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+
+
+def atomic_write_json(path: str | pathlib.Path, payload: Any) -> None:
+    """Serialize ``payload`` as JSON and write it atomically."""
+    atomic_write_bytes(path, json.dumps(payload, indent=2, sort_keys=True).encode())
+
+
+def atomic_savez(path: str | pathlib.Path, **arrays: np.ndarray) -> None:
+    """``np.savez`` with atomic replacement and exact-path semantics.
+
+    ``np.savez(str_path)`` silently appends ``.npz`` when the name lacks
+    the suffix, so a caller asking for ``model.bin`` gets ``model.bin.npz``
+    — and a crash mid-write leaves a torn archive.  Writing through an
+    open file handle sidesteps the suffix rewrite, and the atomic-file
+    protocol guarantees the archive at ``path`` is always complete.
+    """
+    with atomic_file(path) as tmp:
+        with open(tmp, "wb") as fh:
+            np.savez(fh, **arrays)
+            fh.flush()
+            os.fsync(fh.fileno())
+
+
+# -- integrity manifests ------------------------------------------------------
+
+
+def sha256_file(path: str | pathlib.Path, chunk_size: int = 1 << 20) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        while True:
+            chunk = fh.read(chunk_size)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def sha256_json(payload: Any) -> str:
+    """Digest of a JSON-able payload under a canonical encoding."""
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()
+
+
+def write_manifest(
+    directory: str | pathlib.Path,
+    version: int,
+    files: Iterable[str] | None = None,
+    meta: Mapping[str, Any] | None = None,
+) -> pathlib.Path:
+    """Commit ``directory`` as an artifact: hash its payload files into an
+    atomically written ``manifest.json``.
+
+    ``files`` defaults to every regular file in the directory except the
+    manifest itself.  Writing the manifest is the commit point — readers
+    treat a directory without one as never-completed.
+    """
+    directory = pathlib.Path(directory)
+    if files is None:
+        names = sorted(
+            p.name
+            for p in directory.iterdir()
+            if p.is_file() and p.name != MANIFEST_NAME
+        )
+    else:
+        names = sorted(files)
+    entries = {}
+    for name in names:
+        payload = directory / name
+        entries[name] = {
+            "sha256": sha256_file(payload),
+            "bytes": payload.stat().st_size,
+        }
+    manifest = {
+        "format": MANIFEST_FORMAT,
+        "version": int(version),
+        "files": entries,
+        "meta": dict(meta or {}),
+    }
+    path = directory / MANIFEST_NAME
+    atomic_write_json(path, manifest)
+    return path
+
+
+def read_manifest(directory: str | pathlib.Path) -> dict:
+    """Parse an artifact directory's manifest (no payload verification)."""
+    path = pathlib.Path(directory) / MANIFEST_NAME
+    if not path.exists():
+        raise MissingManifestError(f"no manifest at {path}")
+    try:
+        manifest = json.loads(path.read_text())
+    except (ValueError, OSError) as exc:
+        raise CorruptArtifactError(f"unreadable manifest at {path}: {exc}") from exc
+    if not isinstance(manifest, dict) or manifest.get("format") != MANIFEST_FORMAT:
+        raise CorruptArtifactError(f"{path} is not a {MANIFEST_FORMAT} manifest")
+    if not isinstance(manifest.get("files"), dict):
+        raise CorruptArtifactError(f"manifest at {path} has no file table")
+    return manifest
+
+
+def verify_artifact_dir(directory: str | pathlib.Path) -> dict:
+    """Check every payload file against the manifest; return the manifest.
+
+    Raises :class:`MissingManifestError` when the directory was never
+    committed and :class:`CorruptArtifactError` on a missing, truncated or
+    bit-flipped payload.
+    """
+    directory = pathlib.Path(directory)
+    manifest = read_manifest(directory)
+    for name, entry in manifest["files"].items():
+        payload = directory / name
+        if not payload.is_file():
+            raise CorruptArtifactError(f"missing payload file {payload}")
+        size = payload.stat().st_size
+        if size != entry["bytes"]:
+            raise CorruptArtifactError(
+                f"{payload}: size {size} != manifest {entry['bytes']} (truncated?)"
+            )
+        digest = sha256_file(payload)
+        if digest != entry["sha256"]:
+            raise CorruptArtifactError(
+                f"{payload}: SHA-256 mismatch (expected {entry['sha256'][:12]}..., "
+                f"got {digest[:12]}...)"
+            )
+    return manifest
+
+
+# -- versioned formats ---------------------------------------------------------
+
+
+class VersionedFormat:
+    """An on-disk format version plus a chain of migration hooks.
+
+    Each hook migrates a payload one step (``from_version`` to
+    ``from_version + 1``); :meth:`upgrade` applies the chain until the
+    payload reaches the current version.  Payloads are treated as opaque
+    dicts, so formats built on npz arrays and formats built on JSON share
+    the machinery.
+    """
+
+    def __init__(self, name: str, current_version: int) -> None:
+        if current_version < 1:
+            raise ValueError("format versions start at 1")
+        self.name = name
+        self.current_version = int(current_version)
+        self._migrations: dict[int, Callable[[dict], dict]] = {}
+
+    def migration(self, from_version: int) -> Callable:
+        """Decorator registering a one-step migration hook."""
+
+        def register(fn: Callable[[dict], dict]) -> Callable[[dict], dict]:
+            if from_version in self._migrations:
+                raise ValueError(
+                    f"{self.name}: duplicate migration from v{from_version}"
+                )
+            self._migrations[from_version] = fn
+            return fn
+
+        return register
+
+    def upgrade(self, payload: dict, version: int) -> dict:
+        """Migrate ``payload`` from ``version`` to the current version."""
+        version = int(version)
+        if version == self.current_version:
+            return payload
+        if version > self.current_version:
+            raise ArtifactVersionError(
+                f"{self.name}: archive version {version} is newer than the "
+                f"supported v{self.current_version}"
+            )
+        while version < self.current_version:
+            hook = self._migrations.get(version)
+            if hook is None:
+                raise ArtifactVersionError(
+                    f"{self.name}: no migration path from v{version}"
+                )
+            logger.info("%s: migrating v%d -> v%d", self.name, version, version + 1)
+            payload = hook(payload)
+            version += 1
+        return payload

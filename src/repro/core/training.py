@@ -97,6 +97,105 @@ def pretrain_agent(
     agent.sync_target()
 
 
+def _deployment_pipeline(scenario: CharlotteScenario, bundle: TraceBundle):
+    """Stage-1 products shared by fresh and resumed training (deterministic
+    for a given scenario/bundle)."""
+    clean, _ = clean_trace(
+        bundle.trace, scenario.partition.width_m, scenario.partition.height_m
+    )
+    matched = map_match(clean, scenario.network)
+    return matched
+
+
+def _flooded_days(bundle: TraceBundle) -> list[int]:
+    # Episodes cycle over the storm's flooded days (where requests live).
+    days = sorted({int(r.request_time_s // SECONDS_PER_DAY) for r in bundle.rescues})
+    if not days:
+        raise ValueError("training storm produced no rescue requests")
+    return days
+
+
+def _run_episodes(
+    scenario: CharlotteScenario,
+    bundle: TraceBundle,
+    cfg: MobiRescueConfig,
+    predictor: RequestPredictor,
+    feed: PopulationFeed,
+    agent: DQNAgent,
+    *,
+    start_episode: int,
+    episodes: int,
+    num_teams: int,
+    team_capacity: int,
+    service_rates: list[float],
+    checkpoint_dir=None,
+    checkpoint_every: int = 1,
+    keep_checkpoints: int = 3,
+) -> TrainedMobiRescue:
+    """The episode loop, resumable at any episode boundary.
+
+    Every source of randomness lives either in the per-episode simulator
+    (seeded ``cfg.seed + ep``, rebuilt each episode) or in the agent
+    (whose RNG, replay buffer and optimizer state are checkpointed), so a
+    run interrupted at episode *k* and resumed is bit-identical to one
+    that never stopped.
+    """
+    flooded_days = _flooded_days(bundle)
+    for ep in range(start_episode, episodes):
+        day = flooded_days[ep % len(flooded_days)]
+        t0, t1 = day * SECONDS_PER_DAY, (day + 1) * SECONDS_PER_DAY
+        requests = remap_to_operable(
+            requests_from_rescues(bundle.rescues, t0, t1),
+            scenario.network,
+            scenario.flood,
+        )
+        if requests:
+            dispatcher = MobiRescueDispatcher(
+                scenario, predictor, feed, agent, cfg, training=True
+            )
+            sim = RescueSimulator(
+                scenario,
+                requests,
+                dispatcher,
+                SimulationConfig(
+                    t0_s=t0,
+                    t1_s=t1,
+                    num_teams=num_teams,
+                    team_capacity=team_capacity,
+                    seed=cfg.seed + ep,
+                ),
+            )
+            result = sim.run()
+            final_pickups: dict[int, int] = defaultdict(int)
+            for p in result.pickups:
+                final_pickups[p.team_id] += 1
+            dispatcher.finish_episode(dict(final_pickups))
+            n = len(requests)
+            service_rates.append(len(result.pickups) / n if n else 0.0)
+        if checkpoint_dir is not None and (
+            (ep + 1) % checkpoint_every == 0 or ep + 1 == episodes
+        ):
+            # Imported lazily: persistence depends on this module for
+            # TrainedMobiRescue, so a top-level import would be circular.
+            from repro.core import persistence
+
+            persistence.save_checkpoint(
+                checkpoint_dir,
+                persistence.checkpoint_from_training(
+                    agent, predictor, cfg, ep + 1, service_rates
+                ),
+            )
+            persistence.prune_checkpoints(checkpoint_dir, keep=keep_checkpoints)
+
+    return TrainedMobiRescue(
+        agent=agent,
+        predictor=predictor,
+        config=cfg,
+        episodes_run=len(service_rates),
+        episode_service_rates=service_rates,
+    )
+
+
 def train_mobirescue(
     scenario: CharlotteScenario,
     bundle: TraceBundle,
@@ -104,14 +203,26 @@ def train_mobirescue(
     episodes: int = 6,
     num_teams: int = 40,
     team_capacity: int = 5,
+    checkpoint_dir=None,
+    checkpoint_every: int = 1,
+    keep_checkpoints: int = 3,
 ) -> TrainedMobiRescue:
-    """Train the SVM predictor and DQN policy on a training storm."""
+    """Train the SVM predictor and DQN policy on a training storm.
+
+    With ``checkpoint_dir`` set, resumable training state is committed
+    after every ``checkpoint_every`` episodes (and always after the final
+    one) through :mod:`repro.core.persistence`; an interrupted run can be
+    continued with :func:`resume_training` and produces bit-identical
+    models.  Checkpointing never consumes training randomness, so runs
+    with and without it are identical too.
+    """
     if episodes < 1:
         raise ValueError("episodes must be positive")
+    if checkpoint_every < 1:
+        raise ValueError("checkpoint_every must be positive")
     cfg = config or MobiRescueConfig()
 
-    clean, _ = clean_trace(bundle.trace, scenario.partition.width_m, scenario.partition.height_m)
-    matched = map_match(clean, scenario.network)
+    matched = _deployment_pipeline(scenario, bundle)
     training_set = build_training_set(
         scenario,
         bundle,
@@ -129,51 +240,80 @@ def train_mobirescue(
     # rather than drowning it.
     agent.epsilon = 0.3
 
-    # Episodes cycle over the storm's flooded days (where requests live).
-    flooded_days = sorted(
-        {int(r.request_time_s // SECONDS_PER_DAY) for r in bundle.rescues}
+    return _run_episodes(
+        scenario,
+        bundle,
+        cfg,
+        predictor,
+        feed,
+        agent,
+        start_episode=0,
+        episodes=episodes,
+        num_teams=num_teams,
+        team_capacity=team_capacity,
+        service_rates=[],
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
+        keep_checkpoints=keep_checkpoints,
     )
-    if not flooded_days:
-        raise ValueError("training storm produced no rescue requests")
 
-    service_rates: list[float] = []
-    for ep in range(episodes):
-        day = flooded_days[ep % len(flooded_days)]
-        t0, t1 = day * SECONDS_PER_DAY, (day + 1) * SECONDS_PER_DAY
-        requests = remap_to_operable(
-            requests_from_rescues(bundle.rescues, t0, t1),
-            scenario.network,
-            scenario.flood,
-        )
-        if not requests:
-            continue
-        dispatcher = MobiRescueDispatcher(
-            scenario, predictor, feed, agent, cfg, training=True
-        )
-        sim = RescueSimulator(
-            scenario,
-            requests,
-            dispatcher,
-            SimulationConfig(
-                t0_s=t0,
-                t1_s=t1,
-                num_teams=num_teams,
-                team_capacity=team_capacity,
-                seed=cfg.seed + ep,
-            ),
-        )
-        result = sim.run()
-        final_pickups: dict[int, int] = defaultdict(int)
-        for p in result.pickups:
-            final_pickups[p.team_id] += 1
-        dispatcher.finish_episode(dict(final_pickups))
-        n = len(requests)
-        service_rates.append(len(result.pickups) / n if n else 0.0)
 
-    return TrainedMobiRescue(
-        agent=agent,
-        predictor=predictor,
-        config=cfg,
-        episodes_run=len(service_rates),
-        episode_service_rates=service_rates,
+def resume_training(
+    checkpoint_dir,
+    scenario: CharlotteScenario,
+    bundle: TraceBundle,
+    episodes: int = 6,
+    num_teams: int = 40,
+    team_capacity: int = 5,
+    checkpoint_every: int = 1,
+    keep_checkpoints: int = 3,
+    checkpoint=None,
+) -> TrainedMobiRescue:
+    """Continue an interrupted training run from its latest valid checkpoint.
+
+    ``episodes`` is the *total* target: resuming a run checkpointed at
+    episode *k* executes episodes ``k..episodes`` and returns models
+    bit-identical to an uninterrupted ``train_mobirescue`` call (the
+    checkpoint restores the agent's weights, Adam accumulators, target
+    net, replay buffer, RNG state, epsilon and counters; the predictor
+    and position feed are restored from the checkpoint and the
+    deterministic stage-1 pipeline).  Damaged checkpoints are quarantined
+    and skipped; with no valid checkpoint at all this raises
+    :class:`repro.core.artifacts.ArtifactError`.
+
+    ``checkpoint`` short-circuits discovery when the caller (the
+    supervisor) has already loaded one.
+    """
+    # Lazy import; see _run_episodes.
+    from repro.core import persistence
+    from repro.core.artifacts import ArtifactError
+
+    if checkpoint is None:
+        found = persistence.find_latest_valid_checkpoint(checkpoint_dir)
+        if found is None:
+            raise ArtifactError(f"no valid checkpoint under {checkpoint_dir}")
+        checkpoint, _ = found
+
+    cfg = checkpoint.config
+    matched = _deployment_pipeline(scenario, bundle)
+    predictor = persistence.restore_predictor(checkpoint, scenario)
+    feed = PopulationFeed(matched)
+    agent = make_agent(cfg)
+    agent.set_state(checkpoint.agent_state)
+
+    return _run_episodes(
+        scenario,
+        bundle,
+        cfg,
+        predictor,
+        feed,
+        agent,
+        start_episode=checkpoint.episodes_done,
+        episodes=episodes,
+        num_teams=num_teams,
+        team_capacity=team_capacity,
+        service_rates=list(checkpoint.service_rates),
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
+        keep_checkpoints=keep_checkpoints,
     )

@@ -16,15 +16,20 @@ both assert shapes and print the same rows/series the paper reports.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+import logging
+import pathlib
+import re
+from dataclasses import dataclass, field, replace
 from functools import cached_property
 
 import numpy as np
 
+from repro.core.artifacts import atomic_write_json, sha256_json
 from repro.core.positions import PopulationFeed
 from repro.data.charlotte import CharlotteScenario
 from repro.dispatch.rescue_ts import TimeSeriesDemandPredictor
-from repro.eval.harness import ExperimentHarness
+from repro.eval.harness import ExperimentHarness, HarnessConfig
 from repro.eval.prediction import SegmentPredictionQuality, prediction_quality
 from repro.eval.stats import pearson
 from repro.hospitals.delivery import detect_deliveries, label_rescued
@@ -258,3 +263,167 @@ class DispatchExperiments:
 
     def fig16_precisions(self) -> dict[str, np.ndarray]:
         return {m: q.precisions for m, q in self.prediction_quality().items()}
+
+
+# -- resumable sweeps ----------------------------------------------------------
+
+logger = logging.getLogger("repro.eval.experiments")
+
+
+class SweepStore:
+    """Durable per-cell results for resumable experiment sweeps.
+
+    One JSON file per cell, written atomically with an embedded SHA-256 of
+    the cell payload.  A killed sweep leaves only complete cells behind;
+    on resume, valid cells are reused and everything else — missing,
+    torn or bit-flipped — is simply re-run, so corruption can never poison
+    an aggregate table.
+    """
+
+    FORMAT = "repro-sweep-cell"
+
+    def __init__(self, root: str | pathlib.Path) -> None:
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> pathlib.Path:
+        slug = re.sub(r"[^A-Za-z0-9._=,-]+", "_", key)
+        return self.root / f"{slug}.json"
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def get(self, key: str) -> dict | None:
+        """The stored cell for ``key``, or ``None`` when absent/invalid."""
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            wrapper = json.loads(path.read_text())
+        except (ValueError, OSError) as exc:
+            logger.warning("discarding unreadable sweep cell %s: %s", path, exc)
+            return None
+        if (
+            not isinstance(wrapper, dict)
+            or wrapper.get("format") != self.FORMAT
+            or wrapper.get("key") != key
+            or not isinstance(wrapper.get("cell"), dict)
+        ):
+            logger.warning("discarding malformed sweep cell %s", path)
+            return None
+        if sha256_json(wrapper["cell"]) != wrapper.get("sha256"):
+            logger.warning("discarding corrupt sweep cell %s (digest mismatch)", path)
+            return None
+        return wrapper["cell"]
+
+    def put(self, key: str, cell: dict) -> None:
+        atomic_write_json(
+            self._path(key),
+            {
+                "format": self.FORMAT,
+                "key": key,
+                "sha256": sha256_json(cell),
+                "cell": cell,
+            },
+        )
+
+
+@dataclass(frozen=True)
+class ComparisonSweepConfig:
+    """The Section-V method comparison as a resumable (method × seed) sweep."""
+
+    methods: tuple[str, ...] = ("MobiRescue", "Rescue", "Schedule")
+    seeds: tuple[int, ...] = (0,)
+    harness: HarnessConfig = field(default_factory=HarnessConfig)
+
+    def __post_init__(self) -> None:
+        if not self.methods or not self.seeds:
+            raise ValueError("need at least one method and one seed")
+
+
+class ComparisonSweep:
+    """Run the dispatching comparison with per-cell result persistence.
+
+    With a :class:`SweepStore`, each completed (method, seed) cell is
+    committed durably the moment it finishes; a killed sweep re-runs only
+    the uncompleted cells and produces the same aggregate table as an
+    uninterrupted run.  Cells already in the store also skip the expensive
+    MobiRescue training entirely.
+    """
+
+    def __init__(
+        self,
+        florence,
+        michael,
+        config: ComparisonSweepConfig | None = None,
+        store: SweepStore | None = None,
+    ) -> None:
+        self.florence = florence
+        self.michael = michael
+        self.config = config or ComparisonSweepConfig()
+        self.store = store
+
+    def run(self, progress=None) -> list[dict]:
+        """All cells, seeds outer, methods inner (stable order)."""
+        cfg = self.config
+        cells: list[dict] = []
+        trained = None
+        for seed in cfg.seeds:
+            harness: ExperimentHarness | None = None
+            for method in cfg.methods:
+                key = f"method={method},seed={seed}"
+                cached = self.store.get(key) if self.store is not None else None
+                if cached is not None:
+                    if progress:
+                        progress(f"reusing stored cell {key}")
+                    cells.append(cached)
+                    continue
+                if harness is None:
+                    harness = ExperimentHarness(
+                        self.florence,
+                        self.michael,
+                        replace(cfg.harness, seed=seed),
+                    )
+                    if trained is not None:
+                        # Training depends only on the MobiRescue config,
+                        # not the evaluation seed — train once per sweep.
+                        harness.adopt_system(trained)
+                if progress:
+                    progress(f"running {key}...")
+                cell = harness.summary_cell(method)
+                if method == "MobiRescue":
+                    trained = harness.system()
+                if self.store is not None:
+                    self.store.put(key, cell)
+                cells.append(cell)
+        return cells
+
+
+def format_comparison_cells(cells: list[dict]) -> str:
+    """The comparison cells as the Figs 9-14 summary table (one row per
+    method × seed, in sweep order)."""
+    from repro.eval.tables import format_table
+
+    def _minutes(seconds: float) -> str:
+        return f"{seconds / 60:.1f}" if np.isfinite(seconds) else "-"
+
+    rows = [
+        [
+            c["method"],
+            c["seed"],
+            c["served"],
+            c["timely"],
+            _minutes(c["median_delay_s"]),
+            _minutes(c["mean_timeliness_s"]),
+            f"{c['avg_serving']:.0f}" if np.isfinite(c["avg_serving"]) else "-",
+        ]
+        for c in cells
+    ]
+    return format_table(
+        [
+            "method", "seed", "served", "timely",
+            "med delay (min)", "mean timeliness (min)", "avg serving",
+        ],
+        rows,
+        title="Method comparison (Figs 9-14 summary)",
+    )

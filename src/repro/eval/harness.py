@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.config import MobiRescueConfig
 from repro.core.system import MobiRescueSystem
 from repro.data.charlotte import CharlotteScenario
@@ -190,3 +192,43 @@ class ExperimentHarness:
 
     def run_all(self, methods: tuple[str, ...] = ("MobiRescue", "Rescue", "Schedule")):
         return {name: self.run_method(name) for name in methods}
+
+    # -- per-cell result persistence -------------------------------------------
+
+    def cell_key(self, name: str) -> str:
+        """Stable identity of one (method, profile, seed) sweep cell, used
+        as the durable-store key by resumable sweeps."""
+        cfg = self.config
+        return f"method={name},profile={cfg.fault_profile},seed={cfg.seed}"
+
+    def summary_cell(self, name: str) -> dict:
+        """One method's outcome as a JSON-able summary dict.
+
+        This is the per-cell unit resumable sweeps persist: everything the
+        aggregate tables need, none of the (unserializable) simulator
+        state.  Values are plain Python scalars so a store round trip is
+        exact.
+        """
+        run = self.run_method(name)
+        m = run.metrics
+        delays = m.driving_delays()
+        timeliness = m.timeliness_values()
+        serving = [n for _, n in run.result.serving_samples]
+        return {
+            "method": name,
+            "profile": self.config.fault_profile,
+            "seed": self.config.seed,
+            "requests": len(self.eval_requests()),
+            "served": int(run.result.num_served),
+            "timely": int(m.total_timely_served),
+            "service_rate": float(m.service_rate),
+            "median_delay_s": float(np.median(delays)) if len(delays) else float("nan"),
+            "mean_timeliness_s": (
+                float(np.mean(timeliness)) if len(timeliness) else float("nan")
+            ),
+            "avg_serving": float(np.mean(serving)) if serving else float("nan"),
+            "fallback_activations": int(m.fallback_activations),
+            "dropped_commands": int(m.dropped_commands),
+            "breakdowns": int(m.breakdowns),
+            "reroutes": int(m.reroutes),
+        }

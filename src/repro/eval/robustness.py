@@ -25,10 +25,11 @@ or from the CLI: ``python -m repro robustness --profiles none,severe``.
 from __future__ import annotations
 
 import logging
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 
 import numpy as np
 
+from repro.eval.experiments import SweepStore
 from repro.eval.harness import ExperimentHarness, HarnessConfig, MethodRun
 from repro.eval.tables import format_table
 
@@ -99,33 +100,51 @@ class RobustnessSweep:
         self.michael = michael
         self.config = config or RobustnessConfig()
 
-    def run(self, progress=None) -> list[RobustnessCell]:
+    def run(
+        self, progress=None, store: SweepStore | None = None
+    ) -> list[RobustnessCell]:
         """All (profile, method) cells, profiles in configured order.
 
         ``progress`` is an optional ``callable(str)`` invoked before each
-        run (the CLI routes it to stderr).
+        run (the CLI routes it to stderr).  With a
+        :class:`repro.eval.experiments.SweepStore`, every completed cell
+        is committed durably as it finishes and valid stored cells are
+        reused instead of re-run — a killed sweep resumed against the
+        same store executes only the uncompleted cells (skipping even the
+        MobiRescue training when all its cells are stored) and yields the
+        same table as an uninterrupted run.
         """
         cfg = self.config
         cells: list[RobustnessCell] = []
         trained = None
         for profile in cfg.profiles:
-            harness = ExperimentHarness(
-                self.florence,
-                self.michael,
-                replace(cfg.harness, fault_profile=profile),
-            )
-            if "MobiRescue" in cfg.methods:
-                if trained is None:
+            harness: ExperimentHarness | None = None
+            for method in cfg.methods:
+                key = f"profile={profile},method={method},seed={cfg.harness.seed}"
+                cached = store.get(key) if store is not None else None
+                if cached is not None:
+                    if progress:
+                        progress(f"reusing stored cell {key}")
+                    cells.append(RobustnessCell(**cached))
+                    continue
+                if harness is None:
+                    harness = ExperimentHarness(
+                        self.florence,
+                        self.michael,
+                        replace(cfg.harness, fault_profile=profile),
+                    )
+                    if trained is not None:
+                        harness.adopt_system(trained)
+                if method == "MobiRescue" and trained is None:
                     if progress:
                         progress("training MobiRescue...")
                     trained = harness.system()
-                else:
-                    harness.adopt_system(trained)
-            for method in cfg.methods:
                 if progress:
                     progress(f"running {method} under {profile!r}...")
                 run = harness.run_method(method)
                 cell = _cell(profile, run)
+                if store is not None:
+                    store.put(key, asdict(cell))
                 cells.append(cell)
                 logger.info(
                     "profile=%s method=%s served=%d timely=%d fallbacks=%d "

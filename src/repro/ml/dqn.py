@@ -9,6 +9,7 @@ experiences).
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 
 import numpy as np
@@ -114,3 +115,62 @@ class DQNAgent:
 
     def sync_target(self) -> None:
         self.target_net.set_weights(self.q_net.get_weights())
+
+    # -- checkpointing ----------------------------------------------------------
+
+    def get_state(self) -> dict[str, np.ndarray]:
+        """Complete training state as an npz-ready array dict.
+
+        Captures everything a bit-identical resume needs: Q-network weights
+        plus Adam state, target-network weights, the full replay buffer,
+        the behaviour policy's RNG bit-generator state, epsilon and the
+        learn-step counter.
+        """
+        arrays: dict[str, np.ndarray] = {}
+        for key, value in self.q_net.get_train_state().items():
+            arrays[f"q.{key}"] = value
+        for i, (w, b) in enumerate(self.target_net.get_weights()):
+            arrays[f"target.w{i}"] = w
+            arrays[f"target.b{i}"] = b
+        for key, value in self.buffer.get_state().items():
+            arrays[f"buffer.{key}"] = value
+        arrays["rng_json"] = np.array([json.dumps(self.rng.bit_generator.state)])
+        arrays["epsilon"] = np.array([self.epsilon])
+        arrays["learn_steps"] = np.array([self.learn_steps], dtype=np.int64)
+        return arrays
+
+    def set_state(self, arrays) -> None:
+        """Restore the state captured by :meth:`get_state`.
+
+        ``arrays`` may be any mapping of the same keys — a dict or an open
+        ``NpzFile``.  The agent must have the same architecture (config)
+        as the one that produced the state.
+        """
+        self.q_net.set_train_state(
+            {k[len("q."):]: arrays[k] for k in arrays.keys() if k.startswith("q.")}
+        )
+        weights = []
+        i = 0
+        while f"target.w{i}" in arrays:
+            weights.append((arrays[f"target.w{i}"], arrays[f"target.b{i}"]))
+            i += 1
+        self.target_net.set_weights(weights)
+        self.buffer.set_state(
+            {
+                k[len("buffer."):]: arrays[k]
+                for k in arrays.keys()
+                if k.startswith("buffer.")
+            }
+        )
+        self.rng = restore_generator(str(arrays["rng_json"][0]))
+        self.epsilon = float(arrays["epsilon"][0])
+        self.learn_steps = int(arrays["learn_steps"][0])
+
+
+def restore_generator(state_json: str) -> np.random.Generator:
+    """Rebuild a ``numpy.random.Generator`` from its serialized
+    bit-generator state (the JSON form of ``rng.bit_generator.state``)."""
+    state = json.loads(state_json)
+    bit_generator = getattr(np.random, state["bit_generator"])()
+    bit_generator.state = state
+    return np.random.Generator(bit_generator)

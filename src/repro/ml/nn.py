@@ -188,3 +188,42 @@ class MLP:
         other = MLP(self.layer_sizes, self.learning_rate, self.huber_delta)
         other.set_weights(self.get_weights())
         return other
+
+    # -- checkpointing ------------------------------------------------------------
+
+    def get_train_state(self) -> dict[str, np.ndarray]:
+        """Weights *and* Adam accumulators as an npz-ready array dict.
+
+        ``get_weights`` suffices to reproduce inference; resuming training
+        bit-identically additionally needs every optimizer moment and step
+        counter, since Adam's bias correction depends on ``t``.
+        """
+        arrays: dict[str, np.ndarray] = {}
+        for i, layer in enumerate(self.layers):
+            arrays[f"w{i}"] = layer.w.copy()
+            arrays[f"b{i}"] = layer.b.copy()
+            for tag, state in (("w", layer.adam_w), ("b", layer.adam_b)):
+                arrays[f"adam_{tag}{i}_m"] = state.m.copy()
+                arrays[f"adam_{tag}{i}_v"] = state.v.copy()
+                arrays[f"adam_{tag}{i}_t"] = np.array([state.t], dtype=np.int64)
+        return arrays
+
+    def set_train_state(self, arrays) -> None:
+        """Restore weights and Adam state from :meth:`get_train_state`."""
+        for i, layer in enumerate(self.layers):
+            try:
+                w, b = arrays[f"w{i}"], arrays[f"b{i}"]
+            except KeyError as exc:
+                raise ValueError(f"train state is missing layer {i}") from exc
+            if layer.w.shape != w.shape or layer.b.shape != b.shape:
+                raise ValueError("train state layer shape mismatch")
+            layer.w[...] = w
+            layer.b[...] = b
+            for tag, state in (("w", layer.adam_w), ("b", layer.adam_b)):
+                m = arrays[f"adam_{tag}{i}_m"]
+                v = arrays[f"adam_{tag}{i}_v"]
+                if m.shape != state.m.shape or v.shape != state.v.shape:
+                    raise ValueError("train state Adam shape mismatch")
+                state.m = np.array(m, dtype=float)
+                state.v = np.array(v, dtype=float)
+                state.t = int(arrays[f"adam_{tag}{i}_t"][0])

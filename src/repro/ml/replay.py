@@ -66,3 +66,37 @@ class ReplayBuffer:
             self._next_states[idx],
             self._dones[idx],
         )
+
+    # -- checkpointing --------------------------------------------------------
+
+    def get_state(self) -> dict[str, np.ndarray]:
+        """Full buffer contents as an npz-ready array dict."""
+        return {
+            "states": self._states.copy(),
+            "actions": self._actions.copy(),
+            "rewards": self._rewards.copy(),
+            "next_states": self._next_states.copy(),
+            "dones": self._dones.copy(),
+            "meta": np.array(
+                [self.capacity, self.state_dim, self._size, self._head],
+                dtype=np.int64,
+            ),
+        }
+
+    def set_state(self, arrays) -> None:
+        """Restore contents captured by :meth:`get_state`."""
+        capacity, state_dim, size, head = (int(v) for v in arrays["meta"])
+        if capacity != self.capacity or state_dim != self.state_dim:
+            raise ValueError(
+                f"buffer state is {capacity}x{state_dim}, "
+                f"this buffer is {self.capacity}x{self.state_dim}"
+            )
+        if not (0 <= size <= capacity and 0 <= head < capacity):
+            raise ValueError("buffer state has inconsistent size/head")
+        self._states[...] = arrays["states"]
+        self._actions[...] = arrays["actions"]
+        self._rewards[...] = arrays["rewards"]
+        self._next_states[...] = arrays["next_states"]
+        self._dones[...] = arrays["dones"]
+        self._size = size
+        self._head = head

@@ -1,0 +1,180 @@
+"""Tests for the durable artifact layer: atomic writes, integrity
+manifests, typed corruption errors and versioned formats."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.artifacts import (
+    ArtifactVersionError,
+    CorruptArtifactError,
+    MissingManifestError,
+    VersionedFormat,
+    atomic_file,
+    atomic_savez,
+    atomic_write_bytes,
+    atomic_write_json,
+    read_manifest,
+    sha256_file,
+    verify_artifact_dir,
+    write_manifest,
+)
+
+
+class TestAtomicWrites:
+    def test_write_bytes_roundtrip(self, tmp_path):
+        path = tmp_path / "payload.bin"
+        atomic_write_bytes(path, b"hello")
+        assert path.read_bytes() == b"hello"
+
+    def test_overwrite_replaces(self, tmp_path):
+        path = tmp_path / "payload.bin"
+        atomic_write_bytes(path, b"old")
+        atomic_write_bytes(path, b"new")
+        assert path.read_bytes() == b"new"
+
+    def test_failure_leaves_old_content_and_no_temporaries(self, tmp_path):
+        path = tmp_path / "payload.bin"
+        atomic_write_bytes(path, b"old")
+        with pytest.raises(RuntimeError):
+            with atomic_file(path) as tmp:
+                tmp.write_bytes(b"torn")
+                raise RuntimeError("crash mid-write")
+        assert path.read_bytes() == b"old"
+        assert [p.name for p in tmp_path.iterdir()] == ["payload.bin"]
+
+    def test_write_json(self, tmp_path):
+        path = tmp_path / "meta.json"
+        atomic_write_json(path, {"a": 1, "b": [1, 2]})
+        assert json.loads(path.read_text()) == {"a": 1, "b": [1, 2]}
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "er" / "x.json"
+        atomic_write_json(path, 1)
+        assert path.exists()
+
+
+class TestAtomicSavez:
+    def test_lands_at_exact_path_without_npz_suffix(self, tmp_path):
+        # np.savez(str_path) would write to model.bin.npz; the atomic
+        # variant must honor the exact requested path.
+        path = tmp_path / "model.bin"
+        atomic_savez(path, x=np.arange(3))
+        assert path.exists()
+        assert not (tmp_path / "model.bin.npz").exists()
+        with np.load(path) as data:
+            np.testing.assert_array_equal(data["x"], np.arange(3))
+
+    def test_npz_suffix_unchanged(self, tmp_path):
+        path = tmp_path / "model.npz"
+        atomic_savez(path, x=np.zeros(2))
+        assert path.exists()
+        assert [p.name for p in tmp_path.iterdir()] == ["model.npz"]
+
+
+class TestManifest:
+    @pytest.fixture
+    def artifact(self, tmp_path):
+        (tmp_path / "a.bin").write_bytes(b"aaaa")
+        (tmp_path / "b.bin").write_bytes(b"bb")
+        write_manifest(tmp_path, version=1, meta={"note": "test"})
+        return tmp_path
+
+    def test_read_and_verify(self, artifact):
+        manifest = verify_artifact_dir(artifact)
+        assert manifest["version"] == 1
+        assert manifest["meta"] == {"note": "test"}
+        assert set(manifest["files"]) == {"a.bin", "b.bin"}
+        assert manifest["files"]["a.bin"]["bytes"] == 4
+        assert manifest["files"]["a.bin"]["sha256"] == sha256_file(artifact / "a.bin")
+
+    def test_missing_manifest(self, artifact):
+        (artifact / "manifest.json").unlink()
+        with pytest.raises(MissingManifestError):
+            read_manifest(artifact)
+        with pytest.raises(MissingManifestError):
+            verify_artifact_dir(artifact)
+
+    def test_unparsable_manifest(self, artifact):
+        (artifact / "manifest.json").write_text("{not json")
+        with pytest.raises(CorruptArtifactError):
+            read_manifest(artifact)
+
+    def test_foreign_manifest_rejected(self, artifact):
+        (artifact / "manifest.json").write_text(json.dumps({"format": "other"}))
+        with pytest.raises(CorruptArtifactError):
+            read_manifest(artifact)
+
+    def test_flipped_byte_detected(self, artifact):
+        raw = bytearray((artifact / "a.bin").read_bytes())
+        raw[0] ^= 0xFF
+        (artifact / "a.bin").write_bytes(bytes(raw))
+        with pytest.raises(CorruptArtifactError, match="SHA-256 mismatch"):
+            verify_artifact_dir(artifact)
+
+    def test_truncation_detected(self, artifact):
+        (artifact / "a.bin").write_bytes(b"aa")
+        with pytest.raises(CorruptArtifactError, match="truncated"):
+            verify_artifact_dir(artifact)
+
+    def test_missing_payload_detected(self, artifact):
+        (artifact / "b.bin").unlink()
+        with pytest.raises(CorruptArtifactError, match="missing payload"):
+            verify_artifact_dir(artifact)
+
+
+class TestVersionedFormat:
+    def make_format(self):
+        fmt = VersionedFormat("test-format", 3)
+
+        @fmt.migration(1)
+        def v1_to_v2(payload):
+            payload = dict(payload)
+            payload["b"] = payload["a"] * 2
+            return payload
+
+        @fmt.migration(2)
+        def v2_to_v3(payload):
+            payload = dict(payload)
+            payload["c"] = payload["b"] + 1
+            return payload
+
+        return fmt
+
+    def test_migration_chain(self):
+        fmt = self.make_format()
+        assert fmt.upgrade({"a": 10}, 1) == {"a": 10, "b": 20, "c": 21}
+        assert fmt.upgrade({"a": 1, "b": 5}, 2) == {"a": 1, "b": 5, "c": 6}
+
+    def test_current_version_is_noop(self):
+        fmt = self.make_format()
+        payload = {"a": 1}
+        assert fmt.upgrade(payload, 3) is payload
+
+    def test_newer_version_rejected(self):
+        with pytest.raises(ArtifactVersionError):
+            self.make_format().upgrade({}, 4)
+
+    def test_missing_migration_rejected(self):
+        fmt = VersionedFormat("gappy", 3)
+
+        @fmt.migration(2)
+        def v2_to_v3(payload):
+            return payload
+
+        with pytest.raises(ArtifactVersionError):
+            fmt.upgrade({}, 1)
+
+    def test_duplicate_migration_rejected(self):
+        fmt = self.make_format()
+        with pytest.raises(ValueError):
+
+            @fmt.migration(1)
+            def again(payload):
+                return payload
+
+    def test_version_error_is_value_error(self):
+        # The pre-durability loader raised ValueError on bad versions;
+        # the typed error keeps that contract.
+        assert issubclass(ArtifactVersionError, ValueError)

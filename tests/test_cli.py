@@ -92,3 +92,82 @@ class TestCommands:
         scenario, _ = build_michael_dataset(population_size=200)
         loaded = load_trained(archive, scenario)
         assert loaded.predictor.is_fitted
+
+
+class TestResumableCommands:
+    """The crash-safety surface: `train` checkpoints, sweeps persist cells."""
+
+    def test_parser_knows_new_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["train", "--checkpoint-dir", "ckpts"])
+        assert callable(args.func)
+        assert args.checkpoint_dir == "ckpts"
+        assert args.resume is False
+        args = parser.parse_args(
+            ["experiments", "--methods", "Nearest", "--seeds", "0,1",
+             "--results-dir", "out", "--resume"]
+        )
+        assert args.resume is True
+
+    def test_train_refuses_dirty_directory_without_resume(self, capsys, tmp_path):
+        from repro.core.config import MobiRescueConfig
+        from repro.core.persistence import save_checkpoint
+        from repro.core.rl_dispatcher import make_agent
+
+        # Fails fast, before any dataset build.
+        cfg = MobiRescueConfig(num_candidates=3, seed=0)
+        from repro.core.persistence import TrainingCheckpoint
+
+        save_checkpoint(
+            tmp_path,
+            TrainingCheckpoint(
+                episodes_done=1,
+                service_rates=[0.5],
+                config=cfg,
+                agent_state=make_agent(cfg).get_state(),
+                predictor_arrays={},
+            ),
+        )
+        assert main(["train", "--checkpoint-dir", str(tmp_path)]) == 2
+        assert "--resume" in capsys.readouterr().err
+
+    def test_train_resume_needs_checkpoints(self, capsys, tmp_path):
+        assert main(["train", "--checkpoint-dir", str(tmp_path), "--resume"]) == 2
+        assert "no checkpoints" in capsys.readouterr().err
+
+    def test_experiments_rejects_unknown_method(self, capsys):
+        assert main(["experiments", "--methods", "Teleport", *POP]) == 2
+        assert "unknown methods" in capsys.readouterr().err
+
+    def test_experiments_refuses_dirty_results_dir(self, capsys, tmp_path):
+        from repro.eval.experiments import SweepStore
+
+        SweepStore(tmp_path).put("method=Nearest,seed=0", {"served": 1})
+        assert main(
+            ["experiments", "--results-dir", str(tmp_path), *POP]
+        ) == 2
+        assert "--resume" in capsys.readouterr().err
+
+    def test_train_runs_and_resumes(self, capsys, tmp_path):
+        ckpts = str(tmp_path / "ckpts")
+        pop = ["--population", "200", "--episodes", "1", "--checkpoint-dir", ckpts]
+        assert main(["train", *pop]) == 0
+        assert "trained 1 episode(s)" in capsys.readouterr().out
+
+        # Same target already met: resume restores and runs nothing new.
+        assert main(["train", *pop, "--resume"]) == 0
+        assert "service rates" in capsys.readouterr().out
+
+    def test_experiments_with_store(self, capsys, tmp_path):
+        results = str(tmp_path / "cells")
+        argv = ["experiments", "--methods", "Nearest,Schedule", *POP,
+                "--results-dir", results]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "Method comparison" in out
+
+        # Re-run resumes entirely from the store.
+        assert main([*argv, "--resume"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == out
+        assert "reusing stored cell" in captured.err

@@ -179,3 +179,95 @@ class TestPersistence:
         broken.predictor = RequestPredictor(michael_small[0])
         with pytest.raises(ValueError):
             save_trained(broken, tmp_path / "x.npz")
+
+    def test_save_lands_at_exact_path(self, trained, tmp_path):
+        # np.savez would have silently written to model.bin.npz.
+        path = tmp_path / "model.bin"
+        save_trained(trained, path)
+        assert path.exists()
+        assert not (tmp_path / "model.bin.npz").exists()
+
+    def test_corrupt_archive_typed_error(self, trained, michael_small, tmp_path):
+        from repro.core.artifacts import CorruptArtifactError
+
+        scenario, _ = michael_small
+        path = tmp_path / "m.npz"
+        save_trained(trained, path)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CorruptArtifactError):
+            load_trained(path, scenario)
+
+        path.write_bytes(raw[: len(raw) // 3])
+        with pytest.raises(CorruptArtifactError):
+            load_trained(path, scenario)
+
+    def test_unknown_version_typed_error(self, trained, michael_small, tmp_path):
+        from repro.core.artifacts import ArtifactVersionError, atomic_savez
+
+        scenario, _ = michael_small
+        path = tmp_path / "m.npz"
+        save_trained(trained, path)
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {k: data[k] for k in data.files}
+        arrays["version"] = np.array([99])
+        atomic_savez(path, **arrays)
+        with pytest.raises(ArtifactVersionError):
+            load_trained(path, scenario)
+        # ...which old callers still catch as ValueError.
+        with pytest.raises(ValueError):
+            load_trained(path, scenario)
+
+    def test_v1_archive_migrates_to_v2(self, trained, michael_small, tmp_path):
+        from repro.core.artifacts import atomic_savez
+
+        scenario, _ = michael_small
+        path = tmp_path / "m.npz"
+        save_trained(trained, path)
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {k: data[k] for k in data.files}
+        # Strip everything the v2 format added, as a v1 writer would have.
+        arrays = {
+            k: v
+            for k, v in arrays.items()
+            if not k.startswith("target_") and k != "rng_json"
+        }
+        arrays["version"] = np.array([1])
+        atomic_savez(path, **arrays)
+
+        loaded = load_trained(path, scenario)
+        # v1 had no separate target net: migration seeds it from the Q-net.
+        for (qw, qb), (tw, tb) in zip(
+            loaded.agent.q_net.get_weights(), loaded.agent.target_net.get_weights()
+        ):
+            np.testing.assert_array_equal(qw, tw)
+            np.testing.assert_array_equal(qb, tb)
+        rng = np.random.default_rng(1)
+        s = rng.normal(size=(4, trained.config.state_dim))
+        np.testing.assert_allclose(
+            trained.agent.q_net.forward(s), loaded.agent.q_net.forward(s)
+        )
+
+    def test_unknown_config_key_dropped_with_warning(
+        self, trained, michael_small, tmp_path, caplog
+    ):
+        import json
+        import logging
+
+        from repro.core.artifacts import atomic_savez
+
+        scenario, _ = michael_small
+        path = tmp_path / "m.npz"
+        save_trained(trained, path)
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {k: data[k] for k in data.files}
+        cfg = json.loads(str(arrays["config_json"][0]))
+        cfg["future_knob"] = 42
+        arrays["config_json"] = np.array([json.dumps(cfg)])
+        atomic_savez(path, **arrays)
+
+        with caplog.at_level(logging.WARNING, logger="repro.core.persistence"):
+            loaded = load_trained(path, scenario)
+        assert loaded.config == trained.config
+        assert any("future_knob" in rec.getMessage() for rec in caplog.records)

@@ -1,0 +1,108 @@
+"""Tests for the supervision layer: retry policy, deadlines, incidents."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.runner import (
+    AttemptTimeoutError,
+    Incident,
+    RetriesExhaustedError,
+    RetryPolicy,
+    Supervisor,
+)
+
+
+def make_supervisor(policy: RetryPolicy, sleeps: list[float]) -> Supervisor:
+    return Supervisor(policy=policy, name="test", sleep=sleeps.append)
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(attempt_timeout_s=0.0)
+
+    def test_delay_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(base_delay_s=1.0, backoff=2.0, max_delay_s=5.0, jitter=0.0)
+        rng = np.random.default_rng(0)
+        delays = [policy.delay_s(a, rng) for a in range(5)]
+        assert delays == [1.0, 2.0, 4.0, 5.0, 5.0]
+
+    def test_jitter_bounded(self):
+        policy = RetryPolicy(base_delay_s=1.0, backoff=1.0, jitter=0.5)
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            assert 1.0 <= policy.delay_s(0, rng) <= 1.5
+
+
+class TestSupervisor:
+    def test_success_first_try(self):
+        sleeps: list[float] = []
+        sup = make_supervisor(RetryPolicy(max_attempts=3), sleeps)
+        assert sup.run(lambda attempt: attempt + 41) == 41
+        assert sup.incidents == []
+        assert sleeps == []
+
+    def test_retries_then_succeeds(self):
+        sleeps: list[float] = []
+        sup = make_supervisor(
+            RetryPolicy(max_attempts=3, base_delay_s=1.0, jitter=0.0), sleeps
+        )
+
+        def flaky(attempt: int) -> str:
+            if attempt < 2:
+                raise RuntimeError(f"transient {attempt}")
+            return "done"
+
+        assert sup.run(flaky) == "done"
+        assert [i.kind for i in sup.incidents] == ["attempt-failed", "attempt-failed"]
+        assert [i.attempt for i in sup.incidents] == [0, 1]
+        assert sleeps == [1.0, 2.0]  # exponential backoff between attempts
+
+    def test_exhaustion_raises_from_last_failure(self):
+        sup = make_supervisor(RetryPolicy(max_attempts=2, base_delay_s=0.0), [])
+
+        def always_fails(attempt: int):
+            raise RuntimeError(f"boom {attempt}")
+
+        with pytest.raises(RetriesExhaustedError) as excinfo:
+            sup.run(always_fails)
+        assert "boom 1" in str(excinfo.value.__cause__)
+        assert len(sup.incidents) == 2
+
+    def test_non_retryable_propagates_immediately(self):
+        sup = make_supervisor(RetryPolicy(max_attempts=3), [])
+
+        def fails(attempt: int):
+            raise TypeError("programming error")
+
+        with pytest.raises(TypeError):
+            sup.run(fails, retryable=(ValueError,))
+        assert sup.incidents == []
+
+    def test_attempt_deadline(self):
+        sup = make_supervisor(
+            RetryPolicy(max_attempts=2, base_delay_s=0.0, attempt_timeout_s=0.05), []
+        )
+
+        def slow_then_fast(attempt: int) -> str:
+            if attempt == 0:
+                time.sleep(1.0)
+            return "recovered"
+
+        assert sup.run(slow_then_fast) == "recovered"
+        assert [i.kind for i in sup.incidents] == ["attempt-timeout"]
+
+    def test_record_keeps_custom_incidents(self):
+        sup = make_supervisor(RetryPolicy(), [])
+        sup.record("corrupt-checkpoint", "ckpt-000007 rejected")
+        assert sup.incidents == [
+            Incident(kind="corrupt-checkpoint", message="ckpt-000007 rejected", attempt=0)
+        ]

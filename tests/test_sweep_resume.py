@@ -1,0 +1,174 @@
+"""Resumable experiment sweeps: per-cell durable results.
+
+A killed sweep resumed against the same :class:`SweepStore` re-runs only
+the uncompleted cells and yields the same table as an uninterrupted run;
+torn or bit-flipped cell files are silently discarded and re-run.
+
+The sweeps here use only the cheap heuristic methods so no MobiRescue
+training happens.
+"""
+
+import json
+
+import pytest
+
+from repro.eval.experiments import (
+    ComparisonSweep,
+    ComparisonSweepConfig,
+    SweepStore,
+    format_comparison_cells,
+)
+from repro.eval.harness import HarnessConfig
+from repro.eval.robustness import (
+    RobustnessConfig,
+    RobustnessSweep,
+    format_degradation_table,
+)
+
+CHEAP = ("Schedule", "Nearest")
+HARNESS = HarnessConfig(num_teams=10)
+
+
+class TestSweepStore:
+    def test_roundtrip(self, tmp_path):
+        store = SweepStore(tmp_path)
+        store.put("method=A,seed=0", {"served": 3, "rate": 0.5})
+        assert store.get("method=A,seed=0") == {"served": 3, "rate": 0.5}
+        assert len(store) == 1
+
+    def test_missing_key(self, tmp_path):
+        assert SweepStore(tmp_path).get("method=A,seed=0") is None
+
+    def test_torn_file_discarded(self, tmp_path):
+        store = SweepStore(tmp_path)
+        store.put("k", {"a": 1})
+        store._path("k").write_text('{"format": "repro-sweep-cell", "key"')
+        assert store.get("k") is None
+
+    def test_tampered_payload_discarded(self, tmp_path):
+        store = SweepStore(tmp_path)
+        store.put("k", {"served": 3})
+        wrapper = json.loads(store._path("k").read_text())
+        wrapper["cell"]["served"] = 9999
+        store._path("k").write_text(json.dumps(wrapper))
+        assert store.get("k") is None
+
+    def test_key_mismatch_discarded(self, tmp_path):
+        store = SweepStore(tmp_path)
+        store.put("method=A,seed=0", {"a": 1})
+        # A renamed/copied file must not satisfy a different key.
+        other = store._path("method=B,seed=0")
+        other.write_bytes(store._path("method=A,seed=0").read_bytes())
+        assert store.get("method=B,seed=0") is None
+
+    def test_foreign_format_discarded(self, tmp_path):
+        store = SweepStore(tmp_path)
+        store._path("k").write_text(json.dumps({"format": "other", "cell": {}}))
+        assert store.get("k") is None
+
+
+@pytest.fixture(scope="module")
+def datasets(florence_small, michael_small):
+    return florence_small, michael_small
+
+
+@pytest.fixture(scope="module")
+def comparison_baseline(datasets):
+    """An uninterrupted sweep, no store — the reference table."""
+    florence, michael = datasets
+    cfg = ComparisonSweepConfig(methods=CHEAP, seeds=(0,), harness=HARNESS)
+    return ComparisonSweep(florence, michael, cfg).run()
+
+
+class TestComparisonSweepResume:
+    def test_interrupted_resume_matches_uninterrupted(
+        self, datasets, comparison_baseline, tmp_path
+    ):
+        florence, michael = datasets
+        cfg = ComparisonSweepConfig(methods=CHEAP, seeds=(0,), harness=HARNESS)
+        store = SweepStore(tmp_path)
+
+        # "Kill" the sweep after the first cell by running only one method.
+        first = ComparisonSweepConfig(methods=CHEAP[:1], seeds=(0,), harness=HARNESS)
+        ComparisonSweep(florence, michael, first, store).run()
+        assert len(store) == 1
+
+        ran: list[str] = []
+        cells = ComparisonSweep(florence, michael, cfg, store).run(progress=ran.append)
+        assert cells == comparison_baseline
+        assert any("reusing stored cell" in line for line in ran)
+        assert sum("running" in line for line in ran) == 1  # only the missing cell
+
+    def test_fully_stored_sweep_runs_nothing(
+        self, datasets, comparison_baseline, tmp_path
+    ):
+        florence, michael = datasets
+        cfg = ComparisonSweepConfig(methods=CHEAP, seeds=(0,), harness=HARNESS)
+        store = SweepStore(tmp_path)
+        ComparisonSweep(florence, michael, cfg, store).run()
+
+        ran: list[str] = []
+        cells = ComparisonSweep(florence, michael, cfg, store).run(progress=ran.append)
+        assert cells == comparison_baseline
+        assert all("reusing" in line for line in ran)
+
+    def test_corrupt_cell_is_rerun(self, datasets, comparison_baseline, tmp_path):
+        florence, michael = datasets
+        cfg = ComparisonSweepConfig(methods=CHEAP, seeds=(0,), harness=HARNESS)
+        store = SweepStore(tmp_path)
+        ComparisonSweep(florence, michael, cfg, store).run()
+
+        path = store._path(f"method={CHEAP[0]},seed=0")
+        path.write_text(path.read_text()[:-20])
+
+        cells = ComparisonSweep(florence, michael, cfg, store).run()
+        assert cells == comparison_baseline
+        assert store.get(f"method={CHEAP[0]},seed=0") is not None  # re-committed
+
+    def test_table_formats_stored_cells(self, comparison_baseline):
+        table = format_comparison_cells(comparison_baseline)
+        for method in CHEAP:
+            assert method in table
+
+
+class TestRobustnessSweepResume:
+    @pytest.fixture(scope="class")
+    def config(self):
+        return RobustnessConfig(
+            profiles=("none",), methods=CHEAP, harness=HARNESS
+        )
+
+    @pytest.fixture(scope="class")
+    def baseline(self, datasets, config):
+        florence, michael = datasets
+        return RobustnessSweep(florence, michael, config).run()
+
+    def test_interrupted_resume_matches_uninterrupted(
+        self, datasets, config, baseline, tmp_path
+    ):
+        florence, michael = datasets
+        store = SweepStore(tmp_path)
+        first = RobustnessConfig(
+            profiles=("none",), methods=CHEAP[:1], harness=HARNESS
+        )
+        RobustnessSweep(florence, michael, first).run(store=store)
+        assert len(store) == 1
+
+        ran: list[str] = []
+        cells = RobustnessSweep(florence, michael, config).run(
+            progress=ran.append, store=store
+        )
+        assert cells == baseline
+        assert any("reusing stored cell" in line for line in ran)
+        assert format_degradation_table(cells) == format_degradation_table(baseline)
+
+    def test_fully_stored_sweep_runs_nothing(self, datasets, config, baseline, tmp_path):
+        florence, michael = datasets
+        store = SweepStore(tmp_path)
+        RobustnessSweep(florence, michael, config).run(store=store)
+        ran: list[str] = []
+        cells = RobustnessSweep(florence, michael, config).run(
+            progress=ran.append, store=store
+        )
+        assert cells == baseline
+        assert all("reusing" in line for line in ran)
