@@ -1,0 +1,52 @@
+"""reprolint: AST-based enforcement of the reproduction's invariants.
+
+The dispatch loop's bit-reproducibility, the artifact layer's crash
+atomicity and the fault pipeline's exception discipline are conventions
+no off-the-shelf linter knows about.  This package turns them into a
+static gate: :mod:`repro.analysis.rules` holds the rule catalogue,
+:mod:`repro.analysis.engine` runs it over source trees with per-line
+pragma escape hatches (:mod:`repro.analysis.pragmas`), and
+:mod:`repro.analysis.cli` is the ``repro lint`` front end.
+
+Programmatic use::
+
+    from repro.analysis import lint_paths
+
+    report = lint_paths(["src/repro"])
+    assert report.clean, [f.format_text() for f in report.findings]
+"""
+
+from repro.analysis.engine import (
+    LintReport,
+    default_target,
+    lint_paths,
+    lint_source,
+    module_name_for,
+)
+from repro.analysis.findings import Finding, count_by_rule
+from repro.analysis.pragmas import KNOWN_PRAGMAS, PragmaTable, parse_pragmas
+from repro.analysis.rules import (
+    DEFAULT_RULES,
+    RULE_CATALOGUE,
+    RULE_INDEX,
+    Rule,
+    RuleDoc,
+)
+
+__all__ = [
+    "DEFAULT_RULES",
+    "Finding",
+    "KNOWN_PRAGMAS",
+    "LintReport",
+    "PragmaTable",
+    "RULE_CATALOGUE",
+    "RULE_INDEX",
+    "Rule",
+    "RuleDoc",
+    "count_by_rule",
+    "default_target",
+    "lint_paths",
+    "lint_source",
+    "module_name_for",
+    "parse_pragmas",
+]

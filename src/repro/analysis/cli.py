@@ -1,0 +1,133 @@
+"""``repro lint`` — the reprolint command-line front end.
+
+Exit codes follow the convention CI expects: ``0`` clean, ``1`` findings,
+``2`` usage or I/O errors.  ``--format json`` emits a stable document
+(version, per-rule counts, findings) so dashboards can diff finding
+counts across PRs; ``--select`` narrows to specific rule ids; fixture
+trees that are *supposed* to violate rules are linted with the same
+engine the gate uses, so the self-tests and the gate can never drift
+apart.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+
+from repro.analysis.engine import LintReport, default_target, lint_paths
+from repro.analysis.findings import count_by_rule
+from repro.analysis.rules import DEFAULT_RULES, RULE_CATALOGUE, RULE_INDEX, Rule
+
+#: Bumped when the JSON document shape changes.
+JSON_FORMAT_VERSION = 1
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="finding output format (json is machine-readable and stable)",
+    )
+    parser.add_argument(
+        "--select",
+        type=str,
+        default="",
+        help="comma-separated rule ids to run (default: all rules)",
+    )
+    parser.add_argument(
+        "--no-strict-pragmas",
+        action="store_true",
+        help="do not flag pragmas that suppress nothing (REP001)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def _select_rules(select: str) -> tuple[Sequence[Rule], list[str]]:
+    """Resolve ``--select`` into rule instances; returns (rules, unknown)."""
+    if not select:
+        return DEFAULT_RULES, []
+    wanted = [s.strip().upper() for s in select.split(",") if s.strip()]
+    unknown = [s for s in wanted if s not in RULE_INDEX]
+    # De-duplicate while preserving catalogue order (REP102/REP103 share a
+    # checker instance).
+    chosen: list[Rule] = []
+    for rule in DEFAULT_RULES:
+        if rule in (RULE_INDEX[s] for s in wanted if s in RULE_INDEX):
+            chosen.append(rule)
+    return chosen, unknown
+
+
+def _print_catalogue() -> None:
+    for doc in RULE_CATALOGUE:
+        pragma = f"# repro: {doc.pragma}" if doc.pragma else "(no pragma)"
+        print(f"{doc.rule_id}  {doc.name}  [{pragma}]")
+        print(f"    {doc.description}")
+        if doc.scope:
+            print(f"    scope: {', '.join(doc.scope)}")
+        if doc.exempt:
+            print(f"    exempt: {', '.join(doc.exempt)}")
+
+
+def report_as_json(report: LintReport) -> str:
+    document = {
+        "version": JSON_FORMAT_VERSION,
+        "files_checked": report.files_checked,
+        "counts": count_by_rule(report.findings),
+        "total": len(report.findings),
+        "findings": [f.to_dict() for f in report.findings],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        _print_catalogue()
+        return 0
+    rules, unknown = _select_rules(args.select)
+    if unknown:
+        print(f"unknown rule ids: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    paths = args.paths or [default_target()]
+    try:
+        report = lint_paths(
+            paths, rules=rules, strict_pragmas=not args.no_strict_pragmas
+        )
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(report_as_json(report))
+    else:
+        for finding in report.findings:
+            print(finding.format_text())
+        summary = (
+            f"{len(report.findings)} finding(s) in {report.files_checked} file(s)"
+            if report.findings
+            else f"clean: {report.files_checked} file(s) checked"
+        )
+        print(summary, file=sys.stderr)
+    return 1 if report.findings else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint", description="repo-invariant static analysis"
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

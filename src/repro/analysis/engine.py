@@ -1,0 +1,194 @@
+"""The reprolint engine: file discovery, scoping, pragma filtering.
+
+The engine maps each ``.py`` file to its dotted module name (so rules can
+scope themselves to ``repro.sim``, exempt ``repro.core.artifacts``, ...),
+parses it once, runs every applicable rule over the AST, and filters the
+raw findings through the file's pragma table.  Pragmas are audited in the
+same pass: unknown pragma names become ``REP002`` findings and — in
+strict-pragma mode, the default — pragmas that suppressed nothing become
+``REP001`` findings.
+
+Module names are derived from the path by walking up to the nearest
+package root (the highest directory chain with ``__init__.py`` files).
+Files outside any package — linter fixtures, scripts — can pin their
+module identity with a directive comment on any line::
+
+    # reprolint: module=repro.sim.fixture
+
+which is how the self-test fixtures exercise scoped rules.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import Finding
+from repro.analysis.pragmas import PragmaTable, parse_pragmas
+from repro.analysis.rules import DEFAULT_RULES, Rule
+
+_MODULE_DIRECTIVE_RE = re.compile(
+    r"^\s*#\s*reprolint:\s*module\s*=\s*([A-Za-z_][\w.]*)\s*$", re.MULTILINE
+)
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    #: Files that failed to parse, as (path, error) — reported as findings
+    #: too (rule ``REP000``), but kept separately for programmatic use.
+    errors: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def module_name_for(path: pathlib.Path) -> str:
+    """Dotted module name for ``path``, from the enclosing package chain.
+
+    Walks parents while ``__init__.py`` exists, so ``src/repro/sim/engine.py``
+    maps to ``repro.sim.engine`` regardless of the working directory.  A
+    file outside any package maps to its stem.
+    """
+    parts = [path.stem] if path.stem != "__init__" else []
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) if parts else path.stem
+
+
+def discover_files(paths: Sequence[str | pathlib.Path]) -> list[pathlib.Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list."""
+    seen: dict[pathlib.Path, None] = {}
+    for raw in paths:
+        p = pathlib.Path(raw)
+        if p.is_dir():
+            for f in sorted(p.rglob("*.py")):
+                seen.setdefault(f.resolve(), None)
+        elif p.is_file() and p.suffix == ".py":
+            seen.setdefault(p.resolve(), None)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {p}")
+    return sorted(seen)
+
+
+def _pragma_audit(
+    path: str, table: PragmaTable, strict_pragmas: bool
+) -> Iterable[Finding]:
+    for line, token in table.unknown:
+        yield Finding(
+            path=path,
+            line=line,
+            col=1,
+            rule="REP002",
+            message=f"unknown reprolint pragma `{token}`",
+        )
+    if strict_pragmas:
+        for line, token in table.unused():
+            yield Finding(
+                path=path,
+                line=line,
+                col=1,
+                rule="REP001",
+                message=f"pragma `{token}` suppresses no finding; remove it",
+            )
+
+
+def lint_source(
+    source: str,
+    *,
+    path: str = "<string>",
+    module: str | None = None,
+    rules: Sequence[Rule] = DEFAULT_RULES,
+    strict_pragmas: bool = True,
+) -> list[Finding]:
+    """Lint one source text; the core primitive behind :func:`lint_paths`.
+
+    ``module`` defaults to an in-file ``# reprolint: module=...`` directive
+    when present, else the path stem.
+    """
+    if module is None:
+        directive = _MODULE_DIRECTIVE_RE.search(source)
+        module = directive.group(1) if directive else pathlib.Path(path).stem
+    tree = ast.parse(source, filename=path)
+    table = parse_pragmas(source)
+    findings: list[Finding] = []
+    for rule in rules:
+        if not rule.applies_to(module):
+            continue
+        for f in rule.check(tree, module, path):
+            if f.pragma and table.suppresses(f.line, f.pragma):
+                continue
+            findings.append(f)
+    findings.extend(_pragma_audit(path, table, strict_pragmas))
+    findings.sort()
+    return findings
+
+
+def lint_paths(
+    paths: Sequence[str | pathlib.Path],
+    *,
+    rules: Sequence[Rule] = DEFAULT_RULES,
+    strict_pragmas: bool = True,
+) -> LintReport:
+    """Lint files and directory trees into one :class:`LintReport`."""
+    report = LintReport()
+    for file in discover_files(paths):
+        rel = _display_path(file)
+        try:
+            source = file.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            report.errors.append((rel, str(exc)))
+            report.findings.append(
+                Finding(rel, 1, 1, "REP000", f"unreadable file: {exc}")
+            )
+            continue
+        try:
+            findings = lint_source(
+                source,
+                path=rel,
+                module=_module_for_source(file, source),
+                rules=rules,
+                strict_pragmas=strict_pragmas,
+            )
+        except SyntaxError as exc:
+            report.errors.append((rel, str(exc)))
+            report.findings.append(
+                Finding(rel, exc.lineno or 1, 1, "REP000", f"syntax error: {exc.msg}")
+            )
+            continue
+        report.files_checked += 1
+        report.findings.extend(findings)
+    report.findings.sort()
+    return report
+
+
+def _module_for_source(file: pathlib.Path, source: str) -> str:
+    directive = _MODULE_DIRECTIVE_RE.search(source)
+    if directive:
+        return directive.group(1)
+    return module_name_for(file)
+
+
+def _display_path(file: pathlib.Path) -> str:
+    """Repo-relative path when possible, keeping CI output stable."""
+    try:
+        return str(file.relative_to(pathlib.Path.cwd()))
+    except ValueError:
+        return str(file)
+
+
+def default_target() -> pathlib.Path:
+    """The installed ``repro`` package tree — what ``repro lint`` checks
+    when invoked with no paths."""
+    import repro
+
+    return pathlib.Path(repro.__file__).resolve().parent

@@ -1,0 +1,41 @@
+"""The machine-readable finding format shared by every reprolint rule.
+
+A finding pins one invariant violation to a file, line and column, names
+the rule that produced it and carries a human-readable message plus the
+pragma that would suppress it.  Findings serialize to stable dicts (for
+``repro lint --format json``) and to the classic ``file:line:col`` text
+form, so CI jobs and dashboards can diff counts across PRs without
+parsing prose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, anchored to a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    #: The ``# repro: <pragma>`` token that suppresses this finding.
+    pragma: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    def format_text(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def count_by_rule(findings: list[Finding]) -> dict[str, int]:
+    """Per-rule finding counts (sorted by rule id for stable output)."""
+    counts: dict[str, int] = {}
+    for f in findings:
+        counts[f.rule] = counts.get(f.rule, 0) + 1
+    return dict(sorted(counts.items()))

@@ -1,0 +1,138 @@
+"""Pragma escape hatches: ``# repro: allow-<rule-category>``.
+
+Every reprolint rule can be suppressed *per line* with an in-source
+pragma, the way ``# noqa`` works for flake8 — but scoped to the
+repo-specific invariant categories, and strict by default:
+
+* a pragma suppresses findings of its category **on its own physical
+  line only** (the line the flagged AST node starts on);
+* unknown pragma names are findings themselves (``REP002``), so typos
+  never silently disable a rule;
+* pragmas that suppress nothing are findings too (``REP001``) unless
+  strict-pragma checking is turned off — a stale escape hatch is a hole
+  in the gate.
+
+Syntax::
+
+    do_risky_thing()  # repro: allow-broad-except -- guard converts crashes
+    other_thing()     # repro: allow-wallclock, allow-unsafe-write
+
+    # repro: allow-wallclock -- a pragma on its own line applies to the
+    # next source line (continuation comments are skipped)
+    start = time.perf_counter()
+
+Everything after ``--`` is a free-form justification and is ignored by
+the parser (but encouraged for readers).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+#: The full set of recognized pragma tokens; rules reference these by name.
+KNOWN_PRAGMAS = frozenset(
+    {
+        "allow-nondeterminism",
+        "allow-wallclock",
+        "allow-unsafe-write",
+        "allow-bare-except",
+        "allow-broad-except",
+        "allow-unsorted-set",
+    }
+)
+
+# Anchored at the start of the comment: prose that merely *mentions*
+# ``# repro: ...`` (docs, docstring-style ``#:`` comments) is not a pragma.
+_PRAGMA_RE = re.compile(r"^#\s*repro:\s*(?P<body>[^#]*)")
+_TOKEN_RE = re.compile(r"[A-Za-z][A-Za-z0-9-]*")
+
+
+@dataclass
+class PragmaTable:
+    """Per-line pragma tokens for one source file, with usage tracking."""
+
+    #: line -> set of pragma tokens declared on that line.
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    #: (line, token) pairs with a token outside :data:`KNOWN_PRAGMAS`.
+    unknown: list[tuple[int, str]] = field(default_factory=list)
+    #: (line, token) pairs consumed by at least one suppression.
+    _used: set[tuple[int, str]] = field(default_factory=set)
+
+    def suppresses(self, line: int, pragma: str) -> bool:
+        """True when ``pragma`` is declared on ``line`` (and mark it used)."""
+        if pragma in self.by_line.get(line, ()):
+            self._used.add((line, pragma))
+            return True
+        return False
+
+    def unused(self) -> list[tuple[int, str]]:
+        """Declared-but-never-suppressing (line, token) pairs, sorted."""
+        declared = {
+            (line, token)
+            for line, tokens in self.by_line.items()
+            for token in tokens
+            if token in KNOWN_PRAGMAS
+        }
+        return sorted(declared - self._used)
+
+
+_NON_CODE_TOKENS = frozenset(
+    {
+        tokenize.COMMENT,
+        tokenize.NL,
+        tokenize.NEWLINE,
+        tokenize.INDENT,
+        tokenize.DEDENT,
+        tokenize.ENDMARKER,
+    }
+)
+
+
+def parse_pragmas(source: str) -> PragmaTable:
+    """Extract the pragma table from one file's source text.
+
+    A pragma trailing code applies to that line; a pragma on a
+    comment-only line applies to the next line holding code.
+    Tokenization errors are swallowed (the AST parse reports real syntax
+    problems); pragmas found up to the error still count.
+    """
+    table = PragmaTable()
+    lines = source.splitlines()
+    #: (declaration line, standalone?, tokens) triples, resolved below.
+    declared: list[tuple[int, bool, list[str]]] = []
+    code_lines: set[int] = set()
+    reader = io.StringIO(source).readline
+    try:
+        for tok in tokenize.generate_tokens(reader):
+            if tok.type not in _NON_CODE_TOKENS:
+                for ln in range(tok.start[0], tok.end[0] + 1):
+                    code_lines.add(ln)
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA_RE.search(tok.string)
+            if match is None:
+                continue
+            line = tok.start[0]
+            standalone = lines[line - 1][: tok.start[1]].strip() == ""
+            body = match.group("body").split("--", 1)[0]
+            tokens = _TOKEN_RE.findall(body)
+            if not tokens:
+                table.unknown.append((line, body.strip() or "<empty>"))
+                continue
+            declared.append((line, standalone, tokens))
+    except tokenize.TokenError:
+        pass
+    for line, standalone, tokens in declared:
+        target = line
+        if standalone:
+            after = [ln for ln in code_lines if ln > line]
+            target = min(after) if after else line
+        for token in tokens:
+            if token in KNOWN_PRAGMAS:
+                table.by_line.setdefault(target, set()).add(token)
+            else:
+                table.unknown.append((line, token))
+    return table

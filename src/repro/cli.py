@@ -36,6 +36,12 @@ Commands
     fallback-activation, dropped-command, breakdown and reroute counts).
     Also resumable with ``--results-dir``/``--resume``.
 
+``lint``
+    Run reprolint, the repo-invariant static analyzer (determinism,
+    durability, exception hygiene, ordering hazards), over the package
+    tree or explicit paths.  ``--format json`` emits machine-readable
+    findings; see ``docs/STATIC_ANALYSIS.md`` for the rule catalogue.
+
 All commands accept ``--population`` (default 800), ``--seed`` and
 ``--verbose`` (stream ``repro.*`` logs — incident and degradation events
 included — to stderr).
@@ -363,6 +369,12 @@ def cmd_robustness(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.analysis.cli import run_lint
+
+    return run_lint(args)
+
+
 FIGURES = {
     "fig9": ("fig9_served_per_hour", "timely served requests per hour"),
     "fig11": ("fig11_delay_per_hour", "average driving delay per hour (s)"),
@@ -457,6 +469,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--save", type=str, default="", help="save trained models (.npz)")
     p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser(
+        "lint", help="repo-invariant static analysis (reprolint)"
+    )
+    from repro.analysis.cli import add_lint_arguments
+
+    add_lint_arguments(p)
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser(
         "experiments", help="method-comparison sweep with per-cell persistence"

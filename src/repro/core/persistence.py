@@ -27,6 +27,7 @@ import os
 import pathlib
 import shutil
 import zipfile
+from collections.abc import Callable, Mapping
 from dataclasses import dataclass
 
 import numpy as np
@@ -109,7 +110,9 @@ def _pack_predictor(predictor: RequestPredictor) -> dict[str, np.ndarray]:
     }
 
 
-def _restore_predictor(data, scenario: CharlotteScenario) -> RequestPredictor:
+def _restore_predictor(
+    data: Mapping[str, np.ndarray], scenario: CharlotteScenario
+) -> RequestPredictor:
     kernel, gamma, degree, c = data["svm_params"]
     predictor = RequestPredictor(
         scenario,
@@ -143,7 +146,7 @@ def _load_npz(path: str | pathlib.Path) -> dict[str, np.ndarray]:
 
 
 @TRAINED_FORMAT.migration(1)
-def _trained_v1_to_v2(arrays: dict) -> dict:
+def _trained_v1_to_v2(arrays: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
     """v1 archives lack the target net and RNG: re-derive both the way the
     v1 loader did (target synced from the Q-net, RNG seeded from config)."""
     arrays = dict(arrays)
@@ -338,7 +341,9 @@ def save_checkpoint(
     return final
 
 
-def _pack_predictor_prefixed(predictor_arrays: dict[str, np.ndarray]) -> dict:
+def _pack_predictor_prefixed(
+    predictor_arrays: dict[str, np.ndarray],
+) -> dict[str, np.ndarray]:
     return {f"predictor.{k}": v for k, v in predictor_arrays.items()}
 
 
@@ -393,7 +398,7 @@ def quarantine_checkpoint(path: str | pathlib.Path, reason: str) -> pathlib.Path
 def find_latest_valid_checkpoint(
     root: str | pathlib.Path,
     quarantine: bool = True,
-    on_incident=None,
+    on_incident: Callable[[str, str], None] | None = None,
 ) -> tuple[TrainingCheckpoint, pathlib.Path] | None:
     """Newest checkpoint that passes integrity verification, or ``None``.
 

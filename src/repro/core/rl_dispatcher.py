@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import logging
 from collections import defaultdict
+from collections.abc import Callable
 from dataclasses import dataclass
 
 import numpy as np
@@ -34,6 +35,7 @@ from repro.dispatch.base import (
     DispatchObservation,
     Dispatcher,
     TeamCommand,
+    TeamView,
     command_depot,
     command_segment,
 )
@@ -78,7 +80,7 @@ class MobiRescueDispatcher(Dispatcher):
         self,
         scenario: CharlotteScenario,
         predictor: RequestPredictor,
-        positions_fn,
+        positions_fn: Callable[[float], dict[int, int]],
         agent: DQNAgent,
         config: MobiRescueConfig | None = None,
         training: bool = False,
@@ -131,7 +133,10 @@ class MobiRescueDispatcher(Dispatcher):
             raw_predicted = self.predictor.predict_request_distribution(
                 self.positions_fn(t), t
             )
-        except Exception as exc:  # noqa: BLE001 - any sensing failure degrades
+        except Exception as exc:  # repro: allow-broad-except -- sanctioned
+            # degradation point (PR 1): any sensing failure — dead GPS
+            # backend, diverged predictor — downgrades to reactive
+            # dispatch instead of taking the dispatch center down.
             self.prediction_failures += 1
             logger.warning(
                 "t=%.0f prediction stage failed (%s: %s); "
@@ -156,8 +161,8 @@ class MobiRescueDispatcher(Dispatcher):
         # flood feed, so its cost estimates are right where the baselines'
         # full-network estimates are wrong.  Teams already en route to a
         # pending-backed target keep their legs (and their claim).
-        committed_pending: list = []
-        pool: list = []
+        committed_pending: list[TeamView] = []
+        pool: list[TeamView] = []
         for team in sorted(obs.assignable_teams(), key=lambda tv: tv.team_id):
             target = team.target_segment
             if (
@@ -186,7 +191,7 @@ class MobiRescueDispatcher(Dispatcher):
         # both proactive pickups (Fig 9) and the adaptive fleet size
         # (Fig 14).  Teams already on a predicted leg that still carries
         # demand keep it.
-        deciding: list = []
+        deciding: list[TeamView] = []
         for team in pool:
             if team.team_id in matched:
                 continue
@@ -238,7 +243,10 @@ class MobiRescueDispatcher(Dispatcher):
         return commands
 
     def _match_pending(
-        self, pending: dict[int, float], pool: list, obs: DispatchObservation
+        self,
+        pending: dict[int, float],
+        pool: list[TeamView],
+        obs: DispatchObservation,
     ) -> dict[int, int]:
         """Min-cost matching of teams to pending-request slots on the
         operable network.  Returns team_id -> segment."""
@@ -251,7 +259,7 @@ class MobiRescueDispatcher(Dispatcher):
         slots = expand_demand_slots(live, capacity=5, max_slots=len(pool))
         cost = np.zeros((len(pool), len(slots)))
         col_costs: dict[int, dict[int, float]] = {}
-        for seg_id in set(slots):
+        for seg_id in sorted(set(slots)):
             seg = obs.network.segment(seg_id)
             to_u = shortest_time_to(obs.network, seg.u, closed=obs.closed)
             col_costs[seg_id] = {

@@ -22,12 +22,19 @@ bounded, and recovered from —
 from __future__ import annotations
 
 import logging
+import pathlib
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, TypeVar
+from typing import TYPE_CHECKING, Callable, TypeVar
 
 import numpy as np
+
+if TYPE_CHECKING:  # circular at runtime: training imports this module's users
+    from repro.core.config import MobiRescueConfig
+    from repro.core.training import TrainedMobiRescue
+    from repro.data.charlotte import CharlotteScenario
+    from repro.mobility.generator import TraceBundle
 
 logger = logging.getLogger("repro.core.runner")
 
@@ -151,7 +158,9 @@ class Supervisor:
         def target() -> None:
             try:
                 box["result"] = attempt_fn(attempt)
-            except BaseException as exc:  # noqa: BLE001 - relayed to caller
+            except BaseException as exc:  # repro: allow-broad-except -- the
+                # supervisor's relay: the exception is re-raised in the
+                # calling thread (see `raise box["error"]` below).
                 box["error"] = exc
 
         # A daemon thread cannot be killed; on timeout it is abandoned (it
@@ -173,11 +182,11 @@ class Supervisor:
 
 
 def supervised_training(
-    scenario,
-    bundle,
+    scenario: "CharlotteScenario",
+    bundle: "TraceBundle",
     *,
-    checkpoint_dir,
-    config=None,
+    checkpoint_dir: str | pathlib.Path,
+    config: "MobiRescueConfig | None" = None,
     episodes: int = 6,
     num_teams: int = 40,
     team_capacity: int = 5,
@@ -185,7 +194,7 @@ def supervised_training(
     keep_checkpoints: int = 3,
     policy: RetryPolicy | None = None,
     supervisor: Supervisor | None = None,
-):
+) -> "TrainedMobiRescue":
     """Crash-safe training: checkpoint, retry, recover.
 
     Each attempt first looks for the latest *valid* checkpoint under
@@ -202,7 +211,7 @@ def supervised_training(
 
     sup = supervisor or Supervisor(policy=policy or RetryPolicy(), name="train")
 
-    def attempt(index: int):
+    def attempt(index: int) -> "TrainedMobiRescue":
         found = find_latest_valid_checkpoint(
             checkpoint_dir, on_incident=lambda kind, msg: sup.record(kind, msg)
         )

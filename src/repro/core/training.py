@@ -8,10 +8,16 @@ every team's per-cycle transition into the shared replay buffer.
 
 from __future__ import annotations
 
+import pathlib
 from collections import defaultdict
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # circular at runtime: persistence imports this module
+    from repro.core.persistence import TrainingCheckpoint
+    from repro.mobility.mapmatch import MatchedTrajectories
 
 from repro.core.config import MobiRescueConfig
 from repro.core.positions import PopulationFeed
@@ -39,7 +45,7 @@ class TrainedMobiRescue:
 
 
 def pretrain_agent(
-    agent,
+    agent: DQNAgent,
     config: MobiRescueConfig,
     samples: int = 4_096,
     steps: int = 1_200,
@@ -97,7 +103,9 @@ def pretrain_agent(
     agent.sync_target()
 
 
-def _deployment_pipeline(scenario: CharlotteScenario, bundle: TraceBundle):
+def _deployment_pipeline(
+    scenario: CharlotteScenario, bundle: TraceBundle
+) -> "MatchedTrajectories":
     """Stage-1 products shared by fresh and resumed training (deterministic
     for a given scenario/bundle)."""
     clean, _ = clean_trace(
@@ -128,7 +136,7 @@ def _run_episodes(
     num_teams: int,
     team_capacity: int,
     service_rates: list[float],
-    checkpoint_dir=None,
+    checkpoint_dir: str | pathlib.Path | None = None,
     checkpoint_every: int = 1,
     keep_checkpoints: int = 3,
 ) -> TrainedMobiRescue:
@@ -203,7 +211,7 @@ def train_mobirescue(
     episodes: int = 6,
     num_teams: int = 40,
     team_capacity: int = 5,
-    checkpoint_dir=None,
+    checkpoint_dir: str | pathlib.Path | None = None,
     checkpoint_every: int = 1,
     keep_checkpoints: int = 3,
 ) -> TrainedMobiRescue:
@@ -259,7 +267,7 @@ def train_mobirescue(
 
 
 def resume_training(
-    checkpoint_dir,
+    checkpoint_dir: str | pathlib.Path,
     scenario: CharlotteScenario,
     bundle: TraceBundle,
     episodes: int = 6,
@@ -267,7 +275,7 @@ def resume_training(
     team_capacity: int = 5,
     checkpoint_every: int = 1,
     keep_checkpoints: int = 3,
-    checkpoint=None,
+    checkpoint: "TrainingCheckpoint | None" = None,
 ) -> TrainedMobiRescue:
     """Continue an interrupted training run from its latest valid checkpoint.
 

@@ -143,15 +143,18 @@ class DispatchGuard:
         empty).
         """
         t_s = getattr(obs, "t_s", float("nan"))
+        # repro: allow-wallclock -- the guard *measures* the solver's
+        # wall-clock against its compute budget; the measurement never
+        # feeds back into simulation state.
         start = time.perf_counter()
         try:
             action = self.dispatcher.dispatch(obs)
-        except Exception as exc:  # noqa: BLE001 - the whole point of the guard
+        except Exception as exc:  # repro: allow-broad-except -- the guard's job
             self.fallback_count += 1
             incident = f"dispatcher raised {type(exc).__name__}: {exc}"
             self._log.warning("t=%.0f %s; fallback policy active", t_s, incident)
             return {}, incident
-        elapsed = time.perf_counter() - start
+        elapsed = time.perf_counter() - start  # repro: allow-wallclock
         if self.budget_s is not None and elapsed > self.budget_s:
             self.fallback_count += 1
             incident = (
@@ -165,7 +168,7 @@ class DispatchGuard:
         try:
             self.dispatcher.observe_requests(requests)
             return None
-        except Exception as exc:  # noqa: BLE001
+        except Exception as exc:  # repro: allow-broad-except -- guarded hook
             self.hook_error_count += 1
             incident = f"observe_requests raised {type(exc).__name__}: {exc}"
             self._log.warning("%s; ignored", incident)
@@ -175,7 +178,7 @@ class DispatchGuard:
         try:
             self.dispatcher.on_cycle_end(obs)
             return None
-        except Exception as exc:  # noqa: BLE001
+        except Exception as exc:  # repro: allow-broad-except -- guarded hook
             self.hook_error_count += 1
             incident = f"on_cycle_end raised {type(exc).__name__}: {exc}"
             self._log.warning("%s; ignored", incident)

@@ -10,6 +10,7 @@ experiences).
 from __future__ import annotations
 
 import json
+from collections.abc import Mapping
 from dataclasses import dataclass
 
 import numpy as np
@@ -139,7 +140,7 @@ class DQNAgent:
         arrays["learn_steps"] = np.array([self.learn_steps], dtype=np.int64)
         return arrays
 
-    def set_state(self, arrays) -> None:
+    def set_state(self, arrays: Mapping[str, np.ndarray]) -> None:
         """Restore the state captured by :meth:`get_state`.
 
         ``arrays`` may be any mapping of the same keys — a dict or an open
@@ -149,7 +150,7 @@ class DQNAgent:
         self.q_net.set_train_state(
             {k[len("q."):]: arrays[k] for k in arrays.keys() if k.startswith("q.")}
         )
-        weights = []
+        weights: list[tuple[np.ndarray, np.ndarray]] = []
         i = 0
         while f"target.w{i}" in arrays:
             weights.append((arrays[f"target.w{i}"], arrays[f"target.b{i}"]))

@@ -8,6 +8,7 @@ units* (Q-values of taken actions), backprop, and Adam updates.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -208,7 +209,7 @@ class MLP:
                 arrays[f"adam_{tag}{i}_t"] = np.array([state.t], dtype=np.int64)
         return arrays
 
-    def set_train_state(self, arrays) -> None:
+    def set_train_state(self, arrays: Mapping[str, np.ndarray]) -> None:
         """Restore weights and Adam state from :meth:`get_train_state`."""
         for i, layer in enumerate(self.layers):
             try:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass
 
 import numpy as np
@@ -83,7 +84,7 @@ class ReplayBuffer:
             ),
         }
 
-    def set_state(self, arrays) -> None:
+    def set_state(self, arrays: Mapping[str, np.ndarray]) -> None:
         """Restore contents captured by :meth:`get_state`."""
         capacity, state_dim, size, head = (int(v) for v in arrays["meta"])
         if capacity != self.capacity or state_dim != self.state_dim:

@@ -1,0 +1,21 @@
+# reprolint: module=repro.sim.fixture_clean
+# reprolint-fixture: clean — the sanctioned idioms pass every rule.
+import json
+
+import numpy as np
+
+
+def simulate(seed: int, segments: dict[int, float]) -> float:
+    rng = np.random.default_rng(seed)  # seeded, explicit generator
+    total = 0.0
+    for seg in sorted(set(segments)):  # sorted set iteration
+        total += segments[seg] * float(rng.random())
+    return total
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path) as fh:  # read-only open is fine
+            return dict(json.loads(fh.read()))
+    except (OSError, ValueError):  # narrow exception types
+        return {}

@@ -1,0 +1,5 @@
+# reprolint-fixture: REP101 x2 — the stdlib random module is banned.
+import random  # expect REP101
+from random import choice  # expect REP101
+
+print(random.random(), choice([1, 2]))

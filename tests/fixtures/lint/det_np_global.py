@@ -1,0 +1,10 @@
+# reprolint-fixture: REP102 x3, REP103 x1 — numpy global RandomState.
+import numpy as np
+from numpy.random import default_rng
+
+np.random.seed(0)  # expect REP102
+values = np.random.rand(3)  # expect REP102
+pick = np.random.choice(values)  # expect REP102
+rng = np.random.default_rng()  # expect REP103
+rng2 = default_rng(7)  # fine: seeded, explicit
+rng3 = np.random.default_rng([0, 42])  # fine: seeded

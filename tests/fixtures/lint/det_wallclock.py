@@ -1,0 +1,8 @@
+# reprolint: module=repro.sim.fixture_wallclock
+# reprolint-fixture: REP104 x3 — wall-clock reads in deterministic code.
+import time
+from datetime import datetime
+
+t0 = time.time()  # expect REP104
+t1 = time.perf_counter()  # expect REP104
+now = datetime.now()  # expect REP104

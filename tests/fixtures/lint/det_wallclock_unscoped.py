@@ -1,0 +1,7 @@
+# reprolint: module=repro.eval.fixture_harness
+# reprolint-fixture: clean — REP104 only applies inside the deterministic
+# scope (repro.sim/ml/mobility/dispatch/faults); measurement layers may
+# read the wall clock.
+import time
+
+t0 = time.time()

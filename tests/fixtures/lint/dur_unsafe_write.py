@@ -1,0 +1,19 @@
+# reprolint: module=repro.fixture_writes
+# reprolint-fixture: REP201 x5 — raw writes bypassing repro.core.artifacts.
+import json
+import pathlib
+
+import numpy as np
+
+
+def persist(path: pathlib.Path, payload: dict, arr: np.ndarray) -> None:
+    with open(path, "w") as fh:  # expect REP201
+        fh.write("x")
+    with open(path, mode="ab") as fh:  # expect REP201
+        fh.write(b"x")
+    np.savez(path, arr=arr)  # expect REP201
+    with open(path) as fh:  # fine: read-only
+        json.dump(payload, fh)  # expect REP201 (yes, fh is read-only; static)
+    path.write_text("data")  # expect REP201
+    payload_text = json.dumps(payload)  # fine: dumps to a string
+    print(payload_text)

@@ -1,0 +1,43 @@
+# reprolint-fixture: REP301 x1, REP302 x2 — exception hygiene.
+def risky() -> None:
+    raise ValueError("boom")
+
+
+def swallow_everything() -> int:
+    try:
+        risky()
+    except:  # expect REP301
+        return 1
+    return 0
+
+
+def swallow_broadly() -> int:
+    try:
+        risky()
+    except Exception:  # expect REP302
+        return 1
+    return 0
+
+
+def swallow_tuple() -> int:
+    try:
+        risky()
+    except (ValueError, Exception):  # expect REP302
+        return 1
+    return 0
+
+
+def cleanup_and_reraise() -> int:
+    try:
+        risky()
+    except Exception:  # fine: bare raise re-raises the original
+        raise
+    return 0
+
+
+def narrow_catch() -> int:
+    try:
+        risky()
+    except ValueError:  # fine: named type
+        return 1
+    return 0

@@ -1,0 +1,20 @@
+# reprolint: module=repro.ml.fixture_ordering
+# reprolint-fixture: REP401 x3 — bare-set iteration in a numeric hot path.
+values = {3.0, 1.0, 2.0}
+other = {2.0, 4.0}
+
+total = 0.0
+for v in values | other:  # expect REP401
+    total += v * total  # order-sensitive accumulation
+
+weights = [v / total for v in set([1.0, 2.0])]  # expect REP401
+
+for v in {x for x in weights}:  # expect REP401
+    total -= v
+
+for v in sorted(values | other):  # fine: sorted
+    total += v
+
+checksum = sum(v for v in values)  # fine: sum is order-insensitive
+biggest = max(v for v in values | other)  # fine
+as_list = sorted(v * 2 for v in values)  # fine: sorted sink

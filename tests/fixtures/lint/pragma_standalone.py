@@ -1,0 +1,7 @@
+# reprolint-fixture: clean — a standalone pragma line applies to the
+# next source line (continuation comments are skipped).
+import numpy as np
+
+# repro: allow-nondeterminism -- fixture: the pragma sits on its own
+# line; the draw below is intentionally unseeded.
+rng = np.random.default_rng()

@@ -1,0 +1,6 @@
+# reprolint-fixture: REP102 x1 — two identical violations, one pragma'd.
+# The pragma must suppress exactly the finding on its own line.
+import numpy as np
+
+np.random.seed(0)  # repro: allow-nondeterminism -- fixture: suppressed
+np.random.seed(1)  # expect REP102 (not suppressed)

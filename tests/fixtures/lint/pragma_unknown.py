@@ -1,0 +1,2 @@
+# reprolint-fixture: REP002 x1 — unknown pragma names are typos.
+value = 1 + 1  # repro: allow-everything -- expect REP002

@@ -1,0 +1,2 @@
+# reprolint-fixture: REP001 x1 — a pragma that suppresses nothing.
+value = 1 + 1  # repro: allow-broad-except -- expect REP001 (nothing here)
