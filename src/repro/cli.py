@@ -42,6 +42,13 @@ Commands
     tree or explicit paths.  ``--format json`` emits machine-readable
     findings; see ``docs/STATIC_ANALYSIS.md`` for the rule catalogue.
 
+``bench``
+    The hot-path microbenchmark suite (routing cache vs per-call
+    Dijkstra, batched vs per-person SVM prediction, full simulation
+    ticks, DQN training steps).  Emits a durable ``BENCH_<date>.json``
+    (override with ``--out``); ``--quick`` runs the CI-sized workload.
+    See ``docs/PERFORMANCE.md``.
+
 All commands accept ``--population`` (default 800), ``--seed`` and
 ``--verbose`` (stream ``repro.*`` logs — incident and degradation events
 included — to stderr).
@@ -375,6 +382,22 @@ def cmd_lint(args) -> int:
     return run_lint(args)
 
 
+def cmd_bench(args) -> int:
+    from repro.perf.bench import (
+        default_output_path,
+        format_bench_table,
+        run_bench,
+        write_bench,
+    )
+
+    payload = run_bench(quick=args.quick)
+    path = args.out or default_output_path(payload)
+    write_bench(payload, path)
+    print(format_bench_table(payload))
+    print(f"\nwrote {path}")
+    return 0
+
+
 FIGURES = {
     "fig9": ("fig9_served_per_hour", "timely served requests per hour"),
     "fig11": ("fig11_delay_per_hour", "average driving delay per hour (s)"),
@@ -477,6 +500,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_lint_arguments(p)
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "bench", help="hot-path microbenchmarks; writes BENCH_<date>.json"
+    )
+    p.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized workload (seconds instead of minutes)",
+    )
+    p.add_argument(
+        "--out", type=str, default="",
+        help="output path (default: BENCH_<date>.json in the working directory)",
+    )
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(
         "experiments", help="method-comparison sweep with per-cell persistence"

@@ -208,18 +208,22 @@ class RequestPredictor:
 
         ``person_nodes`` maps person id -> current landmark (from the
         real-time cellphone feed).  Persons at the same landmark share a
-        factor vector, so classification runs once per occupied landmark.
+        factor vector, so the whole population reduces to one feature
+        matrix over occupied landmarks: counting, classification and the
+        segment aggregation of Eq. 2 are all vectorized.
         """
         if not person_nodes:
             return {}
-        counts: dict[int, int] = {}
-        for node in person_nodes.values():
-            counts[node] = counts.get(node, 0) + 1
-        nodes = sorted(counts)
-        labels = self.predict_node_labels(nodes, t_s)
+        occupied = np.fromiter(
+            person_nodes.values(), dtype=np.int64, count=len(person_nodes)
+        )
+        uniq, counts = np.unique(occupied, return_counts=True)
+        nodes = [int(n) for n in uniq]
+        labels = np.asarray(self.predict_node_labels(nodes, t_s))
+        idx = np.array([self._node_index[n] for n in nodes], dtype=np.int64)
+        segs = self._node_segment[idx]
+        pos = labels == 1
         dist: dict[int, int] = {}
-        for node, label in zip(nodes, labels):
-            if label == 1:
-                seg = int(self._node_segment[self._node_index[node]])
-                dist[seg] = dist.get(seg, 0) + counts[node]
+        for seg, n in zip(segs[pos], counts[pos]):
+            dist[int(seg)] = dist.get(int(seg), 0) + int(n)
         return dist

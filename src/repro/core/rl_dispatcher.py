@@ -251,17 +251,18 @@ class MobiRescueDispatcher(Dispatcher):
         """Min-cost matching of teams to pending-request slots on the
         operable network.  Returns team_id -> segment."""
         from repro.dispatch.assignment import expand_demand_slots, solve_assignment
-        from repro.roadnet.routing import shortest_time_to
+        from repro.perf.routing_cache import default_router
 
         live = {s: v for s, v in pending.items() if v > 0 and s not in obs.closed}
         if not live or not pool:
             return {}
+        router = default_router(obs.network)
         slots = expand_demand_slots(live, capacity=5, max_slots=len(pool))
         cost = np.zeros((len(pool), len(slots)))
         col_costs: dict[int, dict[int, float]] = {}
         for seg_id in sorted(set(slots)):
             seg = obs.network.segment(seg_id)
-            to_u = shortest_time_to(obs.network, seg.u, closed=obs.closed)
+            to_u = router.time_to(seg.u, closed=obs.closed)
             col_costs[seg_id] = {
                 tv.team_id: to_u.get(tv.node, 1e7) + seg.free_flow_time_s
                 for tv in pool

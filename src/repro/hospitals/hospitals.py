@@ -13,8 +13,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.geo.regions import RegionPartition
+from repro.perf.routing_cache import default_router
 from repro.roadnet.graph import RoadNetwork
-from repro.roadnet.routing import shortest_time_from
 
 
 @dataclass(frozen=True)
@@ -77,7 +77,7 @@ def nearest_hospital(
     """
     if not hospitals:
         raise ValueError("hospital list is empty")
-    times = shortest_time_from(network, node, closed=closed)
+    times = default_router(network).time_from(node, closed=closed)
     best: Hospital | None = None
     best_t = float("inf")
     for h in hospitals:

@@ -44,6 +44,39 @@ def polynomial_kernel(
     return (_as_2d(a) @ _as_2d(b).T + coef0) ** degree
 
 
+#: Blocks with fewer rows than this may hit BLAS's single/few-row matmul
+#: path, whose last-ulp rounding differs from the many-row path; tiny
+#: blocks are rounded up and short tails folded into the previous block so
+#: every block takes the same multi-row path as the unblocked call.
+_MIN_BLOCK_ROWS = 4
+
+
+def gram_blocked(
+    kernel: Kernel, a: np.ndarray, b: np.ndarray, block_rows: int = 8192
+) -> np.ndarray:
+    """Evaluate ``kernel(a, b)`` in row blocks of ``a``.
+
+    Whole-population inference builds an ``(N, S)`` Gram matrix; blocking
+    bounds peak memory to roughly ``block_rows * S`` floats.  Every row
+    block is computed by the same multi-row BLAS/elementwise path as the
+    unblocked call, so the concatenated result is *exactly* equal to
+    ``kernel(a, b)`` (the regression suite asserts bitwise equality).
+    """
+    if block_rows < 1:
+        raise ValueError("block_rows must be positive")
+    block = max(block_rows, _MIN_BLOCK_ROWS)
+    a = _as_2d(a)
+    if len(a) <= block:
+        return kernel(a, b)
+    starts = list(range(0, len(a), block))
+    if len(a) - starts[-1] < _MIN_BLOCK_ROWS:
+        starts.pop()  # fold the short tail into the previous block
+    ends = starts[1:] + [len(a)]
+    return np.concatenate(
+        [kernel(a[s:e], b) for s, e in zip(starts, ends)], axis=0
+    )
+
+
 def resolve_kernel(name: str, gamma: float = 1.0, degree: int = 3) -> Kernel:
     """Kernel factory used by :class:`repro.ml.svm.SVC`."""
     if name == "linear":

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.ml.kernels import resolve_kernel
+from repro.ml.kernels import gram_blocked, resolve_kernel
 
 
 class SVC:
@@ -146,17 +146,28 @@ class SVC:
     def num_support_vectors(self) -> int:
         return 0 if self._alpha is None else len(self._alpha)
 
-    def decision_function(self, x: np.ndarray) -> np.ndarray:
-        """Signed distance-like score; positive means class 1."""
+    def decision_function(
+        self, x: np.ndarray, block_rows: int | None = None
+    ) -> np.ndarray:
+        """Signed distance-like score; positive means class 1.
+
+        ``block_rows`` evaluates the Gram matrix in row blocks (see
+        :func:`repro.ml.kernels.gram_blocked`) so whole-population feature
+        matrices never materialize an unbounded ``(N, S)`` intermediate;
+        the scores are exactly those of the unblocked call.
+        """
         if not self.is_fitted:
             raise RuntimeError("SVC is not fitted")
         x = np.asarray(x, dtype=float)
         single = x.ndim == 1
-        k = self._kernel(x, self._sv_x)
+        if block_rows is None:
+            k = self._kernel(x, self._sv_x)
+        else:
+            k = gram_blocked(self._kernel, x, self._sv_x, block_rows)
         scores = k @ (self._alpha * self._sv_y) + self._b
         return scores[0] if single else scores
 
-    def predict(self, x: np.ndarray) -> np.ndarray:
+    def predict(self, x: np.ndarray, block_rows: int | None = None) -> np.ndarray:
         """Predicted labels in {0, 1} (the paper's Equation (1))."""
-        scores = self.decision_function(x)
+        scores = self.decision_function(x, block_rows=block_rows)
         return (np.atleast_1d(scores) > 0).astype(int)

@@ -25,6 +25,8 @@ class FlowRateTable:
         self._segment_ids = segment_ids
         self._seg_index = {int(s): i for i, s in enumerate(segment_ids)}
         self.network = network
+        #: region id -> row indices, built once per region on first use.
+        self._region_rows: dict[int, list[int]] = {}
 
     @property
     def num_hours(self) -> int:
@@ -39,11 +41,14 @@ class FlowRateTable:
 
     def region_hourly(self, region_id: int) -> np.ndarray:
         """Region flow rate per hour: average over the region's segments."""
-        rows = [
-            self._seg_index[s.segment_id]
-            for s in self.network.segments_in_region(region_id)
-            if s.segment_id in self._seg_index
-        ]
+        rows = self._region_rows.get(region_id)
+        if rows is None:
+            rows = [
+                self._seg_index[s.segment_id]
+                for s in self.network.segments_in_region(region_id)
+                if s.segment_id in self._seg_index
+            ]
+            self._region_rows[region_id] = rows
         if not rows:
             return np.zeros(self.num_hours)
         return self._counts[rows].mean(axis=0)
@@ -82,12 +87,23 @@ def compute_flow_rates(
     if total_hours <= 0:
         raise ValueError("total_hours must be positive")
     seg_ids = np.array(network.segment_ids())
-    seg_index = {int(s): i for i, s in enumerate(seg_ids)}
     counts = np.zeros((len(seg_ids), total_hours), dtype=np.float32)
     if len(traversals):
         hours = np.clip(
             (traversals.t // SECONDS_PER_HOUR).astype(int), 0, total_hours - 1
         )
-        rows = np.array([seg_index[int(s)] for s in traversals.segment_id])
-        np.add.at(counts, (rows, hours), 1.0)
+        # seg_ids is sorted, so the dict lookup per event vectorizes to one
+        # searchsorted over the whole log; bincount over the flattened
+        # (row, hour) index replaces the scattered np.add.at.
+        rows = np.searchsorted(seg_ids, traversals.segment_id)
+        valid = (rows < len(seg_ids)) & (
+            seg_ids[np.minimum(rows, len(seg_ids) - 1)] == traversals.segment_id
+        )
+        if not np.all(valid):
+            bad = np.asarray(traversals.segment_id)[~valid][0]
+            raise KeyError(int(bad))
+        flat = rows.astype(np.int64) * total_hours + hours
+        counts += np.bincount(
+            flat, minlength=len(seg_ids) * total_hours
+        ).reshape(len(seg_ids), total_hours)
     return FlowRateTable(counts, seg_ids, network)

@@ -9,12 +9,18 @@ traversal time, not at planning time.
 
 from __future__ import annotations
 
+from repro.perf.routing_cache import default_router
 from repro.roadnet.graph import RoadNetwork
-from repro.roadnet.routing import Route, shortest_path
+from repro.roadnet.routing import Route
 
 
 class RouteCache:
-    """Memoized shortest-path lookup, keyed by (src, dst)."""
+    """Memoized shortest-path lookup, keyed by (src, dst).
+
+    Misses are resolved through :func:`repro.perf.routing_cache
+    .default_router`, so many destinations reached from one anchor (a home,
+    a workplace) share a single Dijkstra tree instead of one search each.
+    """
 
     def __init__(self, network: RoadNetwork, weight: str = "time") -> None:
         self.network = network
@@ -29,7 +35,7 @@ class RouteCache:
             self.hits += 1
             return self._cache[key]
         self.misses += 1
-        r = shortest_path(self.network, src, dst, weight=self.weight)
+        r = default_router(self.network).route(src, dst, weight=self.weight)
         self._cache[key] = r
         return r
 

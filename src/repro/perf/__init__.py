@@ -1,0 +1,39 @@
+"""Hot-path performance layer.
+
+``repro.perf`` makes the paper's headline latency claim reproducible at
+scale without changing a single simulated outcome:
+
+* :mod:`repro.perf.routing_cache` — closure-aware memoization of the
+  road-network Dijkstra trees consulted by the simulation engine, the
+  dispatchers and the mobility pipeline.  Results are bit-identical to the
+  per-call seed implementation by construction (same routine, cached).
+* :mod:`repro.perf.bench` — the ``repro bench`` microbenchmark suite:
+  routing, batched prediction, full simulation ticks and training steps,
+  emitted as a durable ``BENCH_<date>.json`` artifact.
+
+Every optimized path ships with an equivalence proof in
+``tests/test_perf_equivalence.py`` / ``tests/test_perf_routing_cache.py``;
+see ``docs/PERFORMANCE.md`` for the design and invalidation rules.
+"""
+
+from repro.perf.routing_cache import (
+    DirectRouter,
+    Router,
+    RoutingCache,
+    clear_routing_caches,
+    default_router,
+    routing_cache,
+    routing_cache_enabled,
+    set_routing_cache_enabled,
+)
+
+__all__ = [
+    "DirectRouter",
+    "Router",
+    "RoutingCache",
+    "clear_routing_caches",
+    "default_router",
+    "routing_cache",
+    "routing_cache_enabled",
+    "set_routing_cache_enabled",
+]

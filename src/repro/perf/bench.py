@@ -1,0 +1,317 @@
+"""The ``repro bench`` microbenchmark suite.
+
+Times the four hot paths the system leans on continuously — routing,
+request prediction, full simulation ticks and DQN training steps — each
+with its seed implementation next to its optimized one, and emits a
+durable ``BENCH_<date>.json`` through the atomic artifact layer.
+
+The suite is deliberately self-checking: the routing and full-tick
+workloads assert on the fly that the cached path produced exactly the
+results the seed path produced, so a benchmark run can never report a
+speedup earned by changing the answer.
+
+This module lives outside the deterministic-simulation reprolint scope:
+wall-clock reads (``time.perf_counter``) and peak-RSS sampling are its
+whole point and are legitimate *only* here and in the supervision layers.
+"""
+
+from __future__ import annotations
+
+import datetime
+import platform
+import resource
+import sys
+import time
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.artifacts import atomic_write_json
+
+BENCH_FORMAT = "repro-bench"
+BENCH_VERSION = 1
+
+#: Benchmarks whose regression the gate test guards (the optimized paths).
+HOT_PATHS = (
+    "routing_cached",
+    "prediction_batched",
+    "full_tick_cached",
+    "training_step",
+)
+
+#: name -> (speedup key, seed benchmark, optimized benchmark)
+_SPEEDUP_PAIRS = (
+    ("routing", "routing_seed", "routing_cached"),
+    ("prediction", "prediction_per_person", "prediction_batched"),
+    ("full_tick", "full_tick_seed", "full_tick_cached"),
+)
+
+
+def _best_of(fn: Callable[[], Any], repeats: int) -> float:
+    """Best wall-clock seconds over ``repeats`` runs of ``fn``."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _record(seconds_total: float, iterations: int) -> dict[str, float | int]:
+    return {
+        "iterations": int(iterations),
+        "seconds_total": float(seconds_total),
+        "seconds_per_op": float(seconds_total / max(1, iterations)),
+    }
+
+
+# -- individual benchmarks ---------------------------------------------------
+
+
+def _bench_routing(quick: bool) -> dict[str, dict[str, float | int]]:
+    """Seed per-call Dijkstra vs the closure-aware routing cache.
+
+    The workload mirrors one engine dispatch cycle: a handful of team
+    positions, each needing a full cost row (nearest hospital) plus
+    point-to-point routes to many destinations, twice per closed-set.
+    """
+    from repro.perf.routing_cache import DirectRouter, RoutingCache
+    from repro.roadnet.generator import RoadNetworkConfig, generate_road_network
+    from repro.geo.regions import charlotte_regions
+
+    part = charlotte_regions(70_000.0, 45_000.0)
+    network = generate_road_network(part, RoadNetworkConfig())
+    rng = np.random.default_rng(0)
+    nodes = np.array(network.landmark_ids())
+    seg_ids = np.array(network.segment_ids())
+    closed = frozenset(
+        int(s) for s in rng.choice(seg_ids, size=len(seg_ids) // 20, replace=False)
+    )
+    sources = [int(n) for n in rng.choice(nodes, size=6, replace=False)]
+    n_dsts = 40 if quick else 200
+    dsts = [int(n) for n in rng.choice(nodes, size=n_dsts)]
+
+    def workload(router: Any) -> list[float]:
+        out: list[float] = []
+        for src in sources:
+            row = router.time_from(src, closed=closed)
+            out.append(float(sum(row.values())))
+            for dst in dsts:
+                r = router.route(src, dst, closed=closed)
+                out.append(-1.0 if r is None else r.travel_time_s)
+        return out
+
+    queries = len(sources) * (1 + n_dsts)
+    repeats = 2 if quick else 3
+    seed_router = DirectRouter(network)
+    seed_s = _best_of(lambda: workload(seed_router), repeats)
+    expected = workload(seed_router)
+    # Fresh cache per run: the measured time *includes* building the trees.
+    cached_s = _best_of(lambda: workload(RoutingCache(network)), repeats)
+    if workload(RoutingCache(network)) != expected:
+        raise AssertionError("routing cache diverged from seed Dijkstra")
+    return {
+        "routing_seed": _record(seed_s, queries),
+        "routing_cached": _record(cached_s, queries),
+    }
+
+
+def _bench_prediction(quick: bool) -> dict[str, dict[str, float | int]]:
+    """Per-person SVM prediction vs one whole-population batched call."""
+    from repro.ml.svm import SVC
+
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=(400, 3))
+    y = (x @ np.array([1.5, -1.0, 0.5]) + rng.normal(0, 0.3, 400) > 0).astype(int)
+    clf = SVC(kernel="rbf", gamma=0.5, c=2.0).fit(x, y)
+    n = 2_000 if quick else 10_000
+    population = rng.normal(size=(n, 3))
+
+    def per_person() -> np.ndarray:
+        return np.concatenate([clf.predict(row) for row in population])
+
+    def batched() -> np.ndarray:
+        return clf.predict(population, block_rows=8_192)
+
+    if not np.array_equal(per_person(), batched()):
+        raise AssertionError("batched prediction diverged from per-person")
+    repeats = 2 if quick else 3
+    return {
+        "prediction_per_person": _record(_best_of(per_person, repeats), n),
+        "prediction_batched": _record(_best_of(batched, repeats), n),
+    }
+
+
+def _bench_full_tick(quick: bool) -> dict[str, dict[str, float | int]]:
+    """One evaluation window of the simulation engine, seed vs cached
+    routing, measured per simulated tick."""
+    from repro.data.charlotte import build_charlotte_scenario
+    from repro.dispatch.nearest import NearestDispatcher
+    from repro.perf.routing_cache import DirectRouter, RoutingCache
+    from repro.sim.engine import RescueSimulator, SimulationConfig
+    from repro.sim.requests import RescueRequest
+    from repro.weather.storms import FLORENCE
+
+    scenario = build_charlotte_scenario(FLORENCE)
+    network = scenario.network
+    rng = np.random.default_rng(2)
+    seg_ids = np.array(network.segment_ids())
+    t0 = scenario.timeline.storm_start_s
+    hours = 2.0 if quick else 6.0
+    t1 = t0 + hours * 3_600.0
+    requests = []
+    for i, seg in enumerate(rng.choice(seg_ids, size=60 if quick else 240)):
+        segment = network.segment(int(seg))
+        requests.append(
+            RescueRequest(
+                request_id=i,
+                person_id=i,
+                time_s=float(t0 + rng.uniform(0.0, (t1 - t0) * 0.8)),
+                segment_id=int(seg),
+                node_id=segment.u,
+            )
+        )
+    config = SimulationConfig(t0_s=t0, t1_s=t1, num_teams=20, seed=0)
+    ticks = int((t1 - t0) / config.step_s) + 1
+
+    def run(router: Any) -> tuple[int, int]:
+        sim = RescueSimulator(
+            scenario, list(requests), NearestDispatcher(), config, router=router
+        )
+        result = sim.run()
+        return result.num_served, len(result.deliveries)
+
+    expected = run(DirectRouter(network))
+    seed_s = _best_of(lambda: run(DirectRouter(network)), 1)
+    cached_s = _best_of(lambda: run(RoutingCache(network)), 1)
+    if run(RoutingCache(network)) != expected:
+        raise AssertionError("cached full-tick run diverged from seed run")
+    return {
+        "full_tick_seed": _record(seed_s, ticks),
+        "full_tick_cached": _record(cached_s, ticks),
+    }
+
+
+def _bench_training_step(quick: bool) -> dict[str, dict[str, float | int]]:
+    """One DQN learn step over a warm replay buffer."""
+    from repro.ml.dqn import DQNAgent, DQNConfig
+
+    agent = DQNAgent(DQNConfig(state_dim=27, num_actions=9, batch_size=64, seed=0))
+    rng = np.random.default_rng(3)
+    for _ in range(256):
+        agent.remember(
+            rng.normal(size=27), int(rng.integers(9)), 1.0, rng.normal(size=27), False
+        )
+    steps = 50 if quick else 300
+
+    def run() -> None:
+        for _ in range(steps):
+            agent.learn()
+
+    return {"training_step": _record(_best_of(run, 2 if quick else 3), steps)}
+
+
+# -- suite -------------------------------------------------------------------
+
+
+def run_bench(quick: bool = False) -> dict[str, Any]:
+    """Run the full microbenchmark suite; returns the BENCH payload."""
+    benchmarks: dict[str, dict[str, float | int]] = {}
+    benchmarks.update(_bench_routing(quick))
+    benchmarks.update(_bench_prediction(quick))
+    benchmarks.update(_bench_full_tick(quick))
+    benchmarks.update(_bench_training_step(quick))
+    speedups = {
+        key: float(
+            benchmarks[seed]["seconds_per_op"] / benchmarks[fast]["seconds_per_op"]
+        )
+        for key, seed, fast in _SPEEDUP_PAIRS
+    }
+    return {
+        "format": BENCH_FORMAT,
+        "version": BENCH_VERSION,
+        "date": datetime.date.today().isoformat(),
+        "quick": bool(quick),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "peak_rss_kib": int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss),
+        "benchmarks": benchmarks,
+        "speedups": speedups,
+    }
+
+
+def validate_bench_payload(payload: Any) -> list[str]:
+    """Schema check of a BENCH payload; returns a list of problems."""
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return ["payload is not an object"]
+    if payload.get("format") != BENCH_FORMAT:
+        problems.append(f"format must be {BENCH_FORMAT!r}")
+    if payload.get("version") != BENCH_VERSION:
+        problems.append(f"version must be {BENCH_VERSION}")
+    for key in ("date", "python", "platform"):
+        if not isinstance(payload.get(key), str):
+            problems.append(f"{key} must be a string")
+    if not isinstance(payload.get("quick"), bool):
+        problems.append("quick must be a boolean")
+    if not isinstance(payload.get("peak_rss_kib"), int) or (
+        isinstance(payload.get("peak_rss_kib"), int) and payload["peak_rss_kib"] <= 0
+    ):
+        problems.append("peak_rss_kib must be a positive integer")
+    benchmarks = payload.get("benchmarks")
+    if not isinstance(benchmarks, dict) or not benchmarks:
+        problems.append("benchmarks must be a non-empty object")
+        benchmarks = {}
+    for name, rec in benchmarks.items():
+        if not isinstance(rec, dict):
+            problems.append(f"benchmark {name} is not an object")
+            continue
+        for field in ("iterations", "seconds_total", "seconds_per_op"):
+            value = rec.get(field)
+            if not isinstance(value, (int, float)) or value <= 0:
+                problems.append(f"benchmark {name}.{field} must be positive")
+    for name in HOT_PATHS:
+        if name not in benchmarks:
+            problems.append(f"hot path {name} missing from benchmarks")
+    speedups = payload.get("speedups")
+    if not isinstance(speedups, dict):
+        problems.append("speedups must be an object")
+    else:
+        for key, _, _ in _SPEEDUP_PAIRS:
+            value = speedups.get(key)
+            if not isinstance(value, (int, float)) or value <= 0:
+                problems.append(f"speedups.{key} must be positive")
+    return problems
+
+
+def default_output_path(payload: dict[str, Any]) -> str:
+    return f"BENCH_{payload['date']}.json"
+
+
+def write_bench(payload: dict[str, Any], path: str) -> None:
+    """Persist a BENCH payload through the durable artifact layer."""
+    problems = validate_bench_payload(payload)
+    if problems:
+        raise ValueError("invalid BENCH payload: " + "; ".join(problems))
+    atomic_write_json(path, payload)
+
+
+def format_bench_table(payload: dict[str, Any]) -> str:
+    """Human-readable summary of one BENCH payload."""
+    lines = [
+        f"repro bench — {payload['date']}  "
+        f"(quick={payload['quick']}, python {payload['python']})",
+        f"{'benchmark':<24} {'iters':>7} {'s/op':>12} {'total s':>9}",
+    ]
+    for name, rec in payload["benchmarks"].items():
+        lines.append(
+            f"{name:<24} {rec['iterations']:>7} "
+            f"{rec['seconds_per_op']:>12.6f} {rec['seconds_total']:>9.3f}"
+        )
+    lines.append("")
+    for key, seed, fast in _SPEEDUP_PAIRS:
+        lines.append(
+            f"speedup {key:<12} {payload['speedups'][key]:>7.1f}x  ({seed} -> {fast})"
+        )
+    lines.append(f"peak RSS: {payload['peak_rss_kib'] / 1024.0:.1f} MiB")
+    return "\n".join(lines)

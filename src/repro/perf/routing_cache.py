@@ -1,0 +1,338 @@
+"""Closure-aware routing cache over the landmark road network.
+
+The simulation engine re-ran single-source Dijkstra for every team event:
+one full search to find the nearest hospital, another to route there, one
+more per dispatch command.  Within one dispatch cycle those searches repeat
+the same ``(source, closed-set)`` pairs over and over, and across cycles
+the closed set only changes when the flood front moves.
+
+:class:`RoutingCache` memoizes whole Dijkstra *trees* — the ``(dist,
+prev_seg)`` pair of :func:`repro.roadnet.routing.dijkstra_tree` — keyed by
+``(closed-set, weight)`` and then by ``(root, direction)``.  Every query
+kind (point-to-point route, route to a segment end, full cost row/column)
+is answered from the same tree, so:
+
+* a nearest-hospital scan followed by the route to that hospital costs one
+  search instead of two;
+* N teams at the same landmark share one tree;
+* an unchanged flood front makes entire dispatch cycles allocation-free.
+
+**Bit-identical by construction.**  The cache runs the seed Dijkstra
+routine itself (not a reimplementation) and reconstructs routes with the
+same tree-walk the seed ``shortest_path`` uses.  Early-terminated and full
+runs agree on every settled label because Dijkstra labels are final when
+popped and later relaxations only replace on strict improvement — the
+property the golden-equivalence suite locks in.
+
+**Invalidation.**  Keys carry the ``closed`` frozenset, so a moved flood
+front is automatically a different cache line; stale trees age out of a
+bounded LRU (no explicit invalidation hooks to forget).  Returned mappings
+are the cache's own structures: treat them as read-only.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Protocol
+
+from repro.roadnet.graph import RoadNetwork
+from repro.roadnet.routing import (
+    Route,
+    append_segment,
+    dijkstra_tree,
+    route_from_tree,
+    route_to_segment,
+    shortest_path,
+    shortest_time_from,
+    shortest_time_to,
+)
+
+_WEIGHTS = ("time", "length")
+
+#: (dist, prev_seg) of one Dijkstra pass.
+Tree = tuple[dict[int, float], dict[int, int]]
+
+
+class _ClosureLine:
+    """Trees cached under one ``(closed, weight)`` snapshot.
+
+    ``seen`` remembers roots that were queried once already: a root's
+    first point-to-point query runs the same target-pruned search the seed
+    path runs (a full tree would be pure overhead for a root never asked
+    about again — team positions drift every tick), and only the second
+    touch promotes the root to a cached full tree.
+    """
+
+    __slots__ = ("trees", "seen")
+
+    def __init__(self) -> None:
+        self.trees: OrderedDict[tuple[int, bool], Tree] = OrderedDict()
+        self.seen: set[tuple[int, bool]] = set()
+
+
+class Router(Protocol):
+    """The routing interface consumed by the engine and dispatchers.
+
+    Implemented by :class:`RoutingCache` (memoized) and
+    :class:`DirectRouter` (per-call seed Dijkstra, the golden reference).
+    """
+
+    def route(
+        self,
+        src: int,
+        dst: int,
+        closed: frozenset[int] = frozenset(),
+        weight: str = "time",
+    ) -> Route | None: ...
+
+    def route_to_segment(
+        self,
+        src: int,
+        segment_id: int,
+        closed: frozenset[int] = frozenset(),
+        weight: str = "time",
+    ) -> Route | None: ...
+
+    def time_from(
+        self,
+        src: int,
+        closed: frozenset[int] = frozenset(),
+        weight: str = "time",
+    ) -> dict[int, float]: ...
+
+    def time_to(
+        self,
+        dst: int,
+        closed: frozenset[int] = frozenset(),
+        weight: str = "time",
+    ) -> dict[int, float]: ...
+
+
+class DirectRouter:
+    """Per-call seed Dijkstra — zero caching, the equivalence baseline."""
+
+    def __init__(self, network: RoadNetwork) -> None:
+        self.network = network
+
+    def route(
+        self,
+        src: int,
+        dst: int,
+        closed: frozenset[int] = frozenset(),
+        weight: str = "time",
+    ) -> Route | None:
+        return shortest_path(self.network, src, dst, closed=closed, weight=weight)
+
+    def route_to_segment(
+        self,
+        src: int,
+        segment_id: int,
+        closed: frozenset[int] = frozenset(),
+        weight: str = "time",
+    ) -> Route | None:
+        return route_to_segment(
+            self.network, src, segment_id, closed=closed, weight=weight
+        )
+
+    def time_from(
+        self,
+        src: int,
+        closed: frozenset[int] = frozenset(),
+        weight: str = "time",
+    ) -> dict[int, float]:
+        return shortest_time_from(self.network, src, closed=closed, weight=weight)
+
+    def time_to(
+        self,
+        dst: int,
+        closed: frozenset[int] = frozenset(),
+        weight: str = "time",
+    ) -> dict[int, float]:
+        return shortest_time_to(self.network, dst, closed=closed, weight=weight)
+
+
+class RoutingCache:
+    """Memoized Dijkstra trees for one road network (see module docstring).
+
+    ``max_closure_sets`` bounds how many distinct ``(closed, weight)``
+    snapshots stay warm (the flood front plus the flood-unaware planners'
+    empty set comfortably fit); ``max_trees_per_closure`` bounds roots per
+    snapshot (team positions + hospitals + trip anchors).  Both evict LRU.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        max_closure_sets: int = 16,
+        max_trees_per_closure: int = 8192,
+    ) -> None:
+        if max_closure_sets < 1 or max_trees_per_closure < 1:
+            raise ValueError("cache bounds must be positive")
+        self.network = network
+        self.max_closure_sets = int(max_closure_sets)
+        self.max_trees_per_closure = int(max_trees_per_closure)
+        self._closures: OrderedDict[
+            tuple[frozenset[int], str], _ClosureLine
+        ] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # -- tree store ---------------------------------------------------------
+
+    def _line(self, closed: frozenset[int], weight: str) -> _ClosureLine:
+        if weight not in _WEIGHTS:
+            raise ValueError(f"weight must be one of {_WEIGHTS}")
+        ckey = (closed, weight)
+        line = self._closures.get(ckey)
+        if line is None:
+            line = _ClosureLine()
+            self._closures[ckey] = line
+            while len(self._closures) > self.max_closure_sets:
+                self._closures.popitem(last=False)
+        else:
+            self._closures.move_to_end(ckey)
+        return line
+
+    def _store(self, line: _ClosureLine, tkey: tuple[int, bool], tree: Tree) -> None:
+        line.trees[tkey] = tree
+        while len(line.trees) > self.max_trees_per_closure:
+            line.trees.popitem(last=False)
+        if len(line.seen) > 4 * self.max_trees_per_closure:
+            line.seen.clear()
+
+    def _tree(
+        self, root: int, closed: frozenset[int], weight: str, reverse: bool
+    ) -> Tree:
+        """Full tree for ``root``, cached unconditionally."""
+        line = self._line(closed, weight)
+        tkey = (root, reverse)
+        tree = line.trees.get(tkey)
+        if tree is None:
+            self.misses += 1
+            tree = dijkstra_tree(
+                self.network, root, closed, weight, reverse=reverse
+            )
+            self._store(line, tkey, tree)
+        else:
+            self.hits += 1
+            line.trees.move_to_end(tkey)
+        return tree
+
+    def clear(self) -> None:
+        self._closures.clear()
+
+    @property
+    def num_trees(self) -> int:
+        return sum(len(line.trees) for line in self._closures.values())
+
+    # -- Router interface ---------------------------------------------------
+
+    def route(
+        self,
+        src: int,
+        dst: int,
+        closed: frozenset[int] = frozenset(),
+        weight: str = "time",
+    ) -> Route | None:
+        if weight not in _WEIGHTS:
+            raise ValueError(f"weight must be one of {_WEIGHTS}")
+        self.network.landmark(src)
+        self.network.landmark(dst)
+        if src == dst:
+            return Route((src,), (), 0.0, 0.0)
+        line = self._line(closed, weight)
+        tkey = (src, False)
+        tree = line.trees.get(tkey)
+        if tree is not None:
+            self.hits += 1
+            line.trees.move_to_end(tkey)
+        elif tkey in line.seen:
+            # Second touch of this root: promote to a cached full tree.
+            self.misses += 1
+            tree = dijkstra_tree(self.network, src, closed, weight)
+            self._store(line, tkey, tree)
+        else:
+            # First touch: the same target-pruned search the seed path
+            # runs.  Settled labels of pruned and full runs are identical,
+            # so the reconstructed route is bit-identical either way.
+            line.seen.add(tkey)
+            self.misses += 1
+            tree = dijkstra_tree(self.network, src, closed, weight, target=dst)
+        return route_from_tree(self.network, src, dst, tree[1])
+
+    def route_to_segment(
+        self,
+        src: int,
+        segment_id: int,
+        closed: frozenset[int] = frozenset(),
+        weight: str = "time",
+    ) -> Route | None:
+        seg = self.network.segment(segment_id)
+        if segment_id in closed:
+            return None
+        head = self.route(src, seg.u, closed=closed, weight=weight)
+        if head is None:
+            return None
+        return append_segment(self.network, head, segment_id)
+
+    def time_from(
+        self,
+        src: int,
+        closed: frozenset[int] = frozenset(),
+        weight: str = "time",
+    ) -> dict[int, float]:
+        return self._tree(src, closed, weight, False)[0]
+
+    def time_to(
+        self,
+        dst: int,
+        closed: frozenset[int] = frozenset(),
+        weight: str = "time",
+    ) -> dict[int, float]:
+        return self._tree(dst, closed, weight, True)[0]
+
+
+# -- process-wide wiring -----------------------------------------------------
+
+_ENABLED = True
+_CACHES: dict[int, RoutingCache] = {}
+
+
+def set_routing_cache_enabled(enabled: bool) -> bool:
+    """Flip the process-wide cache switch; returns the previous setting.
+
+    The golden-equivalence suite uses this to run the same scenario through
+    the cached and the seed routing paths.
+    """
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(enabled)
+    return previous
+
+
+def routing_cache_enabled() -> bool:
+    return _ENABLED
+
+
+def routing_cache(network: RoadNetwork) -> RoutingCache:
+    """Per-network memoized cache (same lifetime contract as
+    :func:`repro.roadnet.matrix.travel_time_oracle`)."""
+    key = id(network)
+    cache = _CACHES.get(key)
+    if cache is None or cache.network is not network:
+        cache = RoutingCache(network)
+        _CACHES[key] = cache
+    return cache
+
+
+def clear_routing_caches() -> None:
+    """Drop every per-network cache (tests and long-lived processes)."""
+    _CACHES.clear()
+
+
+def default_router(network: RoadNetwork) -> Router:
+    """The router the hot paths should consult: the per-network cache, or
+    the seed per-call implementation when the cache is disabled."""
+    if _ENABLED:
+        return routing_cache(network)
+    return DirectRouter(network)

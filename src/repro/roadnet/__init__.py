@@ -12,8 +12,10 @@ from repro.roadnet.graph import Landmark, RoadNetwork, RoadSegment
 from repro.roadnet.generator import RoadNetworkConfig, generate_road_network
 from repro.roadnet.routing import (
     Route,
+    dijkstra_tree,
     shortest_path,
     shortest_time_from,
+    shortest_time_to,
     route_to_segment,
 )
 
@@ -23,8 +25,10 @@ __all__ = [
     "RoadNetworkConfig",
     "RoadSegment",
     "Route",
+    "dijkstra_tree",
     "generate_road_network",
     "route_to_segment",
     "shortest_path",
     "shortest_time_from",
+    "shortest_time_to",
 ]

@@ -78,6 +78,14 @@ class RoadNetwork:
         self._node_ids_sorted: np.ndarray | None = None
         self._midpoint_tree: cKDTree | None = None
         self._segment_ids_sorted: np.ndarray | None = None
+        #: Flat adjacency rows (segment_id, other_node, time_s, length_m)
+        #: consumed by the Dijkstra hot loop; rebuilt lazily after topology
+        #: changes so routing never pays per-call RoadSegment construction.
+        self._adjacency: tuple[
+            dict[int, list[tuple[int, int, float, float]]],
+            dict[int, list[tuple[int, int, float, float]]],
+        ] | None = None
+        self._midpoints_sorted: np.ndarray | None = None
 
     # -- construction -----------------------------------------------------
 
@@ -88,6 +96,7 @@ class RoadNetwork:
         self._landmarks[landmark.node_id] = landmark
         self._out[landmark.node_id] = []
         self._in[landmark.node_id] = []
+        self._adjacency = None
 
     def add_segment(self, segment: RoadSegment) -> None:
         self._require_mutable()
@@ -105,6 +114,7 @@ class RoadNetwork:
         self._out[segment.u].append(segment.segment_id)
         self._in[segment.v].append(segment.segment_id)
         self._by_endpoints[(segment.u, segment.v)] = segment.segment_id
+        self._adjacency = None
 
     def freeze(self) -> "RoadNetwork":
         """Finalize construction and build spatial indexes."""
@@ -121,6 +131,7 @@ class RoadNetwork:
             mids = np.array([self.segment_midpoint(s) for s in seg_ids])
             self._midpoint_tree = cKDTree(mids)
             self._segment_ids_sorted = np.array(seg_ids)
+            self._midpoints_sorted = mids
         self._frozen = True
         return self
 
@@ -173,6 +184,42 @@ class RoadNetwork:
         sid = self._by_endpoints.get((u, v))
         return None if sid is None else self._segments[sid]
 
+    # -- routing adjacency ---------------------------------------------------
+
+    def _build_adjacency(self) -> tuple[
+        dict[int, list[tuple[int, int, float, float]]],
+        dict[int, list[tuple[int, int, float, float]]],
+    ]:
+        # Row order mirrors the insertion order of self._out / self._in so
+        # tie-breaking in Dijkstra is identical to iterating out_segments().
+        out: dict[int, list[tuple[int, int, float, float]]] = {}
+        inn: dict[int, list[tuple[int, int, float, float]]] = {}
+        for node, seg_ids in self._out.items():
+            out[node] = [
+                (s.segment_id, s.v, s.free_flow_time_s, s.length_m)
+                for s in (self._segments[i] for i in seg_ids)
+            ]
+        for node, seg_ids in self._in.items():
+            inn[node] = [
+                (s.segment_id, s.u, s.free_flow_time_s, s.length_m)
+                for s in (self._segments[i] for i in seg_ids)
+            ]
+        return out, inn
+
+    def out_adjacency(self) -> dict[int, list[tuple[int, int, float, float]]]:
+        """``node -> [(segment_id, v, time_s, length_m), ...]`` rows for the
+        routing hot loop.  Treat the returned structure as read-only."""
+        if self._adjacency is None:
+            self._adjacency = self._build_adjacency()
+        return self._adjacency[0]
+
+    def in_adjacency(self) -> dict[int, list[tuple[int, int, float, float]]]:
+        """``node -> [(segment_id, u, time_s, length_m), ...]`` reversed-edge
+        rows.  Treat the returned structure as read-only."""
+        if self._adjacency is None:
+            self._adjacency = self._build_adjacency()
+        return self._adjacency[1]
+
     # -- geometry ----------------------------------------------------------
 
     def segment_midpoint(self, segment_id: int) -> tuple[float, float]:
@@ -224,9 +271,13 @@ class RoadNetwork:
         — the satellite-imaging crop of the paper's remaining available
         network G̃.
         """
-        mids = np.array([self.segment_midpoint(s) for s in self.segment_ids()])
+        if self._midpoints_sorted is not None and self._segment_ids_sorted is not None:
+            mids = self._midpoints_sorted
+            ids = self._segment_ids_sorted
+        else:
+            mids = np.array([self.segment_midpoint(s) for s in self.segment_ids()])
+            ids = np.array(self.segment_ids())
         flooded = flood_model.is_flooded_many(mids, t_seconds)
-        ids = np.array(self.segment_ids())
         return frozenset(int(i) for i in ids[flooded])
 
     def operable_segment_ids(self, closed: frozenset[int]) -> list[int]:

@@ -5,6 +5,12 @@ the Dijkstra algorithm)" over the remaining available network G̃ (Section
 IV-C3).  ``closed`` carries G̃: any segment in that set is skipped.  Costs
 are free-flow traversal times by default (``weight='time'``), which is what
 the driving-delay metric sums, or segment lengths (``weight='length'``).
+
+All public entry points (:func:`shortest_path`, :func:`shortest_time_from`,
+:func:`shortest_time_to`, :func:`route_to_segment`) share one internal
+Dijkstra, :func:`dijkstra_tree`, so the memoizing layer in
+``repro.perf.routing_cache`` has a single routine to wrap and its results
+are bit-identical to the direct calls by construction.
 """
 
 from __future__ import annotations
@@ -12,15 +18,9 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 
-from repro.roadnet.graph import RoadNetwork, RoadSegment
+from repro.roadnet.graph import RoadNetwork
 
 _WEIGHTS = ("time", "length")
-
-
-def _cost(segment: RoadSegment, weight: str) -> float:
-    if weight == "time":
-        return segment.free_flow_time_s
-    return segment.length_m
 
 
 @dataclass(frozen=True)
@@ -49,6 +49,73 @@ class Route:
         return not self.segment_ids
 
 
+def dijkstra_tree(
+    network: RoadNetwork,
+    root: int,
+    closed: frozenset[int] = frozenset(),
+    weight: str = "time",
+    *,
+    reverse: bool = False,
+    target: int | None = None,
+) -> tuple[dict[int, float], dict[int, int]]:
+    """One Dijkstra pass over the operable network.
+
+    Returns ``(dist, prev_seg)``: cost from ``root`` to every settled node
+    (from every node *to* ``root`` when ``reverse``), and the segment id
+    through which each node's best path arrives.  With ``target`` the search
+    stops as soon as the target is popped; the entries computed up to that
+    point — in particular everything on the shortest ``root``→``target``
+    path — are identical to a full run, because settled labels are final
+    and later relaxations only update on a strict improvement.
+    """
+    if weight not in _WEIGHTS:
+        raise ValueError(f"weight must be one of {_WEIGHTS}")
+    network.landmark(root)
+    adj = network.in_adjacency() if reverse else network.out_adjacency()
+    wi = 2 if weight == "time" else 3
+    dist: dict[int, float] = {root: 0.0}
+    prev_seg: dict[int, int] = {}
+    done: set[int] = set()
+    heap: list[tuple[float, int]] = [(0.0, root)]
+    inf = float("inf")
+    while heap:
+        d, node = heapq.heappop(heap)
+        if node in done:
+            continue
+        if target is not None and node == target:
+            break
+        done.add(node)
+        for row in adj[node]:
+            if row[0] in closed:
+                continue
+            nd = d + row[wi]
+            other = row[1]
+            if nd < dist.get(other, inf):
+                dist[other] = nd
+                prev_seg[other] = row[0]
+                heapq.heappush(heap, (nd, other))
+    return dist, prev_seg
+
+
+def route_from_tree(
+    network: RoadNetwork, src: int, dst: int, prev_seg: dict[int, int]
+) -> Route | None:
+    """Reconstruct the ``src``→``dst`` route from a *forward* Dijkstra tree
+    rooted at ``src``.  ``None`` when ``dst`` was never reached."""
+    if src == dst:
+        return Route((src,), (), 0.0, 0.0)
+    if dst not in prev_seg:
+        return None
+    seg_ids: list[int] = []
+    node = dst
+    while node != src:
+        sid = prev_seg[node]
+        seg_ids.append(sid)
+        node = network.segment(sid).u
+    seg_ids.reverse()
+    return _route_from_segments(network, src, seg_ids)
+
+
 def shortest_path(
     network: RoadNetwork,
     src: int,
@@ -66,37 +133,8 @@ def shortest_path(
     network.landmark(dst)
     if src == dst:
         return Route((src,), (), 0.0, 0.0)
-
-    dist: dict[int, float] = {src: 0.0}
-    prev_seg: dict[int, int] = {}
-    done: set[int] = set()
-    heap: list[tuple[float, int]] = [(0.0, src)]
-    while heap:
-        d, node = heapq.heappop(heap)
-        if node in done:
-            continue
-        if node == dst:
-            break
-        done.add(node)
-        for seg in network.out_segments(node):
-            if seg.segment_id in closed:
-                continue
-            nd = d + _cost(seg, weight)
-            if nd < dist.get(seg.v, float("inf")):
-                dist[seg.v] = nd
-                prev_seg[seg.v] = seg.segment_id
-                heapq.heappush(heap, (nd, seg.v))
-
-    if dst not in prev_seg:
-        return None
-    seg_ids: list[int] = []
-    node = dst
-    while node != src:
-        sid = prev_seg[node]
-        seg_ids.append(sid)
-        node = network.segment(sid).u
-    seg_ids.reverse()
-    return _route_from_segments(network, src, seg_ids)
+    _, prev_seg = dijkstra_tree(network, src, closed, weight, target=dst)
+    return route_from_tree(network, src, dst, prev_seg)
 
 
 def _route_from_segments(network: RoadNetwork, src: int, seg_ids: list[int]) -> Route:
@@ -113,6 +151,12 @@ def _route_from_segments(network: RoadNetwork, src: int, seg_ids: list[int]) -> 
     return Route(tuple(nodes), tuple(seg_ids), time_s, length)
 
 
+def append_segment(network: RoadNetwork, head: Route, segment_id: int) -> Route:
+    """Extend a route that ends at a segment's head landmark with the
+    segment itself (the paper's route-to-``e_j`` destination semantics)."""
+    return _route_from_segments(network, head.src, list(head.segment_ids) + [segment_id])
+
+
 def shortest_time_from(
     network: RoadNetwork,
     src: int,
@@ -124,24 +168,7 @@ def shortest_time_from(
     Used by the integer-programming baselines, which need full cost rows for
     their assignment matrices.
     """
-    if weight not in _WEIGHTS:
-        raise ValueError(f"weight must be one of {_WEIGHTS}")
-    network.landmark(src)
-    dist: dict[int, float] = {src: 0.0}
-    done: set[int] = set()
-    heap: list[tuple[float, int]] = [(0.0, src)]
-    while heap:
-        d, node = heapq.heappop(heap)
-        if node in done:
-            continue
-        done.add(node)
-        for seg in network.out_segments(node):
-            if seg.segment_id in closed:
-                continue
-            nd = d + _cost(seg, weight)
-            if nd < dist.get(seg.v, float("inf")):
-                dist[seg.v] = nd
-                heapq.heappush(heap, (nd, seg.v))
+    dist, _ = dijkstra_tree(network, src, closed, weight)
     return dist
 
 
@@ -156,24 +183,7 @@ def shortest_time_to(
     Runs Dijkstra over reversed edges; used to build cost columns for
     team-to-request matching without one search per team.
     """
-    if weight not in _WEIGHTS:
-        raise ValueError(f"weight must be one of {_WEIGHTS}")
-    network.landmark(dst)
-    dist: dict[int, float] = {dst: 0.0}
-    done: set[int] = set()
-    heap: list[tuple[float, int]] = [(0.0, dst)]
-    while heap:
-        d, node = heapq.heappop(heap)
-        if node in done:
-            continue
-        done.add(node)
-        for seg in network.in_segments(node):
-            if seg.segment_id in closed:
-                continue
-            nd = d + _cost(seg, weight)
-            if nd < dist.get(seg.u, float("inf")):
-                dist[seg.u] = nd
-                heapq.heappush(heap, (nd, seg.u))
+    dist, _ = dijkstra_tree(network, dst, closed, weight, reverse=True)
     return dist
 
 
@@ -197,4 +207,4 @@ def route_to_segment(
     head = shortest_path(network, src, seg.u, closed=closed, weight=weight)
     if head is None:
         return None
-    return _route_from_segments(network, src, list(head.segment_ids) + [segment_id])
+    return append_segment(network, head, segment_id)

@@ -33,7 +33,8 @@ from repro.dispatch.base import (
     TeamView,
 )
 from repro.hospitals.hospitals import Hospital
-from repro.roadnet.routing import Route, route_to_segment, shortest_path, shortest_time_from
+from repro.perf.routing_cache import Router, default_router
+from repro.roadnet.routing import Route
 from repro.sim.requests import RescueRequest
 from repro.sim.teams import RescueTeam, TeamState
 
@@ -151,9 +152,14 @@ class RescueSimulator:
         dispatcher: Dispatcher,
         config: SimulationConfig,
         faults: "FaultInjector | None" = None,
+        router: Router | None = None,
     ) -> None:
         self.scenario = scenario
         self.network = scenario.network
+        #: Routing entry point for every in-sim Dijkstra: the process-wide
+        #: closure-aware cache by default, or an explicit router (the
+        #: equivalence tests pass a DirectRouter to reproduce seed behavior).
+        self.router = router if router is not None else default_router(scenario.network)
         self.hospitals: list[Hospital] = scenario.hospitals
         self.dispatcher = dispatcher
         self.config = config
@@ -220,7 +226,7 @@ class RescueSimulator:
         )
 
     def _nearest_hospital_node(self, node: int) -> int | None:
-        times = shortest_time_from(self.network, node, closed=self._closed)
+        times = self.router.time_from(node, closed=self._closed)
         best_node, best_t = None, float("inf")
         for h in self.hospitals:
             t = times.get(h.node_id, float("inf"))
@@ -370,7 +376,7 @@ class RescueSimulator:
         if hosp == team.node:
             self._deliver(team, t)
             return
-        route = shortest_path(self.network, team.node, hosp, closed=self._closed)
+        route = self.router.route(team.node, hosp, closed=self._closed)
         if route is None or route.is_trivial:
             team.stop()
             return
@@ -404,7 +410,7 @@ class RescueSimulator:
             if hosp is None or hosp == team.node:
                 team.stop()
                 return
-            route = shortest_path(self.network, team.node, hosp, closed=self._closed)
+            route = self.router.route(team.node, hosp, closed=self._closed)
             if route is None or route.is_trivial:
                 team.stop()
                 return
@@ -416,8 +422,8 @@ class RescueSimulator:
         # Flood-aware dispatchers plan over the operable network; unaware
         # ones plan over the full map and their teams stall at the water.
         planning_closed = self._closed if self.dispatcher.flood_aware else frozenset()
-        route = route_to_segment(
-            self.network, team.node, cmd.segment_id, closed=planning_closed
+        route = self.router.route_to_segment(
+            team.node, cmd.segment_id, closed=planning_closed
         )
         if route is None:
             team.stop()  # destination unreachable through the flood
@@ -470,8 +476,8 @@ class RescueSimulator:
                 if orig_state is TeamState.TO_HOSPITAL or team.passengers:
                     self._route_to_hospital(team, stall_t)
                 elif orig_target is not None and orig_target not in self._closed:
-                    route = route_to_segment(
-                        self.network, team.node, orig_target, closed=self._closed
+                    route = self.router.route_to_segment(
+                        team.node, orig_target, closed=self._closed
                     )
                     if route is not None:
                         team.begin_leg(

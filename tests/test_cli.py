@@ -24,6 +24,14 @@ class TestParser:
             assert args.population == 800
             assert args.verbose is False
 
+    def test_bench_options(self):
+        parser = build_parser()
+        args = parser.parse_args(["bench"])
+        assert callable(args.func)
+        assert args.quick is False and args.out == ""
+        args = parser.parse_args(["bench", "--quick", "--out", "B.json"])
+        assert args.quick is True and args.out == "B.json"
+
     def test_robustness_options(self):
         args = build_parser().parse_args(
             ["robustness", "--profiles", "none,severe",

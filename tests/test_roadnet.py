@@ -215,6 +215,60 @@ class TestRouting:
         seg = net.segment_between(2, 3).segment_id
         assert route_to_segment(net, 0, seg, closed=frozenset({seg})) is None
 
+    def test_route_to_segment_from_its_head(self):
+        # Standing at seg.u: the route is exactly the segment itself.
+        net = tiny_network()
+        seg = net.segment_between(2, 3)
+        r = route_to_segment(net, seg.u, seg.segment_id)
+        assert r.nodes == (seg.u, seg.v)
+        assert r.segment_ids == (seg.segment_id,)
+        assert r.travel_time_s == pytest.approx(seg.free_flow_time_s)
+
+    def test_route_to_segment_from_its_tail(self):
+        # Standing at seg.v: must first drive back to seg.u, then traverse —
+        # never a zero-length "already there" answer.
+        net = tiny_network()
+        seg = net.segment_between(2, 3)
+        r = route_to_segment(net, seg.v, seg.segment_id)
+        assert r.src == seg.v and r.dst == seg.v
+        assert r.segment_ids[-1] == seg.segment_id
+        assert len(r.segment_ids) >= 2
+        assert r.travel_time_s > 0.0
+
+    def test_route_to_segment_unreachable_head_is_none(self):
+        net = tiny_network()
+        seg = net.segment_between(2, 3)
+        closed = frozenset(
+            {net.segment_between(0, 2).segment_id, net.segment_between(3, 2).segment_id}
+        )
+        assert route_to_segment(net, 0, seg.segment_id, closed=closed) is None
+
+    def test_forward_and_reverse_costs_agree(self, city):
+        # shortest_time_from and shortest_time_to run the one unified
+        # Dijkstra routine in opposite directions; costs must match.
+        from repro.roadnet.routing import shortest_time_to
+
+        rng = np.random.default_rng(7)
+        nodes = city.landmark_ids()
+        for _ in range(10):
+            a, b = (int(n) for n in rng.choice(nodes, size=2, replace=False))
+            from_a = shortest_time_from(city, a)
+            to_b = shortest_time_to(city, b)
+            # Same path, summed in opposite directions: equal up to the
+            # non-associativity of float addition.
+            assert from_a[b] == pytest.approx(to_b[a], rel=1e-12)
+            assert set(from_a) and set(to_b)
+
+    def test_dijkstra_tree_reconstructs_shortest_path(self, city):
+        from repro.roadnet.routing import dijkstra_tree, route_from_tree
+
+        rng = np.random.default_rng(8)
+        nodes = city.landmark_ids()
+        for _ in range(10):
+            a, b = (int(n) for n in rng.choice(nodes, size=2, replace=False))
+            _, prev = dijkstra_tree(city, a)
+            assert route_from_tree(city, a, b, prev) == shortest_path(city, a, b)
+
     def test_route_invariants_random_pairs(self, city):
         rng = np.random.default_rng(1)
         nodes = city.landmark_ids()
