@@ -40,6 +40,7 @@ KNOWN_PRAGMAS = frozenset(
         "allow-unsafe-write",
         "allow-bare-except",
         "allow-broad-except",
+        "allow-service-swallow",
         "allow-unsorted-set",
     }
 )

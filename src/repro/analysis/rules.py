@@ -15,6 +15,7 @@ REP104   allow-wallclock            no wall-clock reads in deterministic code
 REP201   allow-unsafe-write         file writes go through ``core.artifacts``
 REP301   allow-bare-except          no bare ``except:``
 REP302   allow-broad-except         ``except Exception`` needs a pragma
+REP303   allow-service-swallow      service ``except`` re-raises or records
 REP401   allow-unsorted-set         no bare-``set`` iteration in hot paths
 =======  =========================  ==========================================
 
@@ -446,6 +447,75 @@ class BroadExceptRule(Rule):
                     break
 
 
+#: Packages forming the resilient dispatch service: every swallowed
+#: exception there must leave an observable trace.
+SERVICE_SCOPE = ("repro.service",)
+
+#: Method/function names whose call makes a swallowed exception
+#: observable: the service's sanctioned incident recorders.
+_SERVICE_RECORDERS = frozenset(
+    {
+        "record_failure",
+        "record_incident",
+        "quarantine",
+        "record_violation",
+    }
+)
+
+
+@dataclass(frozen=True)
+class ServiceExceptionRule(Rule):
+    """REP303: the service may degrade, but never silently."""
+
+    rule_id: str = "REP303"
+    name: str = "exceptions/service-swallow"
+    pragma: str = "allow-service-swallow"
+    description: str = (
+        "an `except` in repro.service that neither re-raises nor records "
+        "an incident (record_failure / record_incident / quarantine / "
+        "record_violation) turns a failure into silence; degraded service "
+        "must always leave an observable trace"
+    )
+    scope: tuple[str, ...] | None = SERVICE_SCOPE
+
+    def check(
+        self, tree: ast.Module, module: str, path: str
+    ) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if self._leaves_a_trace(node):
+                continue
+            yield self.finding(
+                path,
+                node,
+                "service `except` handler neither re-raises nor calls an "
+                "incident recorder "
+                "(record_failure/record_incident/quarantine/record_violation)",
+            )
+
+    @staticmethod
+    def _leaves_a_trace(handler: ast.ExceptHandler) -> bool:
+        """Syntactic: any raise, or any call to a sanctioned recorder,
+        anywhere in the handler body (nested statements included)."""
+        for stmt in handler.body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Raise):
+                    return True
+                if isinstance(node, ast.Call):
+                    func = node.func
+                    name = (
+                        func.attr
+                        if isinstance(func, ast.Attribute)
+                        else func.id
+                        if isinstance(func, ast.Name)
+                        else None
+                    )
+                    if name in _SERVICE_RECORDERS:
+                        return True
+        return False
+
+
 # -- ordering hazards ----------------------------------------------------------
 
 #: Calls through which set-iteration order cannot leak (order-insensitive
@@ -612,6 +682,7 @@ DEFAULT_RULES: tuple[Rule, ...] = (
     UnsafeWriteRule(),
     BareExceptRule(),
     BroadExceptRule(),
+    ServiceExceptionRule(),
     UnsortedSetIterationRule(),
 )
 

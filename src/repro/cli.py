@@ -36,6 +36,14 @@ Commands
     fallback-activation, dropped-command, breakdown and reroute counts).
     Also resumable with ``--results-dir``/``--resume``.
 
+``chaos``
+    The resilience chaos harness (``docs/SERVICE.md``): per seed, run the
+    plain engine, a clean guarded service run (asserted bit-identical),
+    and a fault-composed chaos run, then check the invariants — no tick
+    skipped, no exception escaped, served count within the degradation
+    factor.  Nonzero exit on any violation; ``--out`` writes the JSON
+    report durably.
+
 ``lint``
     Run reprolint, the repo-invariant static analyzer (determinism,
     durability, exception hygiene, ordering hazards), over the package
@@ -376,6 +384,49 @@ def cmd_robustness(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from repro.faults.profiles import get_component_profile, get_profile
+    from repro.service.chaos import ChaosConfig, run_chaos
+
+    try:
+        get_profile(args.profile)
+        get_component_profile(args.profile)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    seeds = tuple(int(s) for s in args.seeds.split(",") if s.strip())
+    if not seeds:
+        print("need at least one seed", file=sys.stderr)
+        return 2
+    config = ChaosConfig(
+        profile=args.profile,
+        seeds=seeds,
+        population_size=250 if args.quick else args.population,
+        num_teams=10 if args.quick else 15,
+        window_days=0.25 if args.quick else 0.5,
+        degradation_factor=args.factor,
+    )
+    report = run_chaos(
+        config,
+        out_path=args.out or None,
+        progress=lambda msg: print(msg, file=sys.stderr),
+    )
+    for run in report["runs"]:
+        print(
+            f"seed {run['seed']}: clean served {run['clean_served']}, "
+            f"chaos served {run['chaos_served']}, "
+            f"{'OK' if run['ok'] else 'VIOLATED'}"
+        )
+    if args.out:
+        print(f"wrote {args.out}")
+    if not report["ok"]:
+        for violation in report["violations"]:
+            print(f"VIOLATION: {violation}", file=sys.stderr)
+        return 1
+    print("all chaos invariants held")
+    return 0
+
+
 def cmd_lint(args) -> int:
     from repro.analysis.cli import run_lint
 
@@ -492,6 +543,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--save", type=str, default="", help="save trained models (.npz)")
     p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser(
+        "chaos", help="resilience chaos harness: invariant-checked fault runs"
+    )
+    _add_common(p)
+    p.add_argument(
+        "--profile", type=str, default="severe",
+        help="fault profile composed over env + components "
+             "(none, mild, severe, blackout)",
+    )
+    p.add_argument(
+        "--seeds", type=str, default="0,1", help="comma-separated chaos seeds"
+    )
+    p.add_argument(
+        "--factor", type=float, default=3.0,
+        help="max served-count degradation factor vs the clean run",
+    )
+    p.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized world (250 people, quarter-day window, 10 teams)",
+    )
+    p.add_argument(
+        "--out", type=str, default="",
+        help="write the JSON chaos report here (atomic)",
+    )
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser(
         "lint", help="repo-invariant static analysis (reprolint)"

@@ -183,10 +183,21 @@ class RequestPredictor:
         return confusion_counts(test.y, self.predict_labels(test.x))
 
     def predict_node_labels(self, nodes: list[int], t_s: float) -> np.ndarray:
-        """Rescue decisions for persons standing at the given landmarks."""
+        """Rescue decisions for persons standing at the given landmarks.
+
+        An id outside the scenario's landmark table raises ``ValueError``
+        (not a bare ``KeyError``): it means the position feed and the road
+        network disagree — exactly the corruption the service ingest guard
+        quarantines upstream (``unknown_person``/``unknown_node`` codes).
+        """
         if not nodes:
             return np.zeros(0, dtype=int)
-        idx = np.array([self._node_index[n] for n in nodes])
+        try:
+            idx = np.array([self._node_index[n] for n in nodes])
+        except KeyError as exc:
+            raise ValueError(
+                f"unknown landmark id {exc.args[0]!r} in position feed"
+            ) from exc
         factors = self.scenario.weather.factor_vectors(self._node_xy[idx], t_s)
         labels = self.predict_labels(factors)
         if self.flood_gated:

@@ -101,6 +101,11 @@ class MobiRescueDispatcher(Dispatcher):
         #: Cycles where the prediction stage failed and the dispatcher
         #: degraded to reactive (pending-only) dispatching.
         self.prediction_failures = 0
+        #: Optional observer called with ``(detail, t_s)`` whenever the
+        #: prediction stage degrades; the online dispatch service hooks
+        #: this so sensing failures show up in the incident log instead of
+        #: only in process logs.
+        self.incident_sink: Callable[[str, float], None] | None = None
 
     def _operable_anchor(self, segment_id: int, obs: DispatchObservation) -> int:
         """Nearest operable segment to a (possibly submerged) segment."""
@@ -138,11 +143,12 @@ class MobiRescueDispatcher(Dispatcher):
             # backend, diverged predictor — downgrades to reactive
             # dispatch instead of taking the dispatch center down.
             self.prediction_failures += 1
+            detail = f"prediction stage failed ({type(exc).__name__}: {exc})"
             logger.warning(
-                "t=%.0f prediction stage failed (%s: %s); "
-                "degrading to pending-only dispatch",
-                t, type(exc).__name__, exc,
+                "t=%.0f %s; degrading to pending-only dispatch", t, detail
             )
+            if self.incident_sink is not None:
+                self.incident_sink(detail, t)
             raw_predicted = {}
         self.last_prediction = dict(raw_predicted)
         predicted: dict[int, float] = defaultdict(float)

@@ -17,6 +17,7 @@ from __future__ import annotations
 import abc
 import logging
 import time
+from collections.abc import Callable
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -122,13 +123,27 @@ class DispatchGuard:
     disables the budget check.  Hook calls (``observe_requests``,
     ``on_cycle_end``) are guarded too — a learning dispatcher whose
     training step diverges must not take the simulation down with it.
+
+    ``clock`` overrides the budget's time source (default: the process
+    wall clock).  The online dispatch service passes a deterministic
+    clock here so per-stage deadline slices can be enforced — and
+    tested — without real elapsed time; see ``repro.service.deadline``.
     """
 
-    def __init__(self, dispatcher: Dispatcher, budget_s: float | None = None) -> None:
+    def __init__(
+        self,
+        dispatcher: Dispatcher,
+        budget_s: float | None = None,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
         if budget_s is not None and budget_s <= 0:
             raise ValueError("compute budget must be positive (or None to disable)")
         self.dispatcher = dispatcher
         self.budget_s = budget_s
+        #: The budget's time source.  The default *measures* the solver's
+        #: wall clock against its compute budget; the measurement never
+        #: feeds back into simulation state.
+        self._clock = clock if clock is not None else time.perf_counter
         self.fallback_count = 0
         self.hook_error_count = 0
         self._log = logging.getLogger("repro.dispatch.guard")
@@ -143,10 +158,7 @@ class DispatchGuard:
         empty).
         """
         t_s = getattr(obs, "t_s", float("nan"))
-        # repro: allow-wallclock -- the guard *measures* the solver's
-        # wall-clock against its compute budget; the measurement never
-        # feeds back into simulation state.
-        start = time.perf_counter()
+        start = self._clock()
         try:
             action = self.dispatcher.dispatch(obs)
         except Exception as exc:  # repro: allow-broad-except -- the guard's job
@@ -154,7 +166,7 @@ class DispatchGuard:
             incident = f"dispatcher raised {type(exc).__name__}: {exc}"
             self._log.warning("t=%.0f %s; fallback policy active", t_s, incident)
             return {}, incident
-        elapsed = time.perf_counter() - start  # repro: allow-wallclock
+        elapsed = self._clock() - start
         if self.budget_s is not None and elapsed > self.budget_s:
             self.fallback_count += 1
             incident = (

@@ -231,4 +231,5 @@ class ExperimentHarness:
             "dropped_commands": int(m.dropped_commands),
             "breakdowns": int(m.breakdowns),
             "reroutes": int(m.reroutes),
+            "incidents_dropped": int(m.incidents_dropped),
         }

@@ -66,6 +66,9 @@ class RobustnessCell:
     dropped_commands: int
     breakdowns: int
     reroutes: int
+    #: Incidents shed by the bounded ring (default keeps stored cells from
+    #: older sweeps loadable).
+    incidents_dropped: int = 0
 
 
 def _cell(profile: str, run: MethodRun) -> RobustnessCell:
@@ -84,6 +87,7 @@ def _cell(profile: str, run: MethodRun) -> RobustnessCell:
         dropped_commands=m.dropped_commands,
         breakdowns=m.breakdowns,
         reroutes=m.reroutes,
+        incidents_dropped=m.incidents_dropped,
     )
 
 
@@ -175,6 +179,7 @@ def format_degradation_table(cells: list[RobustnessCell]) -> str:
             c.dropped_commands,
             c.breakdowns,
             c.reroutes,
+            c.incidents_dropped,
         ]
         for c in cells
     ]
@@ -183,6 +188,7 @@ def format_degradation_table(cells: list[RobustnessCell]) -> str:
             "profile", "method", "served", "timely", "rate",
             "med delay (min)", "mean timeliness (min)",
             "fallbacks", "dropped cmds", "breakdowns", "reroutes",
+            "inc dropped",
         ],
         rows,
         title="Degradation under fault injection",

@@ -34,11 +34,19 @@ _TAG_COMM = 102
 _TAG_BREAKDOWN = 103
 _TAG_CLOSURE = 104
 _TAG_DISPATCHER = 105
+_TAG_PREDICTOR = 106
+_TAG_POLICY_LATENCY = 107
+_TAG_CORRUPT_RECORD = 108
 
 
 class InjectedDispatcherFault(RuntimeError):
     """Raised (conceptually) by a failing dispatch center; the engine's
     guard converts it into a fallback activation."""
+
+
+class InjectedPredictorFault(RuntimeError):
+    """Raised by a chaos-injected prediction-stage failure; the service's
+    predictor breaker converts it into a last-known-good fallback."""
 
 
 @dataclass(frozen=True)
@@ -224,6 +232,136 @@ class DispatcherFailureFault:
 
     def fails(self, rng: np.random.Generator) -> bool:
         return bool(rng.random() < self.p_fail_per_cycle)
+
+
+@dataclass(frozen=True)
+class PredictorExceptionFault:
+    """The SVM prediction stage raises on a fraction of cycles.
+
+    Models a diverged or crashing learned component; the service's
+    predictor breaker converts the exception into a fallback to the
+    last-known-good ``ñ_e``.
+    """
+
+    p_fail_per_cycle: float = 0.0
+
+    @property
+    def enabled(self) -> bool:
+        return self.p_fail_per_cycle > 0.0
+
+    def fails(self, rng: np.random.Generator) -> bool:
+        return bool(rng.random() < self.p_fail_per_cycle)
+
+
+@dataclass(frozen=True)
+class PolicyLatencyFault:
+    """The RL policy's decision latency spikes on a fraction of cycles.
+
+    A spike adds ``spike_s`` to the policy stage's apparent compute time
+    — enough to blow its deadline slice and trip the policy breaker onto
+    the nearest-team heuristic.  Under the service's deterministic clock
+    the spike advances simulated compute time; no real sleeping happens.
+    """
+
+    p_spike_per_cycle: float = 0.0
+    spike_s: float = 10.0
+
+    @property
+    def enabled(self) -> bool:
+        return self.p_spike_per_cycle > 0.0 and self.spike_s > 0.0
+
+    def spike(self, rng: np.random.Generator) -> float:
+        return self.spike_s if rng.random() < self.p_spike_per_cycle else 0.0
+
+
+@dataclass(frozen=True)
+class CorruptRecordFault:
+    """Bursts of malformed GPS records hit the ingest stage.
+
+    During a storm cycle, ``corrupt_fraction`` of the incoming fixes are
+    corrupted (NaN coordinates, bogus timestamps, unknown person ids).
+    The ingest guard must quarantine every one of them; none may reach
+    the predictor.
+    """
+
+    p_storm_per_cycle: float = 0.0
+    corrupt_fraction: float = 0.25
+
+    @property
+    def enabled(self) -> bool:
+        return self.p_storm_per_cycle > 0.0 and self.corrupt_fraction > 0.0
+
+    def storm_fraction(self, rng: np.random.Generator) -> float:
+        return self.corrupt_fraction if rng.random() < self.p_storm_per_cycle else 0.0
+
+
+@dataclass(frozen=True)
+class ComponentFaultProfile:
+    """One parameterisation of the service-level component faults."""
+
+    name: str
+    predictor: PredictorExceptionFault = PredictorExceptionFault()
+    policy_latency: PolicyLatencyFault = PolicyLatencyFault()
+    corrupt_records: CorruptRecordFault = CorruptRecordFault()
+
+    @property
+    def is_null(self) -> bool:
+        return not (
+            self.predictor.enabled
+            or self.policy_latency.enabled
+            or self.corrupt_records.enabled
+        )
+
+
+class ComponentFaultInjector:
+    """Deterministic per-cycle oracle for component-level faults.
+
+    Keyed exactly like :class:`FaultInjector`: every draw comes from a
+    generator seeded ``(seed, family tag, cycle index)``, so a cycle's
+    faults depend only on the seed — never on query order or on which
+    other faults fired.
+    """
+
+    def __init__(self, profile: ComponentFaultProfile, seed: int = 0) -> None:
+        if seed < 0:
+            raise ValueError("seed must be non-negative")
+        self.profile = profile
+        self.seed = int(seed)
+
+    def _rng(self, tag: int, cycle_index: int) -> np.random.Generator:
+        return np.random.default_rng([self.seed, tag, int(cycle_index)])
+
+    @property
+    def is_null(self) -> bool:
+        return self.profile.is_null
+
+    def predictor_fails(self, cycle_index: int) -> bool:
+        model = self.profile.predictor
+        if not model.enabled:
+            return False
+        return model.fails(self._rng(_TAG_PREDICTOR, cycle_index))
+
+    def policy_spike_s(self, cycle_index: int) -> float:
+        model = self.profile.policy_latency
+        if not model.enabled:
+            return 0.0
+        return model.spike(self._rng(_TAG_POLICY_LATENCY, cycle_index))
+
+    def corrupt_fraction(self, cycle_index: int) -> float:
+        model = self.profile.corrupt_records
+        if not model.enabled:
+            return 0.0
+        return model.storm_fraction(self._rng(_TAG_CORRUPT_RECORD, cycle_index))
+
+    def mutation_rng(self, cycle_index: int) -> np.random.Generator:
+        """Generator for *which* records a storm corrupts and *how*.
+
+        A separate substream from the storm draw itself, so adding a
+        mutation never shifts whether the storm fires.
+        """
+        return np.random.default_rng(
+            [self.seed, _TAG_CORRUPT_RECORD, int(cycle_index), 1]
+        )
 
 
 class FaultInjector:

@@ -28,9 +28,13 @@ from dataclasses import dataclass, field
 
 from repro.faults.models import (
     CommLossFault,
+    ComponentFaultProfile,
+    CorruptRecordFault,
     DispatcherFailureFault,
     FaultInjector,
     GpsDropoutFault,
+    PolicyLatencyFault,
+    PredictorExceptionFault,
     RoadClosureFault,
     TeamBreakdownFault,
 )
@@ -107,6 +111,44 @@ PROFILES: dict[str, FaultProfile] = {
         dispatcher=DispatcherFailureFault(p_fail_per_cycle=0.20),
     ),
 }
+
+
+#: Component-level fault severities mirroring the environment profiles.
+#: The chaos harness composes one of these with the matching environment
+#: :data:`PROFILES` entry: ``none`` keeps the service loop bit-identical
+#: to a plain engine run; ``severe`` trips every breaker repeatedly.
+COMPONENT_PROFILES: dict[str, ComponentFaultProfile] = {
+    "none": ComponentFaultProfile(name="none"),
+    "mild": ComponentFaultProfile(
+        name="mild",
+        predictor=PredictorExceptionFault(p_fail_per_cycle=0.02),
+        policy_latency=PolicyLatencyFault(p_spike_per_cycle=0.02, spike_s=10.0),
+        corrupt_records=CorruptRecordFault(p_storm_per_cycle=0.05, corrupt_fraction=0.10),
+    ),
+    "severe": ComponentFaultProfile(
+        name="severe",
+        predictor=PredictorExceptionFault(p_fail_per_cycle=0.15),
+        policy_latency=PolicyLatencyFault(p_spike_per_cycle=0.10, spike_s=30.0),
+        corrupt_records=CorruptRecordFault(p_storm_per_cycle=0.25, corrupt_fraction=0.50),
+    ),
+    "blackout": ComponentFaultProfile(
+        name="blackout",
+        predictor=PredictorExceptionFault(p_fail_per_cycle=0.40),
+        policy_latency=PolicyLatencyFault(p_spike_per_cycle=0.30, spike_s=120.0),
+        corrupt_records=CorruptRecordFault(p_storm_per_cycle=0.50, corrupt_fraction=0.90),
+    ),
+}
+
+
+def get_component_profile(name: str) -> ComponentFaultProfile:
+    """Look up a shipped component-fault profile by name."""
+    try:
+        return COMPONENT_PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(COMPONENT_PROFILES))
+        raise ValueError(
+            f"unknown component-fault profile {name!r} (choose from: {known})"
+        ) from None
 
 
 def get_profile(name: str) -> FaultProfile:

@@ -4,15 +4,109 @@ The paper filters out positions outside the city's actual range and
 redundant positions.  We additionally gate physically impossible jumps
 (fixes implying super-highway teleportation), a standard step for
 cellphone GPS data.
+
+Cleaning *filters* plausible-but-useless fixes; it must never paper over
+*malformed* ones.  A non-finite coordinate is not noise — it is
+corruption (a broken collector, a truncated file) that would otherwise
+propagate NaNs into map matching and the SVM features, so
+:func:`clean_trace` rejects such traces loudly with a typed
+:class:`MalformedTraceError` carrying the offending record.  Cleaned
+traces additionally guarantee per-person monotonic timestamps;
+:func:`validate_trace` enforces that contract at the downstream
+consumers (map matching), and the same reason codes back the
+record-level validator that the online dispatch service's ingest guard
+(``repro.service.ingest``) applies to every incoming fix.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.mobility.trace import GpsTrace
+
+#: Reason codes shared between trace-level validation and the service's
+#: per-record ingest guard.
+REASON_NON_FINITE = "non_finite_value"
+REASON_NON_MONOTONIC = "non_monotonic_timestamp"
+
+
+class MalformedTraceError(ValueError):
+    """A trace record is corrupt, with the record's context attached."""
+
+    def __init__(
+        self, reason: str, index: int, person_id: int, detail: str
+    ) -> None:
+        self.reason = reason
+        self.index = index
+        self.person_id = person_id
+        self.detail = detail
+        super().__init__(
+            f"malformed trace record #{index} (person {person_id}): "
+            f"{detail} [{reason}]"
+        )
+
+
+def fix_reason(t_s: float, x: float, y: float) -> str | None:
+    """Validate one GPS fix's physical well-formedness.
+
+    Returns a reason code (:data:`REASON_NON_FINITE`) or ``None`` when the
+    fix is well-formed.  Range/ordering checks need context (partition
+    bounds, the person's previous fix) and live with the callers; this is
+    the shared record-level core reused by the service ingest guard.
+    """
+    if not (math.isfinite(t_s) and math.isfinite(x) and math.isfinite(y)):
+        return REASON_NON_FINITE
+    return None
+
+
+def find_malformed(
+    trace: GpsTrace, require_monotonic: bool = True
+) -> tuple[int, str, str] | None:
+    """First corrupt record as ``(index, reason, detail)``, or ``None``.
+
+    Checks every fix for non-finite time/coordinates, and — when
+    ``require_monotonic`` — every adjacent same-person pair for a
+    backwards timestamp.  Monotonicity is the contract of *cleaned*
+    traces: raw multi-collector merges arrive unordered by design
+    (sorting is cleaning's job), so callers validating raw input pass
+    ``require_monotonic=False``.  Vectorized: two boolean passes.
+    """
+    n = len(trace)
+    if n == 0:
+        return None
+    bad = ~(np.isfinite(trace.t) & np.isfinite(trace.x) & np.isfinite(trace.y))
+    if bad.any():
+        i = int(np.argmax(bad))
+        return (
+            i,
+            REASON_NON_FINITE,
+            f"t={trace.t[i]!r} x={trace.x[i]!r} y={trace.y[i]!r}",
+        )
+    if require_monotonic and n > 1:
+        backwards = (trace.person_id[1:] == trace.person_id[:-1]) & (
+            np.diff(trace.t) < 0.0
+        )
+        if backwards.any():
+            i = int(np.argmax(backwards)) + 1
+            return (
+                i,
+                REASON_NON_MONOTONIC,
+                f"t={trace.t[i]:.3f} after t={trace.t[i - 1]:.3f}",
+            )
+    return None
+
+
+def validate_trace(trace: GpsTrace, require_monotonic: bool = True) -> None:
+    """Raise :class:`MalformedTraceError` on the first corrupt record."""
+    found = find_malformed(trace, require_monotonic=require_monotonic)
+    if found is not None:
+        index, reason, detail = found
+        raise MalformedTraceError(
+            reason, index, int(trace.person_id[index]), detail
+        )
 
 
 @dataclass(frozen=True)
@@ -43,10 +137,18 @@ def clean_trace(
     """Clean a raw trace: range filter, de-duplication, speed gate.
 
     Returns the cleaned trace sorted by (person_id, t) plus a report.
+    Corrupt input (non-finite times or coordinates) raises
+    :class:`MalformedTraceError` instead of being silently filtered —
+    corruption upstream must fail loudly, not shrink the dataset.  Raw
+    input may arrive unordered (collectors append late batches), so
+    ordering is *established* here rather than required; downstream
+    stages (:func:`repro.mobility.mapmatch.map_match`) enforce the
+    monotonic contract on cleaned traces.
     """
     n_in = len(trace)
     if n_in == 0:
         return trace, CleaningReport(0, 0, 0, 0)
+    validate_trace(trace, require_monotonic=False)
 
     in_range = (
         (trace.x >= 0.0)

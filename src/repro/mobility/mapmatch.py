@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.mobility.cleaning import validate_trace
 from repro.mobility.routes import RouteCache
 from repro.mobility.trace import GpsTrace, TraversalLog
 from repro.roadnet.graph import RoadNetwork
@@ -52,9 +53,17 @@ def map_match(
     network: RoadNetwork,
     max_snap_m: float = 2_500.0,
 ) -> MatchedTrajectories:
-    """Snap a cleaned, sorted trace onto the landmark graph."""
+    """Snap a cleaned, sorted trace onto the landmark graph.
+
+    The input contract is a *cleaned* trace: finite values and per-person
+    monotonic timestamps.  Violations raise
+    :class:`~repro.mobility.cleaning.MalformedTraceError` here rather
+    than silently producing scrambled trajectories — corruption must not
+    propagate past the stage that can still name the offending record.
+    """
     if len(trace) == 0:
         return MatchedTrajectories({}, 0)
+    validate_trace(trace, require_monotonic=True)
     node_ids = np.array(network.landmark_ids())
     from scipy.spatial import cKDTree
 

@@ -1,0 +1,155 @@
+"""Circuit breakers for the learned components of the tick pipeline.
+
+A breaker sits between the service loop and one fallible component (the
+SVM predictor, the RL policy).  It is a three-state machine driven
+exclusively by the *simulation clock* — cooldowns are deterministic
+functions of ``obs.t_s``, never of wall time, so a seeded run trips and
+recovers identically every time:
+
+``closed``
+    Normal operation.  Consecutive failures are counted; reaching
+    ``failure_threshold`` trips the breaker open.
+
+``open``
+    The component is not called at all; the caller serves its fallback.
+    After ``cooldown_s`` of simulated time the next request transitions
+    to half-open.
+
+``half_open``
+    One probe request is allowed through.  Success closes the breaker
+    (full reset); failure re-opens it for another cooldown.
+
+Deadline overruns and exceptions both count as failures — a component
+that answers correctly but too late is as useless to a 5-minute tick as
+one that crashes (PAPER.md: the whole advantage over the IP baselines is
+answering inside the deadline).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Trip threshold and deterministic cooldown for one breaker."""
+
+    failure_threshold: int = 3
+    cooldown_s: float = 1_800.0
+    #: Ring capacity for the transition history kept for reports.
+    max_transitions: int = 256
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure threshold must be at least 1")
+        if self.cooldown_s <= 0:
+            raise ValueError("cooldown must be positive")
+        if self.max_transitions < 1:
+            raise ValueError("transition ring needs positive capacity")
+
+
+@dataclass(frozen=True)
+class BreakerTransition:
+    """One recorded state change, stamped with simulation time."""
+
+    t_s: float
+    from_state: str
+    to_state: str
+    detail: str = ""
+
+
+class CircuitBreaker:
+    """Closed/open/half-open breaker on the deterministic sim clock."""
+
+    def __init__(self, name: str, config: BreakerConfig | None = None) -> None:
+        self.name = name
+        self.config = config or BreakerConfig()
+        self.state = STATE_CLOSED
+        self.consecutive_failures = 0
+        #: Simulation time at which an open breaker admits a probe.
+        self._retry_at_s: float | None = None
+        self.failures = 0
+        self.successes = 0
+        self.trips = 0
+        self.transitions: deque[BreakerTransition] = deque(
+            maxlen=self.config.max_transitions
+        )
+        self.transitions_dropped = 0
+
+    def _transition(self, t_s: float, to_state: str, detail: str = "") -> None:
+        ring = self.transitions
+        if ring.maxlen is not None and len(ring) == ring.maxlen:
+            self.transitions_dropped += 1
+        ring.append(BreakerTransition(t_s, self.state, to_state, detail))
+        self.state = to_state
+
+    def allow(self, t_s: float) -> bool:
+        """May the component be called at simulation time ``t_s``?
+
+        An open breaker whose cooldown has elapsed transitions to
+        half-open here and admits the probe call.
+        """
+        if self.state == STATE_OPEN:
+            if self._retry_at_s is not None and t_s >= self._retry_at_s:
+                self._transition(t_s, STATE_HALF_OPEN, "cooldown elapsed")
+                return True
+            return False
+        return True
+
+    def record_success(self, t_s: float) -> None:
+        """The guarded call completed inside its deadline."""
+        self.successes += 1
+        if self.state == STATE_HALF_OPEN:
+            self._transition(t_s, STATE_CLOSED, "probe succeeded")
+            self._retry_at_s = None
+        self.consecutive_failures = 0
+
+    def record_failure(self, t_s: float, detail: str = "") -> bool:
+        """The guarded call raised or overran; returns True when this
+        failure tripped (or re-tripped) the breaker open."""
+        self.failures += 1
+        if self.state == STATE_HALF_OPEN:
+            self.trips += 1
+            self._retry_at_s = t_s + self.config.cooldown_s
+            self._transition(t_s, STATE_OPEN, detail or "probe failed")
+            return True
+        self.consecutive_failures += 1
+        if (
+            self.state == STATE_CLOSED
+            and self.consecutive_failures >= self.config.failure_threshold
+        ):
+            self.trips += 1
+            self._retry_at_s = t_s + self.config.cooldown_s
+            self._transition(
+                t_s,
+                STATE_OPEN,
+                detail or f"{self.consecutive_failures} consecutive failures",
+            )
+            return True
+        return False
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-ready state for run reports."""
+        return {
+            "name": self.name,
+            "state": self.state,
+            "failures": self.failures,
+            "successes": self.successes,
+            "trips": self.trips,
+            "consecutive_failures": self.consecutive_failures,
+            "transitions": [
+                {
+                    "t_s": tr.t_s,
+                    "from": tr.from_state,
+                    "to": tr.to_state,
+                    "detail": tr.detail,
+                }
+                for tr in self.transitions
+            ],
+            "transitions_dropped": self.transitions_dropped,
+        }

@@ -1,0 +1,201 @@
+"""Breaker-guarded wrappers for the predictor and the policy.
+
+Both wrappers share one contract: **on the clean path they are
+transparent** — the inner component is called exactly once, its result
+is returned unchanged, and no random state is consumed — so a guarded
+run with zero faults is bit-identical to an unguarded one.  Only when
+the component raises, overruns its deadline slice, or its breaker is
+open does behaviour diverge, and then every divergence is recorded as an
+incident:
+
+* :class:`GuardedPredictor` falls back to the **last-known-good** ``ñ_e``
+  (yesterday's demand map beats no demand map; the paper's prediction is
+  slowly-varying over cycles).
+* :class:`ResilientDispatcher` falls back to the
+  :class:`~repro.dispatch.nearest.NearestDispatcher` heuristic — a broken
+  learned policy degrades MobiRescue toward the paper's baselines
+  instead of stalling rescues.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core.predictor import RequestPredictor
+from repro.dispatch.base import DispatchObservation, Dispatcher, TeamCommand
+from repro.dispatch.nearest import NearestDispatcher
+from repro.faults.models import InjectedPredictorFault
+from repro.service.breaker import CircuitBreaker
+
+#: ``(kind, detail, t_s)`` observer for service incidents.
+IncidentSink = Callable[[str, str, float], None]
+
+
+class GuardedPredictor:
+    """Circuit-breaker wrapper satisfying the predictor's inference API.
+
+    Stands in for :class:`~repro.core.predictor.RequestPredictor` inside
+    :class:`~repro.core.rl_dispatcher.MobiRescueDispatcher`: only
+    ``predict_request_distribution`` and ``is_fitted`` are consumed
+    there.  Failures and deadline-slice overruns feed the breaker; while
+    the breaker is open the last-known-good distribution is served
+    without touching the inner model.
+    """
+
+    def __init__(
+        self,
+        inner: RequestPredictor,
+        breaker: CircuitBreaker,
+        clock: Callable[[], float],
+        deadline_slice_s: float | None = None,
+        incident_sink: IncidentSink | None = None,
+        fault_hook: Callable[[float], bool] | None = None,
+    ) -> None:
+        self.inner = inner
+        self.breaker = breaker
+        self._clock = clock
+        self.deadline_slice_s = deadline_slice_s
+        self._incident_sink = incident_sink
+        #: Chaos hook: ``fault_hook(t_s)`` True forces an injected failure.
+        self.fault_hook = fault_hook
+        #: Last ``ñ_e`` that was produced inside the deadline.
+        self.last_good: dict[int, int] = {}
+        self.fallback_serves = 0
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.inner.is_fitted
+
+    def _record_incident(self, kind: str, detail: str, t_s: float) -> None:
+        if self._incident_sink is not None:
+            self._incident_sink(kind, detail, t_s)
+
+    def _fallback(self, t_s: float, kind: str, detail: str) -> dict[int, int]:
+        self.fallback_serves += 1
+        self._record_incident(kind, detail, t_s)
+        return dict(self.last_good)
+
+    def predict_request_distribution(
+        self, person_nodes: dict[int, int], t_s: float
+    ) -> dict[int, int]:
+        if not self.breaker.allow(t_s):
+            return self._fallback(
+                t_s,
+                "predictor_breaker_open",
+                "predictor breaker open; serving last-known-good ñ_e",
+            )
+        start = self._clock()
+        try:
+            if self.fault_hook is not None and self.fault_hook(t_s):
+                raise InjectedPredictorFault("injected prediction-stage failure")
+            result = self.inner.predict_request_distribution(person_nodes, t_s)
+        except Exception as exc:  # repro: allow-broad-except -- breaker boundary
+            self.breaker.record_failure(t_s, f"{type(exc).__name__}: {exc}")
+            return self._fallback(
+                t_s,
+                "predictor_failure",
+                f"predictor raised {type(exc).__name__}: {exc}; "
+                "serving last-known-good ñ_e",
+            )
+        elapsed = self._clock() - start
+        if self.deadline_slice_s is not None and elapsed > self.deadline_slice_s:
+            self.breaker.record_failure(
+                t_s, f"deadline overrun ({elapsed:.3f}s > {self.deadline_slice_s:.3f}s)"
+            )
+            return self._fallback(
+                t_s,
+                "predictor_deadline",
+                f"predict stage took {elapsed:.3f}s "
+                f"(> {self.deadline_slice_s:.3f}s slice); "
+                "serving last-known-good ñ_e",
+            )
+        self.breaker.record_success(t_s)
+        self.last_good = dict(result)
+        return result
+
+
+class ResilientDispatcher(Dispatcher):
+    """Policy circuit breaker with a nearest-team heuristic fallback.
+
+    Wraps any dispatcher (normally the MobiRescue RL policy).  Exceptions
+    and deadline-slice overruns — including chaos-injected latency
+    spikes, which *advance the injected clock* rather than sleeping —
+    count as breaker failures; the cycle is then served by the fallback
+    heuristic so no tick ever goes uncommanded for lack of a policy.
+    """
+
+    def __init__(
+        self,
+        inner: Dispatcher,
+        breaker: CircuitBreaker,
+        clock: Callable[[], float],
+        deadline_slice_s: float | None = None,
+        incident_sink: IncidentSink | None = None,
+        fallback: Dispatcher | None = None,
+        latency_hook: Callable[[float], float] | None = None,
+    ) -> None:
+        self.inner = inner
+        self.breaker = breaker
+        self._clock = clock
+        self.deadline_slice_s = deadline_slice_s
+        self._incident_sink = incident_sink
+        self.fallback = fallback if fallback is not None else NearestDispatcher()
+        #: Chaos hook: ``latency_hook(t_s)`` seconds of injected stall.
+        self.latency_hook = latency_hook
+        self.fallback_cycles = 0
+        self.name = inner.name
+        self.flood_aware = inner.flood_aware
+        self.computation_delay_s = inner.computation_delay_s
+
+    def _record_incident(self, kind: str, detail: str, t_s: float) -> None:
+        if self._incident_sink is not None:
+            self._incident_sink(kind, detail, t_s)
+
+    def _serve_fallback(
+        self, obs: DispatchObservation, kind: str, detail: str
+    ) -> dict[int, TeamCommand]:
+        self.fallback_cycles += 1
+        self._record_incident(kind, detail, obs.t_s)
+        return self.fallback.dispatch(obs)
+
+    def dispatch(self, obs: DispatchObservation) -> dict[int, TeamCommand]:
+        t_s = obs.t_s
+        if not self.breaker.allow(t_s):
+            return self._serve_fallback(
+                obs,
+                "policy_breaker_open",
+                f"policy breaker open; serving {self.fallback.name} heuristic",
+            )
+        start = self._clock()
+        try:
+            commands = self.inner.dispatch(obs)
+        except Exception as exc:  # repro: allow-broad-except -- breaker boundary
+            self.breaker.record_failure(t_s, f"{type(exc).__name__}: {exc}")
+            return self._serve_fallback(
+                obs,
+                "policy_failure",
+                f"policy raised {type(exc).__name__}: {exc}; "
+                f"serving {self.fallback.name} heuristic",
+            )
+        elapsed = self._clock() - start
+        if self.latency_hook is not None:
+            elapsed += self.latency_hook(t_s)
+        if self.deadline_slice_s is not None and elapsed > self.deadline_slice_s:
+            self.breaker.record_failure(
+                t_s, f"deadline overrun ({elapsed:.3f}s > {self.deadline_slice_s:.3f}s)"
+            )
+            return self._serve_fallback(
+                obs,
+                "policy_deadline",
+                f"dispatch stage took {elapsed:.3f}s "
+                f"(> {self.deadline_slice_s:.3f}s slice); "
+                f"serving {self.fallback.name} heuristic",
+            )
+        self.breaker.record_success(t_s)
+        return commands
+
+    def observe_requests(self, requests) -> None:  # type: ignore[no-untyped-def]
+        self.inner.observe_requests(requests)
+
+    def on_cycle_end(self, obs: DispatchObservation) -> None:
+        self.inner.on_cycle_end(obs)

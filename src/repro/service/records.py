@@ -1,0 +1,132 @@
+"""Typed ingest records and their validation schema.
+
+The online dispatch service ingests one kind of upstream data: matched
+GPS fixes (person, time, position, landmark).  Every record is validated
+against :class:`IngestSchema` before it can influence a dispatch
+decision; a record that fails is *quarantined* with a machine-readable
+reason code — never silently dropped, never silently ingested.
+
+Reason codes are shared with the batch cleaning stage
+(:mod:`repro.mobility.cleaning`): a NaN coordinate is the same
+corruption whether it arrives in a bulk trace file or on the live feed,
+so :data:`~repro.mobility.cleaning.REASON_NON_FINITE` and
+:data:`~repro.mobility.cleaning.REASON_NON_MONOTONIC` carry the same
+meaning in both places.  The service adds the codes only a *streaming*
+validator can judge: future timestamps, duplicates, unknown identities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mobility.cleaning import (
+    REASON_NON_FINITE,
+    REASON_NON_MONOTONIC,
+    fix_reason,
+)
+
+#: Streaming-only reason codes (the batch cleaner cannot judge these).
+REASON_OUT_OF_RANGE = "out_of_range_position"
+REASON_DUPLICATE = "duplicate_timestamp"
+REASON_FUTURE = "future_timestamp"
+REASON_UNKNOWN_PERSON = "unknown_person"
+REASON_UNKNOWN_NODE = "unknown_node"
+
+#: Every reason code the ingest guard can emit, for report schemas.
+ALL_REASONS = (
+    REASON_NON_FINITE,
+    REASON_NON_MONOTONIC,
+    REASON_OUT_OF_RANGE,
+    REASON_DUPLICATE,
+    REASON_FUTURE,
+    REASON_UNKNOWN_PERSON,
+    REASON_UNKNOWN_NODE,
+)
+
+
+@dataclass(frozen=True)
+class GpsRecord:
+    """One matched GPS fix as the service ingests it.
+
+    ``node`` is the map-matched landmark (matching happens upstream of
+    the service, exactly as cleaning does in the batch pipeline); ``x``
+    and ``y`` are the raw projected coordinates the fix carried, kept so
+    range and finiteness can still be judged per record.
+    """
+
+    person_id: int
+    t_s: float
+    x: float
+    y: float
+    node: int
+
+
+@dataclass(frozen=True)
+class QuarantinedRecord:
+    """A rejected record with its reason code and human-readable detail."""
+
+    record: GpsRecord
+    reason: str
+    detail: str
+
+
+@dataclass(frozen=True)
+class IngestSchema:
+    """Validation bounds for incoming GPS records.
+
+    ``known_persons`` / ``known_nodes`` of ``None`` disable the
+    respective identity check (negative ids are always rejected);
+    ``future_slack_s`` tolerates bounded collector clock skew before a
+    timestamp counts as "from the future".
+    """
+
+    width_m: float
+    height_m: float
+    known_persons: frozenset[int] | None = None
+    known_nodes: frozenset[int] | None = None
+    future_slack_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.width_m <= 0 or self.height_m <= 0:
+            raise ValueError("partition bounds must be positive")
+        if self.future_slack_s < 0:
+            raise ValueError("future slack must be non-negative")
+
+    def validate(
+        self, record: GpsRecord, now_s: float, last_t_s: float | None
+    ) -> tuple[str, str] | None:
+        """``(reason, detail)`` for an invalid record, ``None`` when valid.
+
+        ``last_t_s`` is the newest previously *accepted* timestamp for
+        this record's person (ordering is judged per person, exactly as
+        the batch monotonicity validator does).  Checks run in a fixed
+        order so a record failing several ways always quarantines under
+        the same code.
+        """
+        reason = fix_reason(record.t_s, record.x, record.y)
+        if reason is not None:
+            return reason, f"t={record.t_s!r} x={record.x!r} y={record.y!r}"
+        if record.t_s > now_s + self.future_slack_s:
+            return REASON_FUTURE, f"t={record.t_s:.3f} is ahead of now={now_s:.3f}"
+        if not (0.0 <= record.x <= self.width_m and 0.0 <= record.y <= self.height_m):
+            return (
+                REASON_OUT_OF_RANGE,
+                f"({record.x:.1f}, {record.y:.1f}) outside "
+                f"{self.width_m:.0f}x{self.height_m:.0f} m",
+            )
+        if record.person_id < 0 or (
+            self.known_persons is not None
+            and record.person_id not in self.known_persons
+        ):
+            return REASON_UNKNOWN_PERSON, f"person {record.person_id}"
+        if self.known_nodes is not None and record.node not in self.known_nodes:
+            return REASON_UNKNOWN_NODE, f"landmark {record.node}"
+        if last_t_s is not None:
+            if record.t_s == last_t_s:
+                return REASON_DUPLICATE, f"t={record.t_s:.3f} already ingested"
+            if record.t_s < last_t_s:
+                return (
+                    REASON_NON_MONOTONIC,
+                    f"t={record.t_s:.3f} after t={last_t_s:.3f}",
+                )
+        return None

@@ -19,6 +19,7 @@ import heapq
 import itertools
 import logging
 from collections import deque
+from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -64,6 +65,11 @@ class SimulationConfig:
     #: activates the fallback policy for that cycle.  ``None`` disables
     #: the check (exceptions are always guarded regardless).
     dispatch_budget_s: float | None = None
+    #: Capacity of the incident ring buffer.  A chaos run tripping a
+    #: breaker every cycle must not grow the run record without bound;
+    #: once full, the oldest incidents are shed and counted in
+    #: ``SimulationResult.incidents_dropped``.
+    max_incidents: int = 10_000
 
     def __post_init__(self) -> None:
         if self.t1_s <= self.t0_s:
@@ -80,6 +86,8 @@ class SimulationConfig:
             raise ValueError("storm slowdown must be in (0, 1]")
         if self.dispatch_budget_s is not None and self.dispatch_budget_s <= 0:
             raise ValueError("dispatch budget must be positive (or None to disable)")
+        if self.max_incidents < 1:
+            raise ValueError("incident ring needs capacity for at least one event")
 
 
 @dataclass(frozen=True)
@@ -131,7 +139,15 @@ class SimulationResult:
     #: (cycle time, number of serving teams) samples, one per dispatch cycle.
     serving_samples: list[tuple[float, int]] = field(default_factory=list)
     #: Degradation events (fault injection and graceful-degradation paths).
-    incidents: list[IncidentEvent] = field(default_factory=list)
+    #: Bounded: a ring of the most recent ``config.max_incidents`` events.
+    incidents: deque[IncidentEvent] = field(default_factory=deque)
+    #: Oldest incidents shed once the ring filled up.
+    incidents_dropped: int = 0
+
+    def __post_init__(self) -> None:
+        # Normalise to a bounded ring regardless of what the caller passed
+        # (a plain list from older call sites works transparently).
+        self.incidents = deque(self.incidents, maxlen=self.config.max_incidents)
 
     @property
     def num_served(self) -> int:
@@ -153,6 +169,7 @@ class RescueSimulator:
         config: SimulationConfig,
         faults: "FaultInjector | None" = None,
         router: Router | None = None,
+        on_cycle: Callable[[int, float, bool], None] | None = None,
     ) -> None:
         self.scenario = scenario
         self.network = scenario.network
@@ -184,6 +201,11 @@ class RescueSimulator:
         self._guard = DispatchGuard(dispatcher, budget_s=config.dispatch_budget_s)
         #: (team_id, window start) of breakdowns already triggered.
         self._handled_breakdowns: set[tuple[int, float]] = set()
+        #: Observer invoked after every dispatch cycle with
+        #: ``(cycle_index, t_s, dispatcher_ran)`` — the service loop's
+        #: per-tick heartbeat (injected dispatch-center failures skip the
+        #: guard entirely, so guard counters alone cannot prove liveness).
+        self._on_cycle = on_cycle
 
     # -- setup ----------------------------------------------------------------
 
@@ -205,9 +227,10 @@ class RescueSimulator:
     def _record_incident(
         self, kind: str, t_s: float, team_id: int | None = None, detail: str = ""
     ) -> None:
-        self._result.incidents.append(
-            IncidentEvent(kind=kind, t_s=t_s, team_id=team_id, detail=detail)
-        )
+        ring = self._result.incidents
+        if ring.maxlen is not None and len(ring) == ring.maxlen:
+            self._result.incidents_dropped += 1
+        ring.append(IncidentEvent(kind=kind, t_s=t_s, team_id=team_id, detail=detail))
         logger.info(
             "incident %s t=%.0f%s%s",
             kind,
@@ -598,6 +621,8 @@ class RescueSimulator:
                     incident = self._guard.on_cycle_end(obs)
                     if incident is not None:
                         self._record_incident("hook_error", t, detail=incident)
+                if self._on_cycle is not None:
+                    self._on_cycle(cycle_index, t, ran)
                 next_dispatch += cfg.dispatch_period_s
                 cycle_index += 1
             while self._action_queue and self._action_queue[0][0] <= t:

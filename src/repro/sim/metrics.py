@@ -108,6 +108,12 @@ class SimulationMetrics:
         return dict(Counter(e.kind for e in self.result.incidents))
 
     @property
+    def incidents_dropped(self) -> int:
+        """Incidents shed once the bounded ring filled up — nonzero means
+        the per-kind counts above undercount the oldest events."""
+        return self.result.incidents_dropped
+
+    @property
     def fallback_activations(self) -> int:
         """Dispatcher cycles that fell back to the safe no-op policy
         (exception, compute-budget overrun, or injected failure)."""

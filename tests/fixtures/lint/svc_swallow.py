@@ -1,0 +1,55 @@
+# reprolint: module=repro.service.fixture_swallow
+# reprolint-fixture: REP303 x2 — silent swallows inside the service scope.
+
+
+class _Breaker:
+    def record_failure(self, t_s: float, detail: str) -> bool:
+        return False
+
+
+breaker = _Breaker()
+
+
+def risky() -> None:
+    raise ValueError("boom")
+
+
+def silent_swallow() -> int:
+    try:
+        risky()
+    except ValueError:  # expect REP303: neither re-raises nor records
+        return 1
+    return 0
+
+
+def swallow_with_logging_only() -> int:
+    try:
+        risky()
+    except (ValueError, KeyError):  # expect REP303: print is not a recorder
+        print("oops")
+        return 1
+    return 0
+
+
+def records_an_incident(t_s: float) -> int:
+    try:
+        risky()
+    except ValueError:  # ok: breaker failure is an observable trace
+        breaker.record_failure(t_s, "risky failed")
+        return 1
+    return 0
+
+
+def reraises() -> int:
+    try:
+        risky()
+    except ValueError as exc:
+        raise RuntimeError("wrapped") from exc
+
+
+def pragma_sanctioned() -> int:
+    try:
+        risky()
+    except ValueError:  # repro: allow-service-swallow -- fixture: sanctioned
+        return 1
+    return 0

@@ -1,0 +1,158 @@
+"""Circuit-breaker state machine and deadline-budget unit tests.
+
+The breaker is the smallest load-bearing piece of the resilient service:
+these tests pin the closed → open → half-open → closed lifecycle, the
+deterministic sim-clock cooldowns (no wall time anywhere), and the
+bounded transition log.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.breaker import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    BreakerConfig,
+    CircuitBreaker,
+)
+from repro.service.deadline import DeadlineBudget, ManualClock
+
+
+def make_breaker(threshold: int = 3, cooldown_s: float = 600.0) -> CircuitBreaker:
+    return CircuitBreaker(
+        "test", BreakerConfig(failure_threshold=threshold, cooldown_s=cooldown_s)
+    )
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self):
+        b = make_breaker()
+        assert b.state == STATE_CLOSED
+        assert b.allow(0.0)
+
+    def test_failures_below_threshold_stay_closed(self):
+        b = make_breaker(threshold=3)
+        assert not b.record_failure(0.0, "one")
+        assert not b.record_failure(1.0, "two")
+        assert b.state == STATE_CLOSED
+        assert b.allow(2.0)
+
+    def test_threshold_trips_open(self):
+        b = make_breaker(threshold=3, cooldown_s=600.0)
+        for t in (0.0, 1.0):
+            b.record_failure(t, "x")
+        assert b.record_failure(2.0, "third strike")
+        assert b.state == STATE_OPEN
+        assert not b.allow(2.0)
+        assert not b.allow(601.0)  # cooldown counts from the trip time
+
+    def test_success_resets_consecutive_failures(self):
+        b = make_breaker(threshold=3)
+        b.record_failure(0.0, "x")
+        b.record_failure(1.0, "x")
+        b.record_success(2.0)
+        # Two more failures do not reach the threshold again.
+        b.record_failure(3.0, "x")
+        b.record_failure(4.0, "x")
+        assert b.state == STATE_CLOSED
+
+    def test_cooldown_elapses_into_half_open_probe(self):
+        b = make_breaker(threshold=1, cooldown_s=100.0)
+        b.record_failure(10.0, "trip")
+        assert b.state == STATE_OPEN
+        assert not b.allow(109.0)
+        assert b.allow(110.0)  # exactly at t_trip + cooldown
+        assert b.state == STATE_HALF_OPEN
+
+    def test_probe_success_closes(self):
+        b = make_breaker(threshold=1, cooldown_s=100.0)
+        b.record_failure(0.0, "trip")
+        assert b.allow(100.0)
+        b.record_success(100.0)
+        assert b.state == STATE_CLOSED
+        assert b.allow(101.0)
+
+    def test_probe_failure_reopens_with_fresh_cooldown(self):
+        b = make_breaker(threshold=1, cooldown_s=100.0)
+        b.record_failure(0.0, "trip")
+        assert b.allow(100.0)  # half-open probe admitted
+        b.record_failure(100.0, "probe failed")
+        assert b.state == STATE_OPEN
+        assert not b.allow(150.0)
+        assert b.allow(200.0)  # new cooldown from the re-trip
+
+    def test_deterministic_replay(self):
+        """Identical event sequences produce identical snapshots — the
+        breaker holds no hidden wall-clock or random state."""
+
+        def drive() -> dict:
+            b = make_breaker(threshold=2, cooldown_s=50.0)
+            for t in (0.0, 5.0):
+                b.record_failure(t, "boom")
+            b.allow(60.0)
+            b.record_success(60.0)
+            b.record_failure(70.0, "late")
+            return b.snapshot()
+
+        assert drive() == drive()
+
+
+class TestBookkeeping:
+    def test_snapshot_counts(self):
+        b = make_breaker(threshold=2)
+        b.record_failure(0.0, "a")
+        b.record_success(1.0)
+        snap = b.snapshot()
+        assert snap["failures"] == 1
+        assert snap["successes"] == 1
+        assert snap["trips"] == 0
+        assert snap["state"] == STATE_CLOSED
+
+    def test_transition_log_is_bounded(self):
+        b = CircuitBreaker(
+            "small",
+            BreakerConfig(failure_threshold=1, cooldown_s=1.0, max_transitions=4),
+        )
+        for i in range(20):
+            t = float(i * 10)
+            b.allow(t)  # re-arm the half-open probe after each cooldown
+            b.record_failure(t, f"trip {i}")
+        snap = b.snapshot()
+        assert len(snap["transitions"]) == 4
+        assert snap["transitions_dropped"] > 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            BreakerConfig(failure_threshold=0)
+        with pytest.raises(ValueError):
+            BreakerConfig(cooldown_s=0.0)
+        with pytest.raises(ValueError):
+            BreakerConfig(max_transitions=0)
+
+
+class TestDeadlineBudget:
+    def test_slices_partition_the_tick(self):
+        budget = DeadlineBudget(
+            tick_budget_s=1.0, ingest_share=0.2, predict_share=0.3, dispatch_share=0.5
+        )
+        assert budget.ingest_slice_s == pytest.approx(0.2)
+        assert budget.predict_slice_s == pytest.approx(0.3)
+        assert budget.dispatch_slice_s == pytest.approx(0.5)
+
+    def test_oversubscribed_shares_rejected(self):
+        with pytest.raises(ValueError):
+            DeadlineBudget(ingest_share=0.5, predict_share=0.4, dispatch_share=0.4)
+        with pytest.raises(ValueError):
+            DeadlineBudget(tick_budget_s=0.0)
+        with pytest.raises(ValueError):
+            DeadlineBudget(ingest_share=0.0)
+
+    def test_manual_clock_only_advances(self):
+        clock = ManualClock(start_s=5.0)
+        assert clock() == 5.0
+        clock.advance(2.5)
+        assert clock() == 7.5
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)

@@ -41,6 +41,7 @@ EXPECTED = {
     "dur_unsafe_write.py": ["REP201"] * 5,
     "exc_hygiene.py": ["REP301", "REP302", "REP302"],
     "ord_set_iteration.py": ["REP401", "REP401", "REP401"],
+    "svc_swallow.py": ["REP303", "REP303"],
     "pragma_suppression.py": ["REP102"],
     "pragma_standalone.py": [],
     "pragma_unused.py": ["REP001"],
@@ -157,6 +158,22 @@ def test_reraise_handlers_are_sanctioned():
         "try:\n    x = 1\nexcept Exception:\n    raise\n"
     )
     assert lint_source(source, module="repro.anything") == []
+
+
+def test_service_swallow_scoped_to_service_package():
+    source = "try:\n    x = 1\nexcept ValueError:\n    y = 2\n"
+    assert [f.rule for f in lint_source(source, module="repro.service.guards")] == [
+        "REP303"
+    ]
+    assert lint_source(source, module="repro.sim.engine") == []
+
+
+def test_service_swallow_satisfied_by_recorder_call():
+    source = (
+        "try:\n    x = 1\nexcept ValueError:\n"
+        "    guard.quarantine(record, 'reason', 'detail')\n"
+    )
+    assert lint_source(source, module="repro.service.ingest") == []
 
 
 # -- output contracts ----------------------------------------------------------
