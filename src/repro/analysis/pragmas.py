@@ -42,6 +42,7 @@ KNOWN_PRAGMAS = frozenset(
         "allow-broad-except",
         "allow-service-swallow",
         "allow-unsorted-set",
+        "allow-unordered-merge",
     }
 )
 

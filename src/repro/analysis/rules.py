@@ -17,6 +17,7 @@ REP301   allow-bare-except          no bare ``except:``
 REP302   allow-broad-except         ``except Exception`` needs a pragma
 REP303   allow-service-swallow      service ``except`` re-raises or records
 REP401   allow-unsorted-set         no bare-``set`` iteration in hot paths
+REP402   allow-unordered-merge      shard merges fold in deterministic order
 =======  =========================  ==========================================
 
 Rules are syntactic: they resolve import aliases (``import numpy as np``,
@@ -54,6 +55,11 @@ ORDERING_SCOPE = (
     "repro.core",
     "repro.dispatch",
 )
+
+#: The sharding layer, whose merge/reduce steps must stay order-
+#: insensitive so the merged snapshot is a pure function of the *set*
+#: of per-shard results (the clean-path bit-identity gate depends on it).
+MERGE_SCOPE = ("repro.service.sharding",)
 
 #: The one module allowed to perform raw file writes: the atomic,
 #: manifest-verified artifact layer from PR 2.
@@ -674,6 +680,95 @@ class UnsortedSetIterationRule(Rule):
                         )
 
 
+_DICT_VIEW_METHODS = frozenset({"items", "keys", "values"})
+
+#: Function-name markers that identify shard reducers.  The rule keys on
+#: the *name* because merge/reduce steps are where per-shard results fold
+#: into one artefact — the exact spot where iteration order leaks into
+#: the output.
+_MERGE_NAME_MARKERS = ("merge", "reduce")
+
+
+def _is_dict_view_call(node: ast.expr) -> bool:
+    """Syntactic check: a zero-argument ``.items()/.keys()/.values()`` call."""
+    return (
+        isinstance(node, ast.Call)
+        and not node.args
+        and not node.keywords
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _DICT_VIEW_METHODS
+    )
+
+
+@dataclass(frozen=True)
+class OrderSensitiveMergeRule(Rule):
+    """REP402: shard merge/reduce steps must not fold in hash order."""
+
+    rule_id: str = "REP402"
+    name: str = "ordering/order-sensitive-merge"
+    pragma: str = "allow-unordered-merge"
+    description: str = (
+        "merge/reduce code iterating a dict view or bare set folds "
+        "per-shard results in hash order; iterate sorted(...) or feed "
+        "the view to an order-insensitive reducer"
+    )
+    scope: tuple[str, ...] | None = MERGE_SCOPE
+
+    def check(
+        self, tree: ast.Module, module: str, path: str
+    ) -> Iterator[Finding]:
+        aliases = import_aliases(tree)
+        set_names = _infer_set_names(tree, aliases)
+        sanctioned: set[ast.AST] = set()
+        merge_funcs: list[ast.FunctionDef | ast.AsyncFunctionDef] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func, aliases)
+                if name in _ORDER_INSENSITIVE_SINKS:
+                    sanctioned.update(node.args)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                lowered = node.name.lower()
+                if any(marker in lowered for marker in _MERGE_NAME_MARKERS):
+                    merge_funcs.append(node)
+        seen: set[ast.AST] = set()
+
+        def unordered(expr: ast.expr) -> bool:
+            return _is_dict_view_call(expr) or _is_set_expr(
+                expr, aliases, set_names
+            )
+
+        for func in merge_funcs:
+            for node in ast.walk(func):
+                if node in seen:
+                    continue
+                if isinstance(node, (ast.For, ast.AsyncFor)):
+                    if unordered(node.iter):
+                        seen.add(node)
+                        yield self.finding(
+                            path,
+                            node.iter,
+                            "merge/reduce loop over an unordered view; "
+                            "iterate sorted(...) instead",
+                        )
+                elif isinstance(
+                    node,
+                    (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp),
+                ):
+                    if node in sanctioned:
+                        continue
+                    for gen in node.generators:
+                        if unordered(gen.iter):
+                            seen.add(node)
+                            yield self.finding(
+                                path,
+                                gen.iter,
+                                "merge/reduce comprehension over an "
+                                "unordered view; iterate sorted(...) or "
+                                "feed it to an order-insensitive reducer",
+                            )
+                            break
+
+
 #: The default rule set, in catalogue order.
 DEFAULT_RULES: tuple[Rule, ...] = (
     ImportRandomRule(),
@@ -684,6 +779,7 @@ DEFAULT_RULES: tuple[Rule, ...] = (
     BroadExceptRule(),
     ServiceExceptionRule(),
     UnsortedSetIterationRule(),
+    OrderSensitiveMergeRule(),
 )
 
 #: rule_id -> producing Rule, for ``--select``.  REP103 is emitted by the

@@ -42,7 +42,23 @@ Commands
     and a fault-composed chaos run, then check the invariants — no tick
     skipped, no exception escaped, served count within the degradation
     factor.  Nonzero exit on any violation; ``--out`` writes the JSON
-    report durably.
+    report durably.  A ``shard-*`` profile (``shard-kill``,
+    ``shard-stall``, ``shard-skew``, ``shard-blackout``) runs the
+    sharded-topology harness instead: clean sharded run bit-identical to
+    the unsharded service, failover within budget, exact per-shard
+    record accounting.
+
+``loadgen``
+    The deterministic million-user load harness: replays synthetic GPS
+    records against the sharded ingest layer on the manual clock and
+    emits per-shard throughput and p50/p95/p99 latency percentiles as a
+    durable ``LOADGEN_<date>.json``.  ``--quick`` runs the CI-sized
+    campaign.
+
+``service-report``
+    Render the unified service-health report (breaker snapshots,
+    per-shard quarantine reason counts, incident rings, supervisor
+    failovers) from a chaos or loadgen artifact, as text or atomic JSON.
 
 ``lint``
     Run reprolint, the repo-invariant static analyzer (determinism,
@@ -386,6 +402,13 @@ def cmd_robustness(args) -> int:
 
 def cmd_chaos(args) -> int:
     from repro.faults.profiles import get_component_profile, get_profile
+
+    seeds = tuple(int(s) for s in args.seeds.split(",") if s.strip())
+    if not seeds:
+        print("need at least one seed", file=sys.stderr)
+        return 2
+    if args.profile.startswith("shard-"):
+        return _run_shard_chaos(args, seeds)
     from repro.service.chaos import ChaosConfig, run_chaos
 
     try:
@@ -393,10 +416,6 @@ def cmd_chaos(args) -> int:
         get_component_profile(args.profile)
     except ValueError as exc:
         print(exc, file=sys.stderr)
-        return 2
-    seeds = tuple(int(s) for s in args.seeds.split(",") if s.strip())
-    if not seeds:
-        print("need at least one seed", file=sys.stderr)
         return 2
     config = ChaosConfig(
         profile=args.profile,
@@ -424,6 +443,106 @@ def cmd_chaos(args) -> int:
             print(f"VIOLATION: {violation}", file=sys.stderr)
         return 1
     print("all chaos invariants held")
+    return 0
+
+
+def _run_shard_chaos(args, seeds: tuple[int, ...]) -> int:
+    from repro.faults.profiles import get_shard_profile
+    from repro.service.sharding import ShardChaosConfig, run_shard_chaos
+
+    try:
+        get_shard_profile(args.profile)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    config = ShardChaosConfig(
+        profile=args.profile,
+        seeds=seeds,
+        population_size=250 if args.quick else args.population,
+        num_teams=10 if args.quick else 15,
+        window_days=0.25 if args.quick else 0.5,
+        degradation_factor=args.factor,
+    )
+    report = run_shard_chaos(
+        config,
+        out_path=args.out or None,
+        progress=lambda msg: print(msg, file=sys.stderr),
+    )
+    for run in report["runs"]:
+        print(
+            f"seed {run['seed']}: clean served {run['clean_served']}, "
+            f"shard chaos served {run['chaos_served']}, "
+            f"{'OK' if run['ok'] else 'VIOLATED'}"
+        )
+    if args.out:
+        print(f"wrote {args.out}")
+    if not report["ok"]:
+        for violation in report["violations"]:
+            print(f"VIOLATION: {violation}", file=sys.stderr)
+        return 1
+    print("all shard chaos invariants held")
+    return 0
+
+
+def cmd_loadgen(args) -> int:
+    from repro.service.sharding.loadgen import (
+        LoadgenConfig,
+        default_output_path,
+        format_loadgen_report,
+        quick_config,
+        run_loadgen,
+    )
+
+    if args.quick:
+        config = quick_config(seed=args.seed)
+    else:
+        config = LoadgenConfig(
+            num_users=args.users,
+            records_per_user_hour=args.rate,
+            sim_hours=args.hours,
+            num_shards=args.shards,
+            seed=args.seed,
+        )
+    payload = run_loadgen(
+        config, progress=lambda msg: print(msg, file=sys.stderr)
+    )
+    path = args.out or default_output_path(payload)
+    from repro.core.artifacts import atomic_write_json
+
+    atomic_write_json(path, payload)
+    print(format_loadgen_report(payload))
+    print(f"\nwrote {path}")
+    if not payload["reconciliation_ok"]:
+        print("RECONCILIATION BROKEN", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_service_report(args) -> int:
+    import json
+
+    from repro.service.report import (
+        extract_service_report,
+        format_service_report,
+        write_service_report,
+    )
+
+    try:
+        with open(args.input, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read {args.input!r}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        report = extract_service_report(payload)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.out:
+        write_service_report(report, args.out)
+        print(f"wrote {args.out}")
+    if args.text or not args.out:
+        print(format_service_report(report))
     return 0
 
 
@@ -551,7 +670,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--profile", type=str, default="severe",
         help="fault profile composed over env + components "
-             "(none, mild, severe, blackout)",
+             "(none, mild, severe, blackout) or a shard profile "
+             "(shard-kill, shard-stall, shard-skew, shard-blackout) to "
+             "run the sharded-topology harness",
     )
     p.add_argument(
         "--seeds", type=str, default="0,1", help="comma-separated chaos seeds"
@@ -590,6 +711,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="output path (default: BENCH_<date>.json in the working directory)",
     )
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="million-user sharded-ingest load harness; "
+             "writes LOADGEN_<date>.json",
+    )
+    p.add_argument(
+        "--users", type=int, default=300_000, help="synthetic user count"
+    )
+    p.add_argument(
+        "--rate", type=float, default=4.0, help="GPS records per user-hour"
+    )
+    p.add_argument(
+        "--hours", type=float, default=1.0, help="simulated hours to replay"
+    )
+    p.add_argument("--shards", type=int, default=8, help="ingest shard count")
+    p.add_argument("--seed", type=int, default=0, help="campaign seed")
+    p.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized campaign (thousands of users, a few ticks)",
+    )
+    p.add_argument(
+        "--out", type=str, default="",
+        help="output path (default: LOADGEN_<date>.json)",
+    )
+    p.set_defaults(func=cmd_loadgen)
+
+    p = sub.add_parser(
+        "service-report",
+        help="unified service-health report from a chaos or loadgen artifact",
+    )
+    p.add_argument(
+        "input", type=str,
+        help="path to a chaos campaign report or loadgen artifact (JSON)",
+    )
+    p.add_argument(
+        "--out", type=str, default="",
+        help="write the extracted report here (atomic JSON)",
+    )
+    p.add_argument(
+        "--text", action="store_true",
+        help="print the text rendering (default when --out is not given)",
+    )
+    p.set_defaults(func=cmd_service_report)
 
     p = sub.add_parser(
         "experiments", help="method-comparison sweep with per-cell persistence"

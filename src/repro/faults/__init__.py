@@ -27,16 +27,23 @@ from repro.faults.models import (
     FaultInjector,
     FaultModel,
     GpsDropoutFault,
+    HotShardSkewFault,
     InjectedDispatcherFault,
     OutageWindow,
     RoadClosureFault,
+    ShardFaultInjector,
+    ShardFaultProfile,
+    ShardKillFault,
+    ShardStallFault,
     TeamBreakdownFault,
     sample_windows,
 )
 from repro.faults.profiles import (
     PROFILES,
+    SHARD_PROFILES,
     FaultProfile,
     get_profile,
+    get_shard_profile,
     make_injector,
 )
 
@@ -47,12 +54,19 @@ __all__ = [
     "FaultModel",
     "FaultProfile",
     "GpsDropoutFault",
+    "HotShardSkewFault",
     "InjectedDispatcherFault",
     "OutageWindow",
     "PROFILES",
     "RoadClosureFault",
+    "SHARD_PROFILES",
+    "ShardFaultInjector",
+    "ShardFaultProfile",
+    "ShardKillFault",
+    "ShardStallFault",
     "TeamBreakdownFault",
     "get_profile",
+    "get_shard_profile",
     "make_injector",
     "sample_windows",
 ]

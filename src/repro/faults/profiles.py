@@ -33,9 +33,13 @@ from repro.faults.models import (
     DispatcherFailureFault,
     FaultInjector,
     GpsDropoutFault,
+    HotShardSkewFault,
     PolicyLatencyFault,
     PredictorExceptionFault,
     RoadClosureFault,
+    ShardFaultProfile,
+    ShardKillFault,
+    ShardStallFault,
     TeamBreakdownFault,
 )
 
@@ -138,6 +142,64 @@ COMPONENT_PROFILES: dict[str, ComponentFaultProfile] = {
         corrupt_records=CorruptRecordFault(p_storm_per_cycle=0.50, corrupt_fraction=0.90),
     ),
 }
+
+
+#: Shard-level fault severities for the sharded ingest topology.  Names
+#: are prefixed ``shard-`` so the chaos CLI can route them to the shard
+#: harness; ``shard-blackout`` composes every family at once and is the
+#: profile the failover acceptance gate runs under.
+SHARD_PROFILES: dict[str, ShardFaultProfile] = {
+    "shard-none": ShardFaultProfile(name="shard-none"),
+    "shard-kill": ShardFaultProfile(
+        name="shard-kill",
+        kill=ShardKillFault(p_affected=1.0, kills_per_shard=1.0, mean_dead_s=3_600.0),
+    ),
+    "shard-stall": ShardFaultProfile(
+        name="shard-stall",
+        stall=ShardStallFault(
+            p_affected=1.0,
+            stalls_per_shard=1.0,
+            mean_stall_window_s=3_600.0,
+            stall_s=30.0,
+        ),
+    ),
+    "shard-skew": ShardFaultProfile(
+        name="shard-skew",
+        skew=HotShardSkewFault(
+            p_affected=1.0,
+            skews_per_shard=1.0,
+            mean_skew_s=2 * 3_600.0,
+            capacity_divisor=64,
+        ),
+    ),
+    "shard-blackout": ShardFaultProfile(
+        name="shard-blackout",
+        kill=ShardKillFault(p_affected=0.75, kills_per_shard=1.0, mean_dead_s=2_700.0),
+        stall=ShardStallFault(
+            p_affected=0.50,
+            stalls_per_shard=1.5,
+            mean_stall_window_s=2_700.0,
+            stall_s=30.0,
+        ),
+        skew=HotShardSkewFault(
+            p_affected=0.50,
+            skews_per_shard=1.0,
+            mean_skew_s=2 * 3_600.0,
+            capacity_divisor=64,
+        ),
+    ),
+}
+
+
+def get_shard_profile(name: str) -> ShardFaultProfile:
+    """Look up a shipped shard-fault profile by name."""
+    try:
+        return SHARD_PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(SHARD_PROFILES))
+        raise ValueError(
+            f"unknown shard-fault profile {name!r} (choose from: {known})"
+        ) from None
 
 
 def get_component_profile(name: str) -> ComponentFaultProfile:

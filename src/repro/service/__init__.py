@@ -9,6 +9,12 @@ per-tick deadline slices on a deterministic clock
 (:mod:`repro.service.loop`) and the chaos harness that proves both the
 zero-fault bit-equivalence and the under-fault invariants
 (:mod:`repro.service.chaos`).
+
+PR 6 adds the sharded topology (:mod:`repro.service.sharding`): the
+ingest stream partitioned by keyspace across isolated shards, a
+supervisor with heartbeat-driven failover and rebalance, shard-level
+chaos, a million-user load generator, and the unified service-health
+report (:mod:`repro.service.report`).
 """
 
 from repro.service.breaker import (
@@ -34,6 +40,29 @@ from repro.service.records import (
     IngestSchema,
     QuarantinedRecord,
 )
+from repro.service.report import (
+    build_service_report,
+    extract_service_report,
+    format_service_report,
+    write_service_report,
+)
+from repro.service.sharding import (
+    GridKeyspace,
+    LoadgenConfig,
+    LoadGenerator,
+    Shard,
+    ShardAssignment,
+    ShardChaosConfig,
+    ShardChaosHarness,
+    ShardedDispatchService,
+    ShardedIngestGuard,
+    ShardedServiceReport,
+    ShardingConfig,
+    ShardSupervisor,
+    SupervisorConfig,
+    run_loadgen,
+    run_shard_chaos,
+)
 
 __all__ = [
     "ALL_REASONS",
@@ -48,16 +77,35 @@ __all__ = [
     "DeadlineBudget",
     "DispatchService",
     "GpsRecord",
+    "GridKeyspace",
     "GuardedPredictor",
     "IngestGuard",
     "IngestSchema",
+    "LoadGenerator",
+    "LoadgenConfig",
     "ManualClock",
     "QuarantinedRecord",
     "ResilientDispatcher",
     "SeedVerdict",
     "ServiceConfig",
     "ServiceReport",
+    "Shard",
+    "ShardAssignment",
+    "ShardChaosConfig",
+    "ShardChaosHarness",
+    "ShardSupervisor",
+    "ShardedDispatchService",
+    "ShardedIngestGuard",
+    "ShardedServiceReport",
+    "ShardingConfig",
+    "SupervisorConfig",
     "ValidatedPositionFeed",
+    "build_service_report",
+    "extract_service_report",
+    "format_service_report",
     "make_record_corrupter",
     "run_chaos",
+    "run_loadgen",
+    "run_shard_chaos",
+    "write_service_report",
 ]

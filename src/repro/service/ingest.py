@@ -18,8 +18,8 @@ the clean path.
 
 from __future__ import annotations
 
-from collections import deque
-from collections.abc import Callable
+from collections import OrderedDict, deque
+from collections.abc import Callable, Iterable
 from dataclasses import replace
 from typing import TYPE_CHECKING
 
@@ -42,21 +42,32 @@ class IngestGuard:
         schema: IngestSchema,
         max_queue: int = 50_000,
         max_quarantine: int = 2_000,
+        max_tracked_persons: int = 100_000,
     ) -> None:
         if max_queue < 1:
             raise ValueError("ingest queue needs capacity for at least one record")
         if max_quarantine < 1:
             raise ValueError("quarantine needs capacity for at least one record")
+        if max_tracked_persons < 1:
+            raise ValueError("per-person tracking needs capacity for at least one person")
         self.schema = schema
         self.max_queue = max_queue
+        self.max_tracked_persons = max_tracked_persons
         self._queue: deque[GpsRecord] = deque()
         #: Most recent rejects, for the run report; bounded ring.
         self.quarantined: deque[QuarantinedRecord] = deque(maxlen=max_quarantine)
         self.quarantine_dropped = 0
         #: Newest accepted timestamp per person (ordering judged per person).
-        self._last_t: dict[int, float] = {}
+        #: Bounded LRU: a multi-day replay over millions of users must not
+        #: grow validator memory without limit, so the least-recently-seen
+        #: person's ordering/duplicate state is evicted deterministically
+        #: once ``max_tracked_persons`` is reached (an evicted person is
+        #: simply judged as new again on their next fix).
+        self._last_t: OrderedDict[int, float] = OrderedDict()
+        self.tracked_evictions = 0
         self.accepted = 0
         self.shed = 0
+        self.drained = 0
         self.rejected_by_reason: dict[str, int] = {}
 
     def quarantine(self, record: GpsRecord, reason: str, detail: str) -> None:
@@ -82,6 +93,10 @@ class IngestGuard:
             self.quarantine(record, reason, detail)
             return False
         self._last_t[record.person_id] = record.t_s
+        self._last_t.move_to_end(record.person_id)
+        if len(self._last_t) > self.max_tracked_persons:
+            self._last_t.popitem(last=False)
+            self.tracked_evictions += 1
         if len(self._queue) >= self.max_queue:
             self._queue.popleft()
             self.shed += 1
@@ -89,18 +104,63 @@ class IngestGuard:
         self.accepted += 1
         return True
 
-    def drain(self) -> list[GpsRecord]:
-        """Consume every queued record, oldest first."""
+    def shed_to(self, capacity: int) -> int:
+        """Shed oldest-first down to ``capacity`` queued records.
+
+        The sharding layer uses this to enforce a *temporarily* reduced
+        capacity (hot-shard skew) without rebuilding the guard; returns
+        the number of records shed.
+        """
+        dropped = 0
+        while len(self._queue) > max(0, capacity):
+            self._queue.popleft()
+            self.shed += 1
+            dropped += 1
+        return dropped
+
+    def requeue(self, records: Iterable[GpsRecord]) -> int:
+        """Re-enqueue already-validated records (shard failover transfer).
+
+        The records were accepted (and counted) by another guard, so they
+        are *not* re-validated and do not increment ``accepted`` here;
+        capacity is still enforced oldest-first.  Returns the number of
+        records taken in.
+        """
+        taken = 0
+        for record in records:
+            if len(self._queue) >= self.max_queue:
+                self._queue.popleft()
+                self.shed += 1
+            self._queue.append(record)
+            taken += 1
+        return taken
+
+    def take_queue(self) -> list[GpsRecord]:
+        """Remove every queued record *without* counting a drain.
+
+        Failover paths use this: a transferred (or process-death-lost)
+        record was never delivered to a snapshot, so it must not inflate
+        ``drained`` — the caller accounts for it as transferred or lost.
+        """
         out = list(self._queue)
         self._queue.clear()
         return out
 
-    def snapshot(self) -> dict[int, int]:
+    def drain(self) -> list[GpsRecord]:
+        """Consume every queued record, oldest first."""
+        out = list(self._queue)
+        self._queue.clear()
+        self.drained += len(out)
+        return out
+
+    def snapshot(self, now_s: float | None = None) -> dict[int, int]:
         """Drain the queue into a position snapshot ``{person: landmark}``.
 
         Later records win per person; per-person timestamps are monotone
         by construction (ordering violations were quarantined), so the
-        last record is always the newest fix.
+        last record is always the newest fix.  ``now_s`` is accepted for
+        interface parity with the sharded guard (which needs it to stamp
+        shard heartbeats) and is ignored here.
         """
         positions: dict[int, int] = {}
         for record in self.drain():
@@ -111,16 +171,23 @@ class IngestGuard:
     def queued(self) -> int:
         return len(self._queue)
 
+    @property
+    def tracked_persons(self) -> int:
+        return len(self._last_t)
+
     def stats(self) -> dict[str, object]:
         """JSON-ready counters for run reports."""
         return {
             "accepted": self.accepted,
             "shed": self.shed,
             "queued": self.queued,
+            "drained": self.drained,
             "rejected_by_reason": dict(sorted(self.rejected_by_reason.items())),
             "rejected_total": sum(self.rejected_by_reason.values()),
             "quarantine_kept": len(self.quarantined),
             "quarantine_dropped": self.quarantine_dropped,
+            "tracked_persons": self.tracked_persons,
+            "tracked_evictions": self.tracked_evictions,
         }
 
 
@@ -226,7 +293,7 @@ class ValidatedPositionFeed:
             records = self.corrupter(records, t_s)
         for record in records:
             self.guard.submit(record, now_s=t_s)
-        positions = self.guard.snapshot()
+        positions = self.guard.snapshot(t_s)
         if start is not None and self._clock is not None:
             elapsed = self._clock() - start
             if (

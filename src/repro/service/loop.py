@@ -63,6 +63,7 @@ class ServiceConfig:
     policy_breaker: BreakerConfig = field(default_factory=BreakerConfig)
     max_queue: int = 50_000
     max_quarantine: int = 2_000
+    max_tracked_persons: int = 100_000
     future_slack_s: float = 1.0
     #: Capacity of the service incident ring (separate from the engine's).
     max_incidents: int = 10_000
@@ -70,6 +71,8 @@ class ServiceConfig:
     def __post_init__(self) -> None:
         if self.max_queue < 1 or self.max_quarantine < 1:
             raise ValueError("ingest bounds must be positive")
+        if self.max_tracked_persons < 1:
+            raise ValueError("per-person tracking bound must be positive")
         if self.future_slack_s < 0:
             raise ValueError("future slack must be non-negative")
         if self.max_incidents < 1:
@@ -179,7 +182,10 @@ class DispatchService:
             future_slack_s=svc.future_slack_s,
         )
         self.ingest_guard = IngestGuard(
-            schema, max_queue=svc.max_queue, max_quarantine=svc.max_quarantine
+            schema,
+            max_queue=svc.max_queue,
+            max_quarantine=svc.max_quarantine,
+            max_tracked_persons=svc.max_tracked_persons,
         )
         corrupter: RecordCorrupter | None = None
         if self.component_faults is not None:

@@ -1,0 +1,405 @@
+"""Deterministic million-user load generation for the sharded ingest.
+
+Replays synthetic GPS traffic from hundreds of thousands of users
+against a :class:`~repro.service.sharding.router.ShardedIngestGuard`
+plus supervisor, entirely on the injectable
+:class:`~repro.service.deadline.ManualClock` — simulated time advances
+tick by tick, so a "million records per hour" campaign needs seconds of
+wall time, not an hour.  The shape follows the classic end-to-end
+dispatch-simulation harness: build the synthetic fleet once, then drive
+the service loop tick by tick while recording per-shard throughput and
+latency percentiles.
+
+Everything is a pure function of the config and seed: users get fixed
+home coordinates from a seeded generator; each tick emits a
+round-robin window of users (timestamps strictly increase per user, so
+the validator sees a clean stream); per-tick jitter comes from a
+generator keyed ``(seed, tag, tick)``.  An **overload burst** aims a
+configurable multiple of the steady rate at one hot cell for a few
+ticks — the hot shard must shed oldest-first under its bounded queue,
+never raise, and the totals must reconcile exactly.
+
+Latency is modelled, not measured: an accepted record's ingest latency
+is the base service time plus its queue position over the drain rate —
+a deterministic M/D/1-flavoured proxy that makes p50/p95/p99 meaningful
+(and reproducible) without wall-clock noise.  The wall-clock throughput
+of the harness itself is reported separately.
+"""
+
+from __future__ import annotations
+
+import datetime
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.artifacts import atomic_write_json
+from repro.service.deadline import ManualClock
+from repro.service.records import GpsRecord, IngestSchema
+from repro.service.sharding.partition import GridKeyspace, merge_counter_sum
+from repro.service.sharding.router import ShardedIngestGuard
+from repro.service.sharding.supervisor import ShardSupervisor, SupervisorConfig
+
+LOADGEN_FORMAT = "repro-loadgen"
+LOADGEN_VERSION = 1
+
+#: Private substream tags for the loadgen's own draws (the shard fault
+#: tags live in :mod:`repro.faults.models`; these must not collide).
+_TAG_HOMES = 201
+_TAG_JITTER = 202
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """One load campaign: fleet size, rates, topology, overload burst."""
+
+    num_users: int = 300_000
+    records_per_user_hour: float = 4.0
+    sim_hours: float = 1.0
+    tick_s: float = 300.0
+    num_shards: int = 8
+    cells_x: int = 16
+    cells_y: int = 16
+    width_m: float = 30_000.0
+    height_m: float = 30_000.0
+    shard_max_queue: int = 20_000
+    #: Overload burst: for ``burst_ticks`` ticks starting at
+    #: ``burst_start_tick``, an extra ``burst_multiplier - 1`` times the
+    #: steady per-tick rate is aimed at the keyspace's hot cell.
+    burst_multiplier: float = 4.0
+    burst_ticks: int = 2
+    burst_start_tick: int = 4
+    #: Latency model: ``base_latency_s + queue_position / drain_rate_rps``.
+    base_latency_s: float = 0.002
+    drain_rate_rps: float = 25_000.0
+    seed: int = 0
+    quick: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_users < 1:
+            raise ValueError("need at least one synthetic user")
+        if self.records_per_user_hour <= 0 or self.sim_hours <= 0:
+            raise ValueError("rates and window must be positive")
+        if self.tick_s <= 0:
+            raise ValueError("tick must be positive")
+        if self.burst_multiplier < 1.0:
+            raise ValueError("burst multiplier must be >= 1")
+        if self.drain_rate_rps <= 0:
+            raise ValueError("drain rate must be positive")
+
+    @property
+    def num_ticks(self) -> int:
+        return max(1, int(round(self.sim_hours * 3_600.0 / self.tick_s)))
+
+    @property
+    def steady_records_per_tick(self) -> int:
+        per_hour = self.num_users * self.records_per_user_hour
+        return max(1, int(round(per_hour * self.tick_s / 3_600.0)))
+
+
+def quick_config(seed: int = 0) -> LoadgenConfig:
+    """The CI-sized campaign: thousands of users, a few ticks."""
+    return LoadgenConfig(
+        num_users=4_000,
+        records_per_user_hour=4.0,
+        sim_hours=0.25,
+        num_shards=4,
+        cells_x=8,
+        cells_y=8,
+        shard_max_queue=500,
+        burst_multiplier=6.0,
+        burst_ticks=1,
+        burst_start_tick=1,
+        seed=seed,
+        quick=True,
+    )
+
+
+class LoadGenerator:
+    """Drives one deterministic load campaign against a sharded guard."""
+
+    def __init__(self, config: LoadgenConfig | None = None) -> None:
+        self.config = config or LoadgenConfig()
+        cfg = self.config
+        schema = IngestSchema(width_m=cfg.width_m, height_m=cfg.height_m)
+        keyspace = GridKeyspace(
+            cfg.width_m, cfg.height_m, cells_x=cfg.cells_x, cells_y=cfg.cells_y
+        )
+        self.router = ShardedIngestGuard(
+            schema=schema,
+            keyspace=keyspace,
+            num_shards=cfg.num_shards,
+            shard_max_queue=cfg.shard_max_queue,
+            max_tracked_persons=max(cfg.num_users, 1),
+        )
+        self.supervisor = ShardSupervisor(self.router, SupervisorConfig())
+        self.clock = ManualClock()
+        homes_rng = np.random.default_rng([cfg.seed, _TAG_HOMES])
+        self._home_x = homes_rng.uniform(0.0, cfg.width_m, size=cfg.num_users)
+        self._home_y = homes_rng.uniform(0.0, cfg.height_m, size=cfg.num_users)
+        # The hot cell's centre: burst traffic lands here, all on one shard.
+        self._hot_x = cfg.width_m * 0.5
+        self._hot_y = cfg.height_m * 0.5
+        self._offset = 0
+        self.offered = 0
+        self._latencies: list[list[float]] = [[] for _ in range(cfg.num_shards)]
+        self._max_queue_seen = [0] * cfg.num_shards
+
+    # -- record synthesis --------------------------------------------------
+
+    def _steady_batch(self, tick: int, t_s: float) -> list[GpsRecord]:
+        cfg = self.config
+        n = min(cfg.steady_records_per_tick, cfg.num_users)
+        ids = (self._offset + np.arange(n)) % cfg.num_users
+        self._offset = int((self._offset + n) % cfg.num_users)
+        jitter = np.random.default_rng([cfg.seed, _TAG_JITTER, tick])
+        dx = jitter.normal(0.0, 50.0, size=n)
+        dy = jitter.normal(0.0, 50.0, size=n)
+        x = np.clip(self._home_x[ids] + dx, 0.0, cfg.width_m)
+        y = np.clip(self._home_y[ids] + dy, 0.0, cfg.height_m)
+        return [
+            GpsRecord(
+                person_id=int(pid), t_s=t_s, x=float(xi), y=float(yi), node=0
+            )
+            for pid, xi, yi in zip(ids.tolist(), x.tolist(), y.tolist())
+        ]
+
+    def _burst_batch(self, tick: int, t_s: float) -> list[GpsRecord]:
+        """Extra hot-cell traffic; offset timestamps keep streams monotone."""
+        cfg = self.config
+        in_burst = (
+            cfg.burst_multiplier > 1.0
+            and cfg.burst_start_tick <= tick < cfg.burst_start_tick + cfg.burst_ticks
+        )
+        if not in_burst:
+            return []
+        extra = int(round(cfg.steady_records_per_tick * (cfg.burst_multiplier - 1.0)))
+        extra = min(extra, cfg.num_users)
+        ids = np.arange(extra)
+        return [
+            GpsRecord(
+                person_id=int(pid),
+                t_s=t_s + 1.0,
+                x=self._hot_x,
+                y=self._hot_y,
+                node=0,
+            )
+            for pid in ids.tolist()
+        ]
+
+    # -- the campaign loop -------------------------------------------------
+
+    def run_tick(self, tick: int) -> None:
+        cfg = self.config
+        t_s = tick * cfg.tick_s
+        self.clock.advance((t_s + cfg.tick_s) - self.clock())
+        records = self._steady_batch(tick, t_s)
+        records.extend(self._burst_batch(tick, t_s))
+        base = cfg.base_latency_s
+        rate = cfg.drain_rate_rps
+        for record in records:
+            self.offered += 1
+            shard = self.router.shard_for(record)
+            if self.router.submit(record, now_s=t_s + 2.0):
+                queued = shard.guard.queued
+                sid = shard.shard_id
+                self._latencies[sid].append(base + queued / rate)
+                if queued > self._max_queue_seen[sid]:
+                    self._max_queue_seen[sid] = queued
+        snapshot_t = t_s + cfg.tick_s / 2.0
+        self.router.snapshot(snapshot_t)
+        self.supervisor.on_tick(tick, snapshot_t)
+
+    def run(self, progress=None) -> dict[str, Any]:
+        """Run every tick; return the JSON-ready loadgen payload."""
+        cfg = self.config
+        wall_start = time.perf_counter()
+        for tick in range(cfg.num_ticks):
+            if progress and (tick % 4 == 0 or tick == cfg.num_ticks - 1):
+                progress(
+                    f"loadgen tick {tick + 1}/{cfg.num_ticks} "
+                    f"({self.offered:,} records offered)"
+                )
+            self.run_tick(tick)
+        wall_s = time.perf_counter() - wall_start
+        return self._payload(wall_s)
+
+    # -- reporting ---------------------------------------------------------
+
+    def _per_shard(self) -> list[dict[str, Any]]:
+        rows = []
+        for shard in self.router.shards:
+            sid = shard.shard_id
+            latencies = self._latencies[sid]
+            if latencies:
+                arr = np.asarray(latencies)
+                p50, p95, p99 = (
+                    float(np.percentile(arr, q)) * 1_000.0 for q in (50, 95, 99)
+                )
+            else:
+                p50 = p95 = p99 = 0.0
+            guard = shard.guard
+            rows.append(
+                {
+                    "shard": sid,
+                    "cells": len(self.router.assignment.cells_of(sid)),
+                    "accepted": guard.accepted,
+                    "shed": guard.shed,
+                    "drained": guard.drained,
+                    "queued_final": guard.queued,
+                    "quarantined": sum(guard.rejected_by_reason.values()),
+                    "max_queue_seen": self._max_queue_seen[sid],
+                    "p50_ms": round(p50, 4),
+                    "p95_ms": round(p95, 4),
+                    "p99_ms": round(p99, 4),
+                }
+            )
+        return rows
+
+    def reconciles(self) -> bool:
+        """Global conservation: offered splits exactly across outcomes."""
+        router = self.router
+        quarantined = merge_counter_sum(
+            merge_counter_sum(shard.guard.rejected_by_reason.values())
+            for shard in router.shards
+        )
+        offered_ok = self.offered == router.accepted + quarantined + router.lost
+        return offered_ok and router.reconciles()
+
+    def _payload(self, wall_s: float) -> dict[str, Any]:
+        cfg = self.config
+        router = self.router
+        sim_hours = cfg.num_ticks * cfg.tick_s / 3_600.0
+        stats = router.stats()
+        return {
+            "format": LOADGEN_FORMAT,
+            "version": LOADGEN_VERSION,
+            "date": datetime.date.today().isoformat(),
+            "quick": bool(cfg.quick),
+            "python": platform.python_version(),
+            "platform": sys.platform,
+            "config": {
+                "num_users": cfg.num_users,
+                "records_per_user_hour": cfg.records_per_user_hour,
+                "sim_hours": sim_hours,
+                "tick_s": cfg.tick_s,
+                "num_shards": cfg.num_shards,
+                "cells": cfg.cells_x * cfg.cells_y,
+                "shard_max_queue": cfg.shard_max_queue,
+                "burst_multiplier": cfg.burst_multiplier,
+                "burst_ticks": cfg.burst_ticks,
+                "seed": cfg.seed,
+            },
+            "totals": {
+                "offered": self.offered,
+                "accepted": router.accepted,
+                "quarantined": stats["rejected_total"],
+                "shed": router.shed,
+                "drained": router.drained,
+                "queued_final": router.queued,
+                "lost": router.lost,
+            },
+            "throughput": {
+                "records_per_sim_hour": round(self.offered / sim_hours, 1),
+                "wall_s": round(wall_s, 3),
+                "records_per_wall_s": round(self.offered / max(wall_s, 1e-9), 1),
+            },
+            "per_shard": self._per_shard(),
+            "supervisor": self.supervisor.summary(),
+            "reconciliation_ok": self.reconciles(),
+        }
+
+
+def validate_loadgen_payload(payload: Any) -> list[str]:
+    """Schema check for a loadgen artifact; returns problem strings."""
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return ["payload must be a JSON object"]
+    if payload.get("format") != LOADGEN_FORMAT:
+        problems.append(f"format must be {LOADGEN_FORMAT!r}")
+    if not isinstance(payload.get("version"), int):
+        problems.append("version must be an integer")
+    for key in ("date", "python", "platform"):
+        if not isinstance(payload.get(key), str):
+            problems.append(f"{key} must be a string")
+    if not isinstance(payload.get("quick"), bool):
+        problems.append("quick must be a boolean")
+    totals = payload.get("totals")
+    if not isinstance(totals, dict):
+        problems.append("totals must be an object")
+    else:
+        for key in ("offered", "accepted", "quarantined", "shed", "lost"):
+            if not isinstance(totals.get(key), int):
+                problems.append(f"totals.{key} must be an integer")
+    throughput = payload.get("throughput")
+    if not isinstance(throughput, dict):
+        problems.append("throughput must be an object")
+    elif not isinstance(throughput.get("records_per_sim_hour"), (int, float)):
+        problems.append("throughput.records_per_sim_hour must be a number")
+    per_shard = payload.get("per_shard")
+    if not isinstance(per_shard, list) or not per_shard:
+        problems.append("per_shard must be a non-empty list")
+    else:
+        for i, row in enumerate(per_shard):
+            if not isinstance(row, dict):
+                problems.append(f"per_shard[{i}] must be an object")
+                continue
+            for key in ("shard", "accepted", "shed"):
+                if not isinstance(row.get(key), int):
+                    problems.append(f"per_shard[{i}].{key} must be an integer")
+            for key in ("p50_ms", "p95_ms", "p99_ms"):
+                if not isinstance(row.get(key), (int, float)):
+                    problems.append(f"per_shard[{i}].{key} must be a number")
+    if payload.get("reconciliation_ok") is not True:
+        problems.append("reconciliation_ok must be true")
+    return problems
+
+
+def default_output_path(payload: dict[str, Any]) -> str:
+    return f"LOADGEN_{payload['date']}.json"
+
+
+def format_loadgen_report(payload: dict[str, Any]) -> str:
+    """Human-readable digest of a loadgen artifact."""
+    totals = payload["totals"]
+    throughput = payload["throughput"]
+    lines = [
+        f"repro loadgen — {payload['date']}  "
+        f"(quick={payload['quick']}, python {payload['python']})",
+        f"  offered {totals['offered']:,} records "
+        f"({throughput['records_per_sim_hour']:,.0f}/simulated hour, "
+        f"wall {throughput['wall_s']:.1f}s)",
+        f"  accepted {totals['accepted']:,}  shed {totals['shed']:,}  "
+        f"quarantined {totals['quarantined']:,}  lost {totals['lost']:,}",
+        "",
+        f"  {'shard':>5}  {'accepted':>10}  {'shed':>8}  {'maxq':>7}  "
+        f"{'p50ms':>8}  {'p95ms':>8}  {'p99ms':>8}",
+    ]
+    for row in payload["per_shard"]:
+        lines.append(
+            f"  {row['shard']:>5}  {row['accepted']:>10,}  {row['shed']:>8,}  "
+            f"{row['max_queue_seen']:>7,}  {row['p50_ms']:>8.3f}  "
+            f"{row['p95_ms']:>8.3f}  {row['p99_ms']:>8.3f}"
+        )
+    lines.append("")
+    lines.append(
+        "  reconciliation: "
+        + ("exact" if payload["reconciliation_ok"] else "BROKEN")
+    )
+    return "\n".join(lines)
+
+
+def run_loadgen(
+    config: LoadgenConfig | None = None,
+    out_path: str | None = None,
+    progress=None,
+) -> dict[str, Any]:
+    """Run one campaign; optionally persist the artifact atomically."""
+    payload = LoadGenerator(config).run(progress=progress)
+    if out_path is not None:
+        atomic_write_json(out_path, payload)
+    return payload

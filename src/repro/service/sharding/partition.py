@@ -1,0 +1,186 @@
+"""Keyspace partitioning and order-insensitive shard reducers.
+
+The ingest stream is partitioned *geographically*: the rectangular study
+region is overlaid with a coarse grid (a fixed-precision geohash), every
+GPS record is routed by the grid cell its coordinates fall in, and each
+cell is owned by exactly one shard.  :class:`GridKeyspace` maps
+coordinates to cells; :class:`ShardAssignment` maps cells to shards and
+carries the *current* ownership separately from the *home* ownership so
+failover can move a dead shard's cells to a neighbour and rebalancing
+can move them back.
+
+The module also hosts the shard reducers.  Merging per-shard results
+must never depend on dict or set iteration order (reprolint REP402
+guards exactly this package for it): every merge below sorts its inputs
+by a stable key before folding, so the merged artefact is a pure
+function of the *set* of per-shard results.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping
+
+from repro.service.records import GpsRecord
+
+
+class GridKeyspace:
+    """Fixed grid over the study rectangle; cell ids are the keyspace.
+
+    ``cell_of`` is total: coordinates outside the rectangle are clamped
+    to the border cell and non-finite coordinates land in cell 0, so
+    *every* record — including garbage the guard will quarantine — has a
+    deterministic owner.  Cell ids are row-major.
+    """
+
+    def __init__(
+        self, width_m: float, height_m: float, cells_x: int = 8, cells_y: int = 8
+    ) -> None:
+        if width_m <= 0 or height_m <= 0:
+            raise ValueError("keyspace bounds must be positive")
+        if cells_x < 1 or cells_y < 1:
+            raise ValueError("keyspace needs at least one cell per axis")
+        self.width_m = float(width_m)
+        self.height_m = float(height_m)
+        self.cells_x = int(cells_x)
+        self.cells_y = int(cells_y)
+
+    @property
+    def num_cells(self) -> int:
+        return self.cells_x * self.cells_y
+
+    def cells(self) -> range:
+        return range(self.num_cells)
+
+    def cell_of(self, x: float, y: float) -> int:
+        """Row-major cell id for a coordinate pair (total function)."""
+        if not (math.isfinite(x) and math.isfinite(y)):
+            return 0
+        cx = min(self.cells_x - 1, max(0, int(x / self.width_m * self.cells_x)))
+        cy = min(self.cells_y - 1, max(0, int(y / self.height_m * self.cells_y)))
+        return cy * self.cells_x + cx
+
+
+class ShardAssignment:
+    """Cell-to-shard ownership with failover and restore moves.
+
+    *Home* ownership is fixed at construction: contiguous row-major
+    stripes of cells, so a shard's home keyspace is a geographic band.
+    *Current* ownership starts at home and changes only through
+    :meth:`reassign` (failover) and :meth:`restore` (rebalance) — both
+    return the cells they moved so the supervisor can log them.
+    """
+
+    def __init__(self, keyspace: GridKeyspace, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ValueError("need at least one shard")
+        if num_shards > keyspace.num_cells:
+            raise ValueError("more shards than keyspace cells")
+        self.keyspace = keyspace
+        self.num_shards = int(num_shards)
+        n = keyspace.num_cells
+        self._home: dict[int, int] = {
+            cell: min(num_shards - 1, cell * num_shards // n) for cell in keyspace.cells()
+        }
+        self._current: dict[int, int] = dict(self._home)
+
+    def owner(self, cell: int) -> int:
+        return self._current[cell]
+
+    def home_owner(self, cell: int) -> int:
+        return self._home[cell]
+
+    def cells_of(self, shard_id: int) -> tuple[int, ...]:
+        """Cells the shard currently owns, in cell-id order."""
+        return tuple(
+            cell for cell in sorted(self._current) if self._current[cell] == shard_id
+        )
+
+    def home_cells_of(self, shard_id: int) -> tuple[int, ...]:
+        return tuple(
+            cell for cell in sorted(self._home) if self._home[cell] == shard_id
+        )
+
+    def reassign(self, from_shard: int, to_shard: int) -> tuple[int, ...]:
+        """Move every cell currently owned by ``from_shard`` to ``to_shard``."""
+        moved = self.cells_of(from_shard)
+        for cell in moved:
+            self._current[cell] = to_shard
+        return moved
+
+    def restore(self, shard_id: int) -> tuple[int, ...]:
+        """Return the shard's *home* cells to it, wherever they are now."""
+        moved = tuple(
+            cell
+            for cell in self.home_cells_of(shard_id)
+            if self._current[cell] != shard_id
+        )
+        for cell in moved:
+            self._current[cell] = shard_id
+        return moved
+
+    def uncovered_cells(self, alive: Iterable[int]) -> tuple[int, ...]:
+        """Cells whose current owner is not in ``alive`` (sorted)."""
+        alive_set = frozenset(alive)
+        return tuple(
+            cell
+            for cell in sorted(self._current)
+            if self._current[cell] not in alive_set
+        )
+
+    def neighbor_of(self, shard_id: int, alive: Iterable[int]) -> int | None:
+        """Nearest alive shard by ring distance; ties break low.
+
+        Home stripes are contiguous, so ring distance on shard ids is
+        geographic adjacency; the deterministic tie-break keeps failover
+        a pure function of (dead shard, alive set).
+        """
+        candidates = sorted(set(alive) - {shard_id})
+        if not candidates:
+            return None
+        n = self.num_shards
+
+        def ring_distance(other: int) -> int:
+            d = abs(other - shard_id)
+            return min(d, n - d)
+
+        return min(candidates, key=lambda other: (ring_distance(other), other))
+
+
+def merge_shard_records(record_lists: Iterable[list[GpsRecord]]) -> dict[int, int]:
+    """Reduce per-shard drained records into one position snapshot.
+
+    The newest fix per person wins.  Records are folded in sorted
+    ``(person, t, node)`` order, so the result — including the dict's
+    key order, which downstream consumers iterate — is independent of
+    which shard drained first.  Key order matches the unsharded guard's
+    snapshot (ascending person id) on the clean path.
+    """
+    ordered = sorted(
+        (record for records in record_lists for record in records),
+        key=lambda r: (r.person_id, r.t_s, r.node),
+    )
+    positions: dict[int, int] = {}
+    for record in ordered:
+        positions[record.person_id] = record.node
+    return positions
+
+
+def merge_reason_counts(counts: Iterable[Mapping[str, int]]) -> dict[str, int]:
+    """Reduce per-shard quarantine reason counters into one map.
+
+    Keys are folded in sorted order so the merged dict is identical no
+    matter how the per-shard maps are ordered or sequenced.
+    """
+    merged: dict[str, int] = {}
+    keyed = sorted(
+        (reason, counter[reason]) for counter in counts for reason in sorted(counter)
+    )
+    for reason, count in keyed:
+        merged[reason] = merged.get(reason, 0) + count
+    return merged
+
+
+def merge_counter_sum(values: Iterable[int]) -> int:
+    """Reduce per-shard scalar counters; ``sum`` is order-insensitive."""
+    return sum(values)

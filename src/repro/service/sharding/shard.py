@@ -1,0 +1,145 @@
+"""One ingest shard: an isolated guard plus fault-injectable health.
+
+A :class:`Shard` owns a private :class:`~repro.service.ingest.IngestGuard`
+— its validation state, quarantine ring, and bounded queue are *not*
+shared with any other shard, so a poisoned or saturated region degrades
+only its own keyspace.  The shard's health fields (``alive``,
+``stall_s``, ``capacity_divisor``) are written by the shard fault layer
+and read by the supervisor through the heartbeat the shard stamps every
+time it drains for a snapshot.
+
+Accounting is exact by construction.  Per shard::
+
+    accepted + transferred_in
+        == drained + queued + shed + transferred_out + lost
+
+Every flow touches exactly one term on each side: a validated submit
+adds ``accepted`` and ``queued``; a snapshot moves ``queued`` to
+``drained``; backpressure moves ``queued`` to ``shed``; failover moves
+``queued`` to ``transferred_out`` (and ``transferred_in`` at the
+receiver); a kill moves ``queued`` to ``lost``.  The saturation tests
+reconcile these totals per shard and across shards.
+"""
+
+from __future__ import annotations
+
+from repro.service.ingest import IngestGuard
+from repro.service.records import GpsRecord
+
+
+class Shard:
+    """An isolated ingest guard with a heartbeat and injectable health."""
+
+    def __init__(self, shard_id: int, guard: IngestGuard) -> None:
+        self.shard_id = int(shard_id)
+        self.guard = guard
+        #: Health, written by the fault layer: a dead shard accepts and
+        #: drains nothing; a stalled shard beats ``stall_s`` late; a
+        #: skewed shard runs with ``max_queue // capacity_divisor``.
+        self.alive = True
+        self.stall_s = 0.0
+        self.capacity_divisor = 1
+        #: Heartbeat: stamped on every successful drain, read by the
+        #: supervisor.  ``last_beat_delay_s`` carries the injected stall
+        #: so a late-but-beating shard is distinguishable from a dead one.
+        self.last_beat_t_s: float | None = None
+        self.last_beat_delay_s = 0.0
+        #: Records destroyed with the process, split by whether they had
+        #: been accepted: ``lost_submits`` hit a dead shard and never
+        #: entered the guard; ``lost_queued`` were accepted and sitting
+        #: in the queue when the process died.
+        self.lost_submits = 0
+        self.lost_queued = 0
+        self.transferred_in = 0
+        self.transferred_out = 0
+
+    @property
+    def lost(self) -> int:
+        return self.lost_submits + self.lost_queued
+
+    def submit(self, record: GpsRecord, now_s: float) -> bool:
+        """Route one record into the shard's guard; dead shards lose it."""
+        if not self.alive:
+            self.lost_submits += 1
+            return False
+        return self.guard.submit(record, now_s)
+
+    def drain_snapshot(self, now_s: float) -> list[GpsRecord] | None:
+        """Drain for this tick's snapshot and stamp the heartbeat.
+
+        Returns ``None`` (and stamps no beat) when the shard is dead —
+        exactly the signal the supervisor's miss counter watches.  A
+        live-but-skewed shard first sheds oldest-first down to its
+        reduced capacity; a live-but-stalled shard still drains, but the
+        beat carries the injected delay.
+        """
+        if not self.alive:
+            return None
+        if self.capacity_divisor > 1:
+            self.guard.shed_to(self.guard.max_queue // self.capacity_divisor)
+        records = self.guard.drain()
+        self.last_beat_t_s = now_s
+        self.last_beat_delay_s = self.stall_s
+        return records
+
+    def kill(self) -> int:
+        """Process death: the queue dies with it.  Returns records lost."""
+        self.alive = False
+        dropped = len(self.guard.take_queue())
+        self.lost_queued += dropped
+        return dropped
+
+    def revive(self) -> None:
+        """The shard's process is back (fault window ended).
+
+        The guard object persists — counters are the externally-observed
+        totals for this shard id, which survive a process restart the
+        way a metrics store does.
+        """
+        self.alive = True
+
+    def transfer_queue_to(self, other: "Shard") -> int:
+        """Failover hand-off: move every queued record to ``other``.
+
+        The records were validated here, so the receiver enqueues them
+        without re-validation (its own backpressure still applies).
+        """
+        records = self.guard.take_queue()
+        self.transferred_out += len(records)
+        other.transferred_in += other.guard.requeue(records)
+        return len(records)
+
+    def reconciles(self) -> bool:
+        """Check the shard's conservation identity exactly.
+
+        Every record the guard accepted (or took over in a transfer) is
+        accounted for in exactly one terminal state; ``lost_submits``
+        never entered the guard so it appears on neither side.
+        """
+        guard = self.guard
+        inflow = guard.accepted + self.transferred_in
+        outflow = (
+            guard.drained
+            + guard.queued
+            + guard.shed
+            + self.transferred_out
+            + self.lost_queued
+        )
+        return inflow == outflow
+
+    def stats(self) -> dict[str, object]:
+        """JSON-ready per-shard counters (guard stats + shard flows)."""
+        payload = self.guard.stats()
+        payload.update(
+            {
+                "shard": self.shard_id,
+                "alive": self.alive,
+                "lost": self.lost,
+                "lost_submits": self.lost_submits,
+                "lost_queued": self.lost_queued,
+                "transferred_in": self.transferred_in,
+                "transferred_out": self.transferred_out,
+                "last_beat_t_s": self.last_beat_t_s,
+            }
+        )
+        return payload

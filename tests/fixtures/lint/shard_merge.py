@@ -1,0 +1,50 @@
+# reprolint: module=repro.service.sharding.fixture_shard_merge
+# reprolint-fixture: REP402 x4 — hash-order folds in shard merge/reduce code.
+
+
+def merge_position_maps(maps: list[dict[int, int]]) -> dict[int, int]:
+    merged: dict[int, int] = {}
+    for snapshot in maps:
+        for pid, node in snapshot.items():  # expect REP402
+            merged[pid] = node
+    return merged
+
+
+def merge_reason_rows(snapshots: dict[int, dict[str, int]]) -> dict[int, dict[str, int]]:
+    return {shard: dict(rows) for shard, rows in snapshots.items()}  # expect REP402
+
+
+def reduce_reason_names(counts: dict[str, int]) -> list[str]:
+    return [reason for reason in counts.keys()]  # expect REP402
+
+
+def merge_shard_ids(ids: list[int]) -> list[int]:
+    alive = set(ids)
+    out = []
+    for shard in alive:  # expect REP402
+        out.append(shard)
+    return out
+
+
+def merge_suppressed(counts: dict[str, int]) -> dict[str, int]:
+    out: dict[str, int] = {}
+    for key, value in counts.items():  # repro: allow-unordered-merge -- fixture
+        out[key] = value
+    return out
+
+
+def merge_sorted(counts: dict[str, int]) -> dict[str, int]:
+    merged: dict[str, int] = {}
+    for key, value in sorted(counts.items()):  # fine: sorted fold
+        merged[key] = value
+    return merged
+
+
+def merge_totals(counts: dict[str, int]) -> int:
+    return sum(counts.values())  # fine: sum is order-insensitive
+
+
+def route_record(cells: dict[int, int], cell: int) -> int:
+    for owner in cells.values():  # fine: not a merge/reduce function
+        return owner
+    return 0

@@ -1,0 +1,171 @@
+"""Load-generator tests: determinism, exact reconciliation, overload
+shedding, and the artifact schema contract."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.sharding.loadgen import (
+    LOADGEN_FORMAT,
+    LoadGenerator,
+    LoadgenConfig,
+    default_output_path,
+    format_loadgen_report,
+    quick_config,
+    run_loadgen,
+    validate_loadgen_payload,
+)
+
+
+def tiny_config(seed: int = 0, **overrides) -> LoadgenConfig:
+    params = dict(
+        num_users=800,
+        records_per_user_hour=4.0,
+        sim_hours=0.25,
+        num_shards=4,
+        cells_x=8,
+        cells_y=8,
+        shard_max_queue=60,
+        burst_multiplier=5.0,
+        burst_ticks=1,
+        burst_start_tick=1,
+        seed=seed,
+    )
+    params.update(overrides)
+    return LoadgenConfig(**params)
+
+
+def strip_wall(payload: dict) -> dict:
+    """Drop the only legitimately nondeterministic fields."""
+    out = json.loads(json.dumps(payload))
+    out["throughput"].pop("wall_s")
+    out["throughput"].pop("records_per_wall_s")
+    return out
+
+
+class TestDeterminism:
+    def test_same_seed_same_payload(self):
+        a = LoadGenerator(tiny_config(seed=7)).run()
+        b = LoadGenerator(tiny_config(seed=7)).run()
+        assert strip_wall(a) == strip_wall(b)
+
+    def test_different_seed_different_traffic(self):
+        a = LoadGenerator(tiny_config(seed=0)).run()
+        b = LoadGenerator(tiny_config(seed=1)).run()
+        assert [r["accepted"] for r in a["per_shard"]] != [
+            r["accepted"] for r in b["per_shard"]
+        ]
+
+
+class TestReconciliationAndShedding:
+    def test_totals_reconcile_exactly(self):
+        gen = LoadGenerator(tiny_config())
+        payload = gen.run()
+        totals = payload["totals"]
+        assert payload["reconciliation_ok"] is True
+        assert (
+            totals["offered"]
+            == totals["accepted"] + totals["quarantined"] + totals["lost"]
+        )
+        assert totals["accepted"] == (
+            totals["drained"] + totals["queued_final"] + totals["shed"]
+        )
+        assert gen.router.reconciles()
+
+    def test_overload_sheds_at_the_hot_shard_without_raising(self):
+        payload = LoadGenerator(tiny_config()).run()
+        rows = payload["per_shard"]
+        hot = max(rows, key=lambda r: r["accepted"])
+        assert hot["shed"] > 0  # the burst overflowed the bounded queue
+        assert hot["max_queue_seen"] <= tiny_config().shard_max_queue
+        assert payload["totals"]["shed"] == sum(r["shed"] for r in rows)
+
+    def test_latency_percentiles_are_monotone_per_shard(self):
+        payload = LoadGenerator(tiny_config()).run()
+        for row in payload["per_shard"]:
+            assert row["p50_ms"] <= row["p95_ms"] <= row["p99_ms"]
+            if row["accepted"]:
+                assert row["p50_ms"] > 0.0
+
+    def test_supervisor_saw_every_tick_and_stayed_quiet(self):
+        gen = LoadGenerator(tiny_config())
+        payload = gen.run()
+        supervisor = payload["supervisor"]
+        assert supervisor["ticks_supervised"] == gen.config.num_ticks
+        assert supervisor["failovers"] == []  # no faults in a load test
+        assert supervisor["within_failover_budget"] is True
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadgenConfig(num_users=0)
+        with pytest.raises(ValueError):
+            LoadgenConfig(sim_hours=0.0)
+        with pytest.raises(ValueError):
+            LoadgenConfig(burst_multiplier=0.5)
+        with pytest.raises(ValueError):
+            LoadgenConfig(drain_rate_rps=0.0)
+
+    def test_derived_rates(self):
+        cfg = LoadgenConfig(
+            num_users=300_000, records_per_user_hour=4.0, tick_s=300.0
+        )
+        assert cfg.steady_records_per_tick == 100_000
+        assert cfg.num_ticks == 12
+        # The headline number: 1.2M records per simulated hour by default.
+        assert cfg.steady_records_per_tick * cfg.num_ticks == 1_200_000
+
+    def test_quick_config_is_small_and_marked(self):
+        cfg = quick_config(seed=3)
+        assert cfg.quick is True
+        assert cfg.seed == 3
+        assert cfg.num_users < 10_000
+
+
+class TestArtifactContract:
+    def test_payload_validates_clean(self):
+        payload = LoadGenerator(tiny_config()).run()
+        assert validate_loadgen_payload(payload) == []
+
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            lambda p: p.pop("format"),
+            lambda p: p.update(version="one"),
+            lambda p: p.update(totals="nope"),
+            lambda p: p["totals"].pop("offered"),
+            lambda p: p.update(per_shard=[]),
+            lambda p: p["per_shard"][0].pop("p95_ms"),
+            lambda p: p.update(reconciliation_ok=False),
+        ],
+    )
+    def test_validator_catches_mutations(self, mutation):
+        payload = LoadGenerator(tiny_config()).run()
+        mutation(payload)
+        assert validate_loadgen_payload(payload)
+
+    def test_validator_rejects_non_object(self):
+        assert validate_loadgen_payload([1, 2]) == [
+            "payload must be a JSON object"
+        ]
+
+    def test_default_output_path_embeds_the_date(self):
+        payload = LoadGenerator(tiny_config()).run()
+        assert default_output_path(payload) == f"LOADGEN_{payload['date']}.json"
+
+    def test_run_loadgen_persists_a_loadable_artifact(self, tmp_path):
+        out = tmp_path / "lg.json"
+        payload = run_loadgen(tiny_config(), out_path=str(out))
+        on_disk = json.loads(out.read_text())
+        assert on_disk["format"] == LOADGEN_FORMAT
+        assert strip_wall(on_disk) == strip_wall(payload)
+
+    def test_report_renders_every_shard(self):
+        payload = LoadGenerator(tiny_config()).run()
+        text = format_loadgen_report(payload)
+        assert "reconciliation: exact" in text
+        for row in payload["per_shard"]:
+            assert f"\n  {row['shard']:>5}  " in text

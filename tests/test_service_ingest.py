@@ -259,6 +259,93 @@ class TestValidatedPositionFeed:
         assert bare.habitual_node(5, 100.0) is None
 
 
+class TestGuardBoundsAndTransfers:
+    """PR 6 satellite: bounded per-person state and the failover verbs."""
+
+    def _open_schema(self):
+        return IngestSchema(width_m=1_000.0, height_m=800.0)
+
+    def test_per_person_state_is_bounded_with_lru_eviction(self):
+        guard = IngestGuard(self._open_schema(), max_tracked_persons=3)
+        for pid in (1, 2, 3, 4):
+            assert guard.submit(rec(pid=pid, t=10.0), now_s=10.0)
+        # Person 1 was least recently seen: evicted to admit person 4.
+        assert guard.tracked_persons == 3
+        assert guard.tracked_evictions == 1
+        stats = guard.stats()
+        assert stats["tracked_persons"] == 3
+        assert stats["tracked_evictions"] == 1
+
+    def test_eviction_order_follows_recency_not_insertion(self):
+        guard = IngestGuard(self._open_schema(), max_tracked_persons=2)
+        assert guard.submit(rec(pid=1, t=10.0), now_s=10.0)
+        assert guard.submit(rec(pid=2, t=11.0), now_s=11.0)
+        # Touch person 1 so person 2 becomes the LRU entry.
+        assert guard.submit(rec(pid=1, t=12.0), now_s=12.0)
+        assert guard.submit(rec(pid=3, t=13.0), now_s=13.0)  # evicts person 2
+        # Person 1's ordering state survived: a replay is still caught...
+        assert not guard.submit(rec(pid=1, t=12.0), now_s=14.0)
+        assert guard.rejected_by_reason == {REASON_DUPLICATE: 1}
+        # ...while evicted person 2 restarts with a clean slate.
+        assert guard.submit(rec(pid=2, t=11.0), now_s=15.0)
+        assert guard.tracked_evictions == 2  # admitting 2 re-evicted the LRU
+
+    def test_eviction_is_deterministic(self):
+        def run():
+            guard = IngestGuard(self._open_schema(), max_tracked_persons=5)
+            for i in range(40):
+                guard.submit(rec(pid=i % 9 + 1, t=float(i)), now_s=float(i))
+            return (
+                guard.tracked_evictions,
+                sorted(guard.snapshot().items()),
+                guard.stats()["accepted"],
+            )
+
+        assert run() == run()
+
+    def test_take_queue_does_not_count_as_drained(self):
+        guard = IngestGuard(self._open_schema())
+        guard.submit(rec(pid=1, t=10.0), now_s=10.0)
+        guard.submit(rec(pid=2, t=10.0), now_s=10.0)
+        taken = guard.take_queue()
+        assert [r.person_id for r in taken] == [1, 2]
+        assert guard.queued == 0
+        assert guard.drained == 0  # a transfer/kill is not a snapshot
+
+    def test_requeue_skips_validation_and_accept_counting(self):
+        donor = IngestGuard(self._open_schema())
+        donor.submit(rec(pid=1, t=10.0), now_s=10.0)
+        records = donor.take_queue()
+        receiver = IngestGuard(self._open_schema())
+        assert receiver.requeue(records) == 1
+        assert receiver.accepted == 0  # the donor already counted it
+        assert receiver.queued == 1
+        assert receiver.snapshot() == {1: 10}
+
+    def test_requeue_respects_capacity(self):
+        receiver = IngestGuard(self._open_schema(), max_queue=2)
+        records = [rec(pid=i, t=10.0) for i in range(1, 5)]
+        # All four are taken in (the transfer accounting needs the true
+        # count), but capacity sheds the two oldest at the receiver.
+        assert receiver.requeue(records) == 4
+        assert receiver.queued == 2
+        assert receiver.shed == 2
+        assert [r.person_id for r in receiver.drain()] == [3, 4]
+
+    def test_shed_to_drops_oldest_first_and_counts(self):
+        guard = IngestGuard(self._open_schema())
+        for i in range(1, 6):
+            guard.submit(rec(pid=i, t=10.0), now_s=10.0)
+        assert guard.shed_to(2) == 3
+        assert guard.shed == 3
+        assert [r.person_id for r in guard.drain()] == [4, 5]
+
+    def test_snapshot_accepts_optional_timestamp(self):
+        guard = IngestGuard(self._open_schema())
+        guard.submit(rec(pid=1, t=10.0), now_s=10.0)
+        assert guard.snapshot(123.0) == {1: 10}  # interface parity with router
+
+
 # -- the shared batch validators (satellite: loud cleaning) --------------------
 
 

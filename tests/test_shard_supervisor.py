@@ -1,0 +1,234 @@
+"""Supervisor tests: the failover state machine end to end.
+
+Dead and stalled detection, keyspace reassignment to the ring
+neighbour, stalled-queue transfer, bounded recovery probes with
+abandonment, rebalance on recovery, the degraded-in-place path when no
+neighbour is alive, and the bounded incident ring.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.records import GpsRecord, IngestSchema
+from repro.service.sharding.partition import GridKeyspace
+from repro.service.sharding.router import ShardedIngestGuard
+from repro.service.sharding.supervisor import (
+    STATUS_ABANDONED,
+    STATUS_ACTIVE,
+    STATUS_FAILED,
+    ShardSupervisor,
+    SupervisorConfig,
+)
+
+WIDTH, HEIGHT = 1_000.0, 800.0
+SCHEMA = IngestSchema(width_m=WIDTH, height_m=HEIGHT)
+
+
+def rec_in_cell(ks: GridKeyspace, cell: int, pid: int, t: float) -> GpsRecord:
+    cx, cy = cell % ks.cells_x, cell // ks.cells_x
+    x = (cx + 0.5) * ks.width_m / ks.cells_x
+    y = (cy + 0.5) * ks.height_m / ks.cells_y
+    return GpsRecord(person_id=pid, t_s=t, x=x, y=y, node=pid)
+
+
+class Harness:
+    """A router + supervisor driven tick by tick, like the service does."""
+
+    def __init__(self, num_shards=4, config=None, incidents=None):
+        self.router = ShardedIngestGuard(
+            schema=SCHEMA,
+            keyspace=GridKeyspace(WIDTH, HEIGHT, cells_x=4, cells_y=2),
+            num_shards=num_shards,
+        )
+        sink = None
+        if incidents is not None:
+            sink = lambda kind, detail, t: incidents.append(kind)
+        self.supervisor = ShardSupervisor(
+            self.router, config or SupervisorConfig(), incident_sink=sink
+        )
+        self.tick = 0
+
+    def step(self, before_judgement=None):
+        """One service tick: snapshot (drain + heartbeats), then judge."""
+        self.tick += 1
+        t = float(self.tick) * 300.0
+        snapshot = self.router.snapshot(t)
+        if before_judgement is not None:
+            before_judgement(t)
+        self.supervisor.on_tick(self.tick, t)
+        return t, snapshot
+
+
+class TestDeadFailover:
+    def test_dead_shard_fails_over_to_ring_neighbour(self):
+        h = Harness()
+        h.step()  # all healthy
+        h.router.shards[1].kill()
+        t, _ = h.step()
+        assert h.supervisor.statuses()[1] == STATUS_FAILED
+        [event] = h.supervisor.failovers
+        assert event.reason == "dead"
+        assert event.from_shard == 1
+        assert event.to_shard == 0  # ring distance 1, tie breaks low
+        assert event.cells == (2, 3)
+        assert event.uncovered_cycles == 1
+        assert event.transferred_records == 0  # the dead queue died
+        # The keyspace is re-covered: records for cell 2 now land on 0.
+        record = rec_in_cell(h.router.keyspace, 2, pid=1, t=t)
+        assert h.router.shard_for(record).shard_id == 0
+        assert h.router.assignment.uncovered_cells(h.router.alive_shards()) == ()
+
+    def test_miss_threshold_delays_detection(self):
+        h = Harness(config=SupervisorConfig(miss_threshold=3))
+        h.router.shards[1].kill()
+        h.step()
+        h.step()
+        assert h.supervisor.failovers == []
+        h.step()  # third consecutive miss
+        [event] = h.supervisor.failovers
+        assert event.uncovered_cycles == 3
+
+    def test_budget_verdict_reflects_uncovered_cycles(self):
+        config = SupervisorConfig(miss_threshold=3, failover_budget_cycles=2)
+        h = Harness(config=config)
+        h.router.shards[1].kill()
+        for _ in range(3):
+            h.step()
+        assert h.supervisor.max_uncovered_cycles() == 3
+        assert not h.supervisor.within_failover_budget()
+
+
+class TestStalledFailover:
+    def test_stalled_shard_transfers_its_queue(self):
+        config = SupervisorConfig(stall_tolerance_s=5.0, stall_threshold=2)
+        h = Harness(config=config)
+        h.router.shards[2].stall_s = 30.0
+        h.step()  # first stalled beat: tolerated
+        assert h.supervisor.failovers == []
+
+        def enqueue_before_judgement(t):
+            # Records accepted after the drain sit in the queue when the
+            # supervisor commands the failover — they must move, not drop.
+            for pid in range(1, 4):
+                assert h.router.submit(
+                    rec_in_cell(h.router.keyspace, 4, pid=pid, t=t), now_s=t
+                )
+
+        h.step(before_judgement=enqueue_before_judgement)
+        [event] = h.supervisor.failovers
+        assert event.reason == "stalled"
+        assert event.from_shard == 2
+        assert event.to_shard == 1  # ring distance 1, tie breaks low
+        assert event.transferred_records == 3
+        assert event.uncovered_cycles == 0  # it kept beating throughout
+        assert h.router.shards[1].guard.queued == 3
+        assert h.router.shards[2].transferred_out == 3
+        assert h.router.reconciles()
+
+    def test_recovered_stall_resets_the_counter(self):
+        config = SupervisorConfig(stall_tolerance_s=5.0, stall_threshold=2)
+        h = Harness(config=config)
+        h.router.shards[2].stall_s = 30.0
+        h.step()
+        h.router.shards[2].stall_s = 0.0  # latency spike ended
+        h.step()
+        h.router.shards[2].stall_s = 30.0
+        h.step()
+        assert h.supervisor.failovers == []  # never two *consecutive* stalls
+
+
+class TestRecovery:
+    def test_revived_shard_is_probed_and_rebalanced(self):
+        h = Harness()
+        h.router.shards[1].kill()
+        h.step()  # failover
+        h.router.shards[1].revive()
+        h.step()  # drain stamps a fresh beat; probe passes
+        assert h.supervisor.statuses()[1] == STATUS_ACTIVE
+        [event] = h.supervisor.rebalances
+        assert event.shard == 1
+        assert event.cells == (2, 3)
+        assert event.probes_used == 1
+        assert h.router.assignment.owner(2) == 1
+
+    def test_probes_are_bounded_then_abandoned(self):
+        incidents = []
+        config = SupervisorConfig(max_probe_retries=3)
+        h = Harness(config=config, incidents=incidents)
+        h.router.shards[1].kill()
+        h.step()  # failover
+        for _ in range(3):
+            h.step()  # dead probes
+        assert h.supervisor.statuses()[1] == STATUS_ABANDONED
+        assert "shard_abandoned" in incidents
+        probes_at_abandon = h.supervisor.watch[1].probes
+        h.step()  # abandoned shards are not probed again
+        assert h.supervisor.watch[1].probes == probes_at_abandon
+        # Its keyspace stays with the failover target for good.
+        assert h.router.assignment.owner(2) == 0
+
+    def test_rebalanced_shard_can_fail_over_again(self):
+        h = Harness()
+        h.router.shards[1].kill()
+        h.step()
+        h.router.shards[1].revive()
+        h.step()  # rebalanced
+        h.router.shards[1].kill()
+        h.step()  # second failover
+        assert len(h.supervisor.failovers) == 2
+        assert h.supervisor.watch[1].failovers == 2
+
+
+class TestDegradedInPlace:
+    def test_no_alive_neighbour_degrades_without_moving_keyspace(self):
+        incidents = []
+        h = Harness(num_shards=2, incidents=incidents)
+        h.router.shards[0].kill()
+        h.router.shards[1].kill()
+        h.step()
+        assert incidents.count("shard_degraded") == 2
+        for event in h.supervisor.failovers:
+            assert event.to_shard is None
+        # Ownership unmoved: nobody alive could take it.
+        assert h.router.assignment.owner(0) == 0
+        assert h.router.assignment.owner(7) == 1
+
+
+class TestIncidentRingAndSummary:
+    def test_incident_ring_is_bounded(self):
+        config = SupervisorConfig(max_incidents=1, max_probe_retries=1)
+        h = Harness(config=config)
+        h.router.shards[1].kill()
+        h.router.shards[3].kill()
+        h.step()  # two failover incidents into a ring of one
+        assert len(h.supervisor.incidents) == 1
+        assert h.supervisor.incidents_dropped >= 1
+
+    def test_summary_is_json_ready_and_complete(self):
+        import json
+
+        h = Harness()
+        h.router.shards[1].kill()
+        h.step()
+        h.router.shards[1].revive()
+        h.step()
+        summary = h.supervisor.summary()
+        encoded = json.loads(json.dumps(summary))
+        assert encoded["ticks_supervised"] == 2
+        assert encoded["statuses"]["1"] == STATUS_ACTIVE
+        assert len(encoded["failovers"]) == 1
+        assert len(encoded["rebalances"]) == 1
+        assert encoded["within_failover_budget"] is True
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SupervisorConfig(miss_threshold=0)
+        with pytest.raises(ValueError):
+            SupervisorConfig(stall_tolerance_s=-1.0)
+        with pytest.raises(ValueError):
+            SupervisorConfig(max_probe_retries=0)
+        with pytest.raises(ValueError):
+            SupervisorConfig(failover_budget_cycles=0)
+        with pytest.raises(ValueError):
+            SupervisorConfig(max_incidents=0)

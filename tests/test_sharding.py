@@ -1,0 +1,343 @@
+"""Sharding layer tests: keyspace, assignment, order-insensitive merges,
+the routed guard's unsharded-equivalence, and the saturation properties.
+
+The saturation tests are the PR's property suite: under any offered
+load, a full shard sheds **oldest-first**, nothing raises, and the shed
+counts reconcile *exactly* — per shard and across shards — with offered
+minus accepted minus quarantined.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.service.ingest import IngestGuard
+from repro.service.records import GpsRecord, IngestSchema
+from repro.service.sharding.partition import (
+    GridKeyspace,
+    ShardAssignment,
+    merge_counter_sum,
+    merge_reason_counts,
+    merge_shard_records,
+)
+from repro.service.sharding.router import ShardedIngestGuard
+from repro.service.sharding.shard import Shard
+
+WIDTH, HEIGHT = 1_000.0, 800.0
+SCHEMA = IngestSchema(width_m=WIDTH, height_m=HEIGHT)
+
+
+def make_keyspace(cells_x=4, cells_y=2) -> GridKeyspace:
+    return GridKeyspace(WIDTH, HEIGHT, cells_x=cells_x, cells_y=cells_y)
+
+
+def cell_center(ks: GridKeyspace, cell: int) -> tuple[float, float]:
+    cx, cy = cell % ks.cells_x, cell // ks.cells_x
+    return (
+        (cx + 0.5) * ks.width_m / ks.cells_x,
+        (cy + 0.5) * ks.height_m / ks.cells_y,
+    )
+
+
+def rec_in_cell(ks: GridKeyspace, cell: int, pid: int, t: float) -> GpsRecord:
+    x, y = cell_center(ks, cell)
+    return GpsRecord(person_id=pid, t_s=t, x=x, y=y, node=pid * 10)
+
+
+class TestGridKeyspace:
+    def test_cell_of_is_row_major(self):
+        ks = make_keyspace()
+        assert ks.num_cells == 8
+        assert ks.cell_of(10.0, 10.0) == 0
+        assert ks.cell_of(990.0, 10.0) == 3
+        assert ks.cell_of(10.0, 790.0) == 4
+        assert ks.cell_of(990.0, 790.0) == 7
+        for cell in ks.cells():
+            assert ks.cell_of(*cell_center(ks, cell)) == cell
+
+    def test_cell_of_is_total(self):
+        ks = make_keyspace()
+        assert ks.cell_of(float("nan"), 10.0) == 0
+        assert ks.cell_of(10.0, float("inf")) == 0
+        assert ks.cell_of(-500.0, -500.0) == 0  # clamped to the border
+        assert ks.cell_of(10_000.0, 10_000.0) == ks.num_cells - 1
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            GridKeyspace(0.0, 100.0)
+        with pytest.raises(ValueError):
+            GridKeyspace(100.0, 100.0, cells_x=0)
+
+
+class TestShardAssignment:
+    def test_home_stripes_are_contiguous_and_cover_the_keyspace(self):
+        assignment = ShardAssignment(make_keyspace(), num_shards=4)
+        owners = [assignment.owner(cell) for cell in range(8)]
+        assert owners == [0, 0, 1, 1, 2, 2, 3, 3]
+        assert owners == sorted(owners)  # contiguous stripes
+
+    def test_reassign_and_restore_round_trip(self):
+        assignment = ShardAssignment(make_keyspace(), num_shards=4)
+        moved = assignment.reassign(1, 0)
+        assert moved == (2, 3)
+        assert assignment.owner(2) == 0
+        assert assignment.home_owner(2) == 1  # home is immutable
+        assert assignment.uncovered_cells(alive=(0, 2, 3)) == ()
+        restored = assignment.restore(1)
+        assert restored == (2, 3)
+        assert assignment.cells_of(1) == (2, 3)
+
+    def test_uncovered_cells_reports_dead_ownership(self):
+        assignment = ShardAssignment(make_keyspace(), num_shards=4)
+        assert assignment.uncovered_cells(alive=(0, 2, 3)) == (2, 3)
+        assert assignment.uncovered_cells(alive=(0, 1, 2, 3)) == ()
+
+    def test_neighbor_ring_distance_ties_break_low(self):
+        assignment = ShardAssignment(make_keyspace(8, 8), num_shards=8)
+        assert assignment.neighbor_of(1, alive=(0, 2, 5)) == 0  # tie 0 vs 2
+        assert assignment.neighbor_of(0, alive=(1, 7)) == 1  # ring wraps
+        assert assignment.neighbor_of(3, alive=(3,)) is None  # only itself
+        assert assignment.neighbor_of(3, alive=()) is None
+
+    def test_invalid_shard_counts_rejected(self):
+        with pytest.raises(ValueError):
+            ShardAssignment(make_keyspace(), num_shards=0)
+        with pytest.raises(ValueError):
+            ShardAssignment(make_keyspace(), num_shards=9)  # 8 cells
+
+
+class TestMergeReducers:
+    def test_merge_shard_records_is_order_insensitive(self):
+        ks = make_keyspace()
+        lists = [
+            [rec_in_cell(ks, 0, pid=3, t=10.0), rec_in_cell(ks, 1, pid=1, t=10.0)],
+            [rec_in_cell(ks, 2, pid=2, t=10.0)],
+            [rec_in_cell(ks, 3, pid=1, t=20.0)],  # newer fix for person 1
+        ]
+        merged = merge_shard_records(lists)
+        for permuted in (lists[::-1], [lists[1], lists[2], lists[0]]):
+            other = merge_shard_records(permuted)
+            assert other == merged
+            assert list(other.items()) == list(merged.items())  # key order too
+        assert list(merged) == [1, 2, 3]  # ascending person id
+        assert merged[1] == 10  # t=20 record wins for person 1
+
+    def test_merge_reason_counts_is_order_insensitive(self):
+        counts = [{"b": 2, "a": 1}, {"a": 3}, {"c": 1}]
+        merged = merge_reason_counts(counts)
+        assert merged == {"a": 4, "b": 2, "c": 1}
+        assert list(merged) == ["a", "b", "c"]
+        assert merge_reason_counts(counts[::-1]) == merged
+
+    def test_merge_counter_sum(self):
+        assert merge_counter_sum([1, 2, 3]) == 6
+        assert merge_counter_sum([]) == 0
+
+
+def make_router(num_shards=4, max_queue=1_000, **kwargs) -> ShardedIngestGuard:
+    return ShardedIngestGuard(
+        schema=SCHEMA,
+        keyspace=make_keyspace(),
+        num_shards=num_shards,
+        shard_max_queue=max_queue,
+        **kwargs,
+    )
+
+
+class TestShardedIngestGuard:
+    def test_routes_by_cell_ownership(self):
+        router = make_router()
+        ks = router.keyspace
+        for cell in range(8):
+            shard = router.shard_for(rec_in_cell(ks, cell, pid=cell + 1, t=10.0))
+            assert shard.shard_id == router.assignment.owner(cell) == cell // 2
+
+    def test_snapshot_is_bit_identical_to_unsharded_guard(self):
+        """The tentpole equivalence, at guard level: same submissions in
+        feed order, same snapshot dict — values *and* key order."""
+        router = make_router()
+        plain = IngestGuard(SCHEMA)
+        ks = router.keyspace
+        rng = np.random.default_rng(7)
+        for tick in range(5):
+            t = 100.0 * (tick + 1)
+            batch = [
+                rec_in_cell(ks, int(rng.integers(8)), pid=pid, t=t)
+                for pid in range(1, 40)
+            ]
+            for record in batch:  # feed order: ascending person id
+                assert router.submit(record, now_s=t) == plain.submit(
+                    record, now_s=t
+                )
+            sharded = router.snapshot(t)
+            unsharded = plain.snapshot(t)
+            assert list(sharded.items()) == list(unsharded.items())
+
+    def test_quarantine_is_isolated_to_the_owning_shard(self):
+        router = make_router()
+        ks = router.keyspace
+        bad = rec_in_cell(ks, 6, pid=5, t=10.0)
+        bad = GpsRecord(bad.person_id, float("nan"), bad.x, bad.y, bad.node)
+        assert not router.submit(bad, now_s=10.0)
+        per_shard = [len(s.guard.quarantined) for s in router.shards]
+        assert per_shard == [0, 0, 0, 1]  # cell 6 belongs to shard 3
+        assert router.stats()["rejected_total"] == 1
+
+    def test_dead_shard_loses_submits_but_never_raises(self):
+        router = make_router()
+        ks = router.keyspace
+        router.shards[2].kill()
+        assert not router.submit(rec_in_cell(ks, 4, pid=1, t=10.0), now_s=10.0)
+        assert router.lost == 1
+        assert router.shards[2].lost_submits == 1
+        assert router.snapshot(10.0) == {}  # dead shard drains nothing
+        assert router.reconciles()
+
+    def test_fault_hook_applied_once_per_timestamp(self):
+        calls = []
+        router = make_router(fault_hook=calls.append)
+        ks = router.keyspace
+        router.submit(rec_in_cell(ks, 0, pid=1, t=10.0), now_s=10.0)
+        router.submit(rec_in_cell(ks, 1, pid=2, t=10.0), now_s=10.0)
+        router.snapshot(10.0)
+        router.snapshot(20.0)
+        assert calls == [10.0, 20.0]
+
+
+class TestSaturationProperties:
+    """Satellite: property-style saturation and exact shed reconciliation."""
+
+    def _offer(self, router, records):
+        quarantined = 0
+        for record in records:
+            if not router.submit(record, now_s=record.t_s):
+                quarantined += 1
+        return quarantined
+
+    def test_full_shard_sheds_oldest_first(self):
+        router = make_router(max_queue=3)
+        ks = router.keyspace
+        records = [rec_in_cell(ks, 0, pid=pid, t=10.0) for pid in range(1, 7)]
+        assert self._offer(router, records) == 0
+        shard = router.shards[0]
+        assert shard.guard.shed == 3
+        survivors = [r.person_id for r in shard.guard.drain()]
+        assert survivors == [4, 5, 6]  # the three newest
+
+    def test_saturation_never_raises_and_reconciles_per_shard(self):
+        rng = np.random.default_rng(42)
+        router = make_router(max_queue=20)
+        ks = router.keyspace
+        offered = 0
+        quarantined = 0
+        for tick in range(10):
+            t = 50.0 * (tick + 1)
+            batch = []
+            for pid in range(1, 120):
+                cell = int(rng.integers(8))
+                record = rec_in_cell(ks, cell, pid=pid, t=t)
+                if rng.random() < 0.05:  # a few malformed fixes
+                    record = GpsRecord(
+                        record.person_id, record.t_s, float("nan"),
+                        record.y, record.node,
+                    )
+                batch.append(record)
+            offered += len(batch)
+            quarantined += self._offer(router, batch)
+            if tick % 3 == 2:
+                router.snapshot(t)
+        # Global conservation: every offered record has exactly one fate.
+        assert offered == router.accepted + quarantined
+        # Per-shard conservation, exactly.
+        for shard in router.shards:
+            guard = shard.guard
+            assert guard.accepted == guard.drained + guard.queued + guard.shed
+            assert guard.queued <= 20
+        assert router.reconciles()
+        # Cross-shard: the aggregate view sums the per-shard counters.
+        stats = router.stats()
+        assert stats["accepted"] == sum(
+            s.guard.accepted for s in router.shards
+        )
+        assert stats["shed"] == sum(s.guard.shed for s in router.shards)
+        assert stats["rejected_total"] == quarantined
+
+    def test_shed_counts_reconcile_across_uneven_load(self):
+        """Hot-spot skew: one cell gets most traffic; sheds concentrate
+        on its owner but the global ledger still balances exactly."""
+        router = make_router(max_queue=10)
+        ks = router.keyspace
+        offered = 0
+        for tick in range(6):
+            t = 100.0 * (tick + 1)
+            hot = [rec_in_cell(ks, 0, pid=pid, t=t) for pid in range(1, 60)]
+            cold = [rec_in_cell(ks, 5, pid=pid + 100, t=t) for pid in range(1, 4)]
+            for record in hot + cold:
+                offered += 1
+                assert router.submit(record, now_s=t)
+            router.snapshot(t)
+        hot_shard, cold_shard = router.shards[0], router.shards[2]
+        assert hot_shard.guard.shed > 0
+        assert cold_shard.guard.shed == 0  # isolation: no cross-shard shed
+        assert offered == router.accepted
+        assert router.accepted == router.drained + router.queued + router.shed
+        assert router.reconciles()
+
+    def test_transfer_preserves_the_ledger(self):
+        router = make_router(max_queue=50)
+        ks = router.keyspace
+        for pid in range(1, 11):
+            assert router.submit(rec_in_cell(ks, 0, pid=pid, t=10.0), now_s=10.0)
+        donor, receiver = router.shards[0], router.shards[1]
+        assert donor.transfer_queue_to(receiver) == 10
+        assert donor.transferred_out == 10
+        assert receiver.transferred_in == 10
+        assert receiver.guard.queued == 10
+        assert receiver.guard.accepted == 0  # no double-count
+        assert donor.reconciles() and receiver.reconciles()
+        assert router.reconciles()
+
+
+class TestShardLifecycle:
+    def test_kill_loses_queue_and_reconciles(self):
+        guard = IngestGuard(SCHEMA)
+        shard = Shard(0, guard)
+        ks = make_keyspace()
+        for pid in range(1, 6):
+            assert shard.submit(rec_in_cell(ks, 0, pid=pid, t=10.0), now_s=10.0)
+        assert shard.kill() == 5
+        assert shard.lost_queued == 5
+        assert not shard.alive
+        assert shard.drain_snapshot(20.0) is None  # dead: no beat
+        assert shard.last_beat_t_s is None
+        assert shard.reconciles()
+
+    def test_revive_restores_service_and_heartbeat(self):
+        shard = Shard(0, IngestGuard(SCHEMA))
+        ks = make_keyspace()
+        shard.kill()
+        shard.revive()
+        assert shard.submit(rec_in_cell(ks, 0, pid=1, t=30.0), now_s=30.0)
+        drained = shard.drain_snapshot(30.0)
+        assert drained is not None and len(drained) == 1
+        assert shard.last_beat_t_s == 30.0
+        assert shard.reconciles()
+
+    def test_skew_reduces_capacity_oldest_first(self):
+        shard = Shard(0, IngestGuard(SCHEMA, max_queue=8))
+        ks = make_keyspace()
+        for pid in range(1, 9):
+            assert shard.submit(rec_in_cell(ks, 0, pid=pid, t=10.0), now_s=10.0)
+        shard.capacity_divisor = 4  # injected hot-shard skew: capacity 2
+        drained = shard.drain_snapshot(10.0)
+        assert [r.person_id for r in drained] == [7, 8]
+        assert shard.guard.shed == 6
+        assert shard.reconciles()
+
+    def test_stall_is_carried_on_the_heartbeat(self):
+        shard = Shard(0, IngestGuard(SCHEMA))
+        shard.stall_s = 30.0
+        shard.drain_snapshot(10.0)
+        assert shard.last_beat_t_s == 10.0
+        assert shard.last_beat_delay_s == 30.0

@@ -41,6 +41,7 @@ EXPECTED = {
     "dur_unsafe_write.py": ["REP201"] * 5,
     "exc_hygiene.py": ["REP301", "REP302", "REP302"],
     "ord_set_iteration.py": ["REP401", "REP401", "REP401"],
+    "shard_merge.py": ["REP402"] * 4,
     "svc_swallow.py": ["REP303", "REP303"],
     "pragma_suppression.py": ["REP102"],
     "pragma_standalone.py": [],
