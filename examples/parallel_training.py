@@ -1,0 +1,93 @@
+"""Extension example — parallel DQN experience collection with fault tolerance.
+
+Serial online training threads one mutating agent through every episode,
+so the parallelizable unit is the *collection episode*: each episode
+restores a fresh agent from the same pristine post-pretrain state, runs
+one exploration day of Hurricane Michael, and ships the transitions it
+gathered.  This example fans those episodes across two supervised worker
+processes, proves the merged campaign is **bit-identical** to the serial
+reference (the executor's core guarantee — worker count, completion
+order and worker deaths never change a byte), then feeds the merged
+transitions into one shared replay buffer and takes a few learning steps
+on it.
+
+Along the way it prints the campaign report: worker deaths, quarantined
+episodes, incidents — all zero on a healthy machine, but the same run
+survives real worker kills (try `repro chaos --profile worker-kill`).
+
+Run:  python examples/parallel_training.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import MobiRescueConfig
+from repro.core.rl_dispatcher import make_agent
+from repro.data import build_michael_dataset
+from repro.rollouts import (
+    EpisodeSpec,
+    RolloutConfig,
+    RolloutExecutor,
+    build_training_collect_task,
+    run_rollouts_serial,
+)
+
+POPULATION = 300
+EPISODES = 4
+NUM_WORKERS = 2
+NUM_TEAMS = 12
+SEED = 0
+
+
+def main() -> None:
+    print(f"Building the Michael dataset (population {POPULATION})...")
+    scenario, bundle = build_michael_dataset(population_size=POPULATION)
+
+    cfg = MobiRescueConfig(seed=SEED)
+    print("Pretraining the agent once; every episode restores this state...")
+    task = build_training_collect_task(
+        scenario, bundle, cfg, num_teams=NUM_TEAMS
+    )
+    specs = [
+        EpisodeSpec(episode_id=i, kind=task.kind, seed=SEED)
+        for i in range(EPISODES)
+    ]
+
+    print(f"Collecting {EPISODES} episodes serially (the reference)...")
+    serial = run_rollouts_serial(task, specs)
+
+    print(f"Collecting the same campaign on {NUM_WORKERS} workers...")
+    executor = RolloutExecutor(
+        task,
+        config=RolloutConfig(num_workers=NUM_WORKERS, beat_interval_s=0.05),
+        seed=SEED,
+    )
+    report = executor.run(specs)
+
+    print(f"\n  episodes merged:   {report.completed}/{report.total}")
+    print(f"  worker deaths:     {report.worker_deaths}")
+    print(f"  quarantined:       {list(report.quarantined_ids)}")
+    print(f"  zero lost:         {report.zero_lost}")
+    identical = report.merged.fingerprint() == serial.merged.fingerprint()
+    print(f"  bit-identical to serial: {identical}")
+    assert identical, "parallel collection diverged from the serial reference"
+
+    agent = make_agent(cfg)
+    agent.set_state(task.agent_state)
+    pushed = report.merged.feed_replay(agent.buffer)
+    print(f"\nFed {pushed} merged transitions into the shared replay buffer "
+          f"({len(agent.buffer)} in the ring).")
+
+    losses = [agent.learn() for _ in range(10)]
+    losses = [x for x in losses if x is not None]
+    if losses:
+        print(f"{len(losses)} learning steps on the merged buffer: "
+              f"mean loss {float(np.mean(losses)):.4f}")
+    else:
+        print("Buffer still below one batch; collect more episodes to learn.")
+    print("\nDone: parallel collection matched the serial bytes exactly.")
+
+
+if __name__ == "__main__":
+    main()

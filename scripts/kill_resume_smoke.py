@@ -13,11 +13,17 @@ This script proves it with a real SIGKILL, not a simulated one:
    weights, target weights, epsilon, learn-step count and per-episode
    service rates all match the reference exactly.
 
+A second phase applies the same treatment to the parallel rollout
+coordinator: SIGKILL the whole coordinator (workers included) mid-
+campaign, resume against the same result store, and assert the merged
+fingerprint is bit-identical to an uninterrupted serial run.
+
 Exit status 0 on success, 1 on any mismatch.  CI runs this on every
 push.  Usage::
 
-    python scripts/kill_resume_smoke.py           # the whole smoke test
-    python scripts/kill_resume_smoke.py child DIR # internal: the victim
+    python scripts/kill_resume_smoke.py                   # both phases
+    python scripts/kill_resume_smoke.py child DIR         # internal: victim
+    python scripts/kill_resume_smoke.py rollout-child DIR # internal: victim
 """
 
 from __future__ import annotations
@@ -43,6 +49,25 @@ NUM_TEAMS = 12
 CFG = MobiRescueConfig(seed=0)
 KILL_TIMEOUT_S = 600.0
 
+# Rollout phase: episodes are stretched with busy-work so the SIGKILL
+# reliably lands mid-campaign, and the kill fires once this many result
+# cells are committed to the store.
+ROLLOUT_EPISODES = 8
+ROLLOUT_KILL_AFTER_CELLS = 3
+ROLLOUT_SEED = 11
+ROLLOUT_WORKERS = 2
+
+
+def rollout_task_and_specs():
+    from repro.rollouts import EpisodeSpec, SyntheticTask
+
+    task = SyntheticTask(steps=6, state_dim=4, work_size=800)
+    specs = [
+        EpisodeSpec(episode_id=i, kind=task.kind, seed=ROLLOUT_SEED)
+        for i in range(ROLLOUT_EPISODES)
+    ]
+    return task, specs
+
 
 def build_dataset():
     from repro.data import build_michael_dataset
@@ -57,6 +82,91 @@ def run_child(checkpoint_dir: str) -> None:
         scenario, bundle, CFG, episodes=EPISODES, num_teams=NUM_TEAMS,
         checkpoint_dir=checkpoint_dir,
     )
+
+
+def run_rollout_child(store_dir: str) -> None:
+    """The rollout victim: a parallel campaign writing into the store."""
+    from repro.rollouts import RolloutConfig, RolloutExecutor, RolloutStore
+
+    task, specs = rollout_task_and_specs()
+    executor = RolloutExecutor(
+        task,
+        config=RolloutConfig(num_workers=ROLLOUT_WORKERS, beat_interval_s=0.05),
+        seed=ROLLOUT_SEED,
+        store=RolloutStore(pathlib.Path(store_dir)),
+    )
+    executor.run(specs)
+
+
+def wait_and_kill_rollout(proc: subprocess.Popen, store_dir: pathlib.Path) -> int:
+    """SIGKILL the coordinator once enough result cells are committed."""
+    deadline = time.monotonic() + KILL_TIMEOUT_S
+    while time.monotonic() < deadline:
+        cells = len(list(store_dir.glob("episode=*.json")))
+        if cells >= ROLLOUT_KILL_AFTER_CELLS:
+            proc.send_signal(signal.SIGKILL)
+            proc.wait()
+            return len(list(store_dir.glob("episode=*.json")))
+        if proc.poll() is not None:
+            print(f"warning: rollout child finished before the kill "
+                  f"(rc={proc.returncode})")
+            return len(list(store_dir.glob("episode=*.json")))
+        time.sleep(0.02)
+    proc.kill()
+    proc.wait()
+    raise SystemExit(
+        f"rollout child committed fewer than {ROLLOUT_KILL_AFTER_CELLS} "
+        f"cells within {KILL_TIMEOUT_S:.0f}s"
+    )
+
+
+def rollout_phase() -> dict[str, bool]:
+    """SIGKILL the rollout coordinator mid-campaign, resume, compare."""
+    from repro.rollouts import (
+        RolloutConfig,
+        RolloutExecutor,
+        RolloutStore,
+        run_rollouts_serial,
+    )
+
+    task, specs = rollout_task_and_specs()
+    print(f"[smoke] rollout reference: {ROLLOUT_EPISODES} episodes serial")
+    reference = run_rollouts_serial(task, specs)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store_dir = pathlib.Path(tmp) / "rollout-store"
+        store_dir.mkdir()
+        print(f"[smoke] spawning rollout victim ({ROLLOUT_WORKERS} workers); "
+              f"killing after {ROLLOUT_KILL_AFTER_CELLS} committed cells...")
+        proc = subprocess.Popen(
+            [sys.executable, __file__, "rollout-child", str(store_dir)],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.STDOUT,
+        )
+        n_cells = wait_and_kill_rollout(proc, store_dir)
+        print(f"[smoke] SIGKILLed the coordinator; {n_cells} committed "
+              f"result cell(s) on disk")
+
+        print("[smoke] resuming the campaign against the same store...")
+        executor = RolloutExecutor(
+            task,
+            config=RolloutConfig(
+                num_workers=ROLLOUT_WORKERS, beat_interval_s=0.05
+            ),
+            seed=ROLLOUT_SEED,
+            store=RolloutStore(store_dir),
+        )
+        resumed = executor.run(specs)
+        print(f"[smoke] resumed: {resumed.completed}/{resumed.total} episodes "
+              f"({resumed.from_store} from the store)")
+
+    return {
+        "rollout zero lost": resumed.zero_lost and not resumed.quarantined_ids,
+        "rollout resumed from store": resumed.from_store >= 1,
+        "rollout fingerprint": (
+            resumed.merged.fingerprint() == reference.merged.fingerprint()
+        ),
+    }
 
 
 def wait_and_kill(proc: subprocess.Popen, checkpoint_dir: pathlib.Path) -> int:
@@ -135,17 +245,22 @@ def main() -> int:
                 straight.episode_service_rates == resumed.episode_service_rates
             ),
         }
-        for name, ok in checks.items():
-            print(f"[smoke] {name}: {'identical' if ok else 'MISMATCH'}")
-        if all(checks.values()):
-            print("[smoke] PASS: kill-and-resume is bit-identical")
-            return 0
-        print("[smoke] FAIL: resumed run diverged from the reference")
-        return 1
+    checks.update(rollout_phase())
+
+    for name, ok in checks.items():
+        print(f"[smoke] {name}: {'identical' if ok else 'MISMATCH'}")
+    if all(checks.values()):
+        print("[smoke] PASS: kill-and-resume is bit-identical")
+        return 0
+    print("[smoke] FAIL: resumed run diverged from the reference")
+    return 1
 
 
 if __name__ == "__main__":
     if len(sys.argv) >= 3 and sys.argv[1] == "child":
         run_child(sys.argv[2])
+        sys.exit(0)
+    if len(sys.argv) >= 3 and sys.argv[1] == "rollout-child":
+        run_rollout_child(sys.argv[2])
         sys.exit(0)
     sys.exit(main())

@@ -43,6 +43,7 @@ KNOWN_PRAGMAS = frozenset(
         "allow-service-swallow",
         "allow-unsorted-set",
         "allow-unordered-merge",
+        "allow-worker-ident",
     }
 )
 

@@ -65,6 +65,12 @@ MERGE_SCOPE = ("repro.service.sharding",)
 #: manifest-verified artifact layer from PR 2.
 ARTIFACT_LAYER = ("repro.core.artifacts",)
 
+#: The parallel-rollout layer, where episode results must be pure
+#: functions of episode specs: worker identity (pids, worker indices)
+#: and wall-clock values must never flow into seeds or merged results,
+#: or parallel runs stop being bit-identical to the serial path.
+ROLLOUT_SCOPE = ("repro.rollouts",)
+
 #: ``np.random`` attributes that are *constructors* of explicit
 #: generators — the sanctioned API.  Everything else on ``np.random``
 #: touches the hidden global ``RandomState`` and is banned.
@@ -769,6 +775,104 @@ class OrderSensitiveMergeRule(Rule):
                             break
 
 
+#: Calls whose value identifies the executing worker/process — exactly
+#: what must never influence an episode's seed or payload.
+_WORKER_IDENT_CALLS = frozenset(
+    {
+        "os.getpid",
+        "os.getppid",
+        "multiprocessing.current_process",
+        "threading.get_ident",
+        "threading.get_native_id",
+        "os.urandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+    }
+)
+
+#: Variable/attribute names that carry worker identity; a
+#: ``default_rng`` spawn key containing one makes episode randomness
+#: depend on worker assignment.
+_WORKER_IDENT_NAMES = frozenset(
+    {
+        "worker_id",
+        "worker_index",
+        "worker_idx",
+        "worker_rank",
+        "pid",
+        "ppid",
+        "process_id",
+    }
+)
+
+
+@dataclass(frozen=True)
+class WorkerIdentityRule(Rule):
+    """REP403: worker identity must not leak into rollout determinism."""
+
+    rule_id: str = "REP403"
+    name: str = "ordering/worker-identity"
+    pragma: str = "allow-worker-ident"
+    description: str = (
+        "rollout episode seeds and results must be pure functions of the "
+        "episode spec: no os.getpid()/worker-index values in default_rng "
+        "spawn keys, and no wall-clock reads — worker identity in either "
+        "breaks parallel-vs-serial bit-identity"
+    )
+    scope: tuple[str, ...] | None = ROLLOUT_SCOPE
+
+    def check(
+        self, tree: ast.Module, module: str, path: str
+    ) -> Iterator[Finding]:
+        aliases = import_aliases(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func, aliases)
+            if name in _WORKER_IDENT_CALLS:
+                yield self.finding(
+                    path,
+                    node,
+                    f"worker-identity read `{name}()` in rollout code; "
+                    "episode results must depend only on the episode spec",
+                )
+                continue
+            if name in _WALLCLOCK_CALLS:
+                yield self.finding(
+                    path,
+                    node,
+                    f"wall-clock read `{name}()` in rollout code; inject "
+                    "a clock reference instead of calling one inline",
+                )
+                continue
+            if name == "numpy.random.default_rng":
+                ident = self._ident_in_args(node)
+                if ident is not None:
+                    yield self.finding(
+                        path,
+                        node,
+                        f"default_rng spawn key contains worker identity "
+                        f"`{ident}`; key episode streams by "
+                        "(seed, tag, episode_id) only",
+                    )
+
+    @staticmethod
+    def _ident_in_args(call: ast.Call) -> str | None:
+        for arg in [*call.args, *(kw.value for kw in call.keywords)]:
+            for sub in ast.walk(arg):
+                if (
+                    isinstance(sub, ast.Name)
+                    and sub.id in _WORKER_IDENT_NAMES
+                ):
+                    return sub.id
+                if (
+                    isinstance(sub, ast.Attribute)
+                    and sub.attr in _WORKER_IDENT_NAMES
+                ):
+                    return sub.attr
+        return None
+
+
 #: The default rule set, in catalogue order.
 DEFAULT_RULES: tuple[Rule, ...] = (
     ImportRandomRule(),
@@ -780,6 +884,7 @@ DEFAULT_RULES: tuple[Rule, ...] = (
     ServiceExceptionRule(),
     UnsortedSetIterationRule(),
     OrderSensitiveMergeRule(),
+    WorkerIdentityRule(),
 )
 
 #: rule_id -> producing Rule, for ``--select``.  REP103 is emitted by the

@@ -46,7 +46,20 @@ Commands
     ``shard-stall``, ``shard-skew``, ``shard-blackout``) runs the
     sharded-topology harness instead: clean sharded run bit-identical to
     the unsharded service, failover within budget, exact per-shard
-    record accounting.
+    record accounting.  A ``worker-*`` profile (``worker-kill``,
+    ``worker-stall``, ``worker-blackout``) runs the parallel-rollout
+    harness: real worker process deaths mid-episode, zero lost episodes,
+    poison episodes quarantined with incident records, and the merged
+    output bit-identical to the serial path.
+
+``rollouts``
+    Fault-tolerant parallel episode rollouts (``docs/ROLLOUTS.md``):
+    ``--mode eval`` fans dispatch-simulation episodes across supervised
+    worker processes, ``--mode train`` collects DQN experience for the
+    shared replay buffer.  ``--results-dir``/``--resume`` checkpoint per
+    episode through the artifact layer; ``--verify-serial`` additionally
+    runs the serial path and fails unless the merged outputs are
+    bit-identical.
 
 ``loadgen``
     The deterministic million-user load harness: replays synthetic GPS
@@ -407,6 +420,8 @@ def cmd_chaos(args) -> int:
     if not seeds:
         print("need at least one seed", file=sys.stderr)
         return 2
+    if args.profile.startswith("worker-"):
+        return _run_rollout_chaos(args, seeds)
     if args.profile.startswith("shard-"):
         return _run_shard_chaos(args, seeds)
     from repro.service.chaos import ChaosConfig, run_chaos
@@ -446,6 +461,44 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def _run_rollout_chaos(args, seeds: tuple[int, ...]) -> int:
+    from repro.faults.profiles import get_worker_profile
+    from repro.rollouts.chaos import RolloutChaosConfig, run_rollout_chaos
+
+    try:
+        get_worker_profile(args.profile)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    config = RolloutChaosConfig(
+        profile=args.profile,
+        seeds=seeds,
+        episodes=4 if args.quick else 8,
+        population_size=250 if args.quick else args.population,
+        num_teams=10 if args.quick else 15,
+        window_days=0.25 if args.quick else 0.5,
+    )
+    report = run_rollout_chaos(
+        config,
+        out_path=args.out or None,
+        progress=lambda msg: print(msg, file=sys.stderr),
+    )
+    for run in report["runs"]:
+        print(
+            f"seed {run['seed']}: worker deaths {run['worker_deaths']}, "
+            f"quarantined {run['quarantined_ids']}, "
+            f"{'OK' if run['ok'] else 'VIOLATED'}"
+        )
+    if args.out:
+        print(f"wrote {args.out}")
+    if not report["ok"]:
+        for violation in report["violations"]:
+            print(f"VIOLATION: {violation}", file=sys.stderr)
+        return 1
+    print("all worker chaos invariants held")
+    return 0
+
+
 def _run_shard_chaos(args, seeds: tuple[int, ...]) -> int:
     from repro.faults.profiles import get_shard_profile
     from repro.service.sharding import ShardChaosConfig, run_shard_chaos
@@ -481,6 +534,101 @@ def _run_shard_chaos(args, seeds: tuple[int, ...]) -> int:
             print(f"VIOLATION: {violation}", file=sys.stderr)
         return 1
     print("all shard chaos invariants held")
+    return 0
+
+
+def cmd_rollouts(args) -> int:
+    from repro.data import DatasetSpec, build_dataset
+    from repro.rollouts import (
+        EpisodeSpec,
+        EvalRolloutTask,
+        RolloutConfig,
+        RolloutExecutor,
+        RolloutStore,
+        build_training_collect_task,
+        run_rollouts_serial,
+    )
+    from repro.sim.requests import remap_to_operable, requests_from_rescues
+    from repro.weather.storms import SECONDS_PER_DAY, day_index
+
+    population = 250 if args.quick else args.population
+    episodes = 4 if args.quick else args.episodes
+    if args.mode == "eval":
+        scenario, bundle = build_dataset(
+            DatasetSpec(storm="florence", population_size=population)
+        )
+        day = day_index(scenario.timeline, "Sep 16")
+        t0_s = day * SECONDS_PER_DAY
+        t1_s = (day + (0.25 if args.quick else 0.5)) * SECONDS_PER_DAY
+        requests = remap_to_operable(
+            requests_from_rescues(bundle.rescues, t0_s, t1_s),
+            scenario.network,
+            scenario.flood,
+        )
+        task = EvalRolloutTask(
+            scenario=scenario,
+            requests=tuple(requests),
+            t0_s=t0_s,
+            t1_s=t1_s,
+            num_teams=10 if args.quick else 15,
+        )
+    else:
+        from repro.core.config import MobiRescueConfig
+
+        scenario, bundle = build_dataset(
+            DatasetSpec(storm="michael", population_size=population)
+        )
+        task = build_training_collect_task(
+            scenario,
+            bundle,
+            MobiRescueConfig(seed=args.seed),
+            num_teams=12 if args.quick else 40,
+        )
+    specs = [EpisodeSpec(i, task.kind, seed=args.seed) for i in range(episodes)]
+
+    store = None
+    if args.results_dir:
+        store = RolloutStore(args.results_dir)
+        existing = len(list(store.root.glob("episode=*.json")))
+        if existing and not args.resume:
+            print(
+                f"{args.results_dir} already holds {existing} episode cell(s); "
+                "pass --resume to reuse them or choose a fresh directory",
+                file=sys.stderr,
+            )
+            return 2
+
+    config = RolloutConfig(
+        num_workers=args.workers,
+        heartbeat_timeout_s=30.0,
+        beat_interval_s=0.05,
+    )
+    executor = RolloutExecutor(task, config, seed=args.seed, store=store)
+    report = executor.run(specs)
+    print(
+        f"{report.completed}/{report.total} episodes merged "
+        f"({report.from_store} from store), {report.worker_deaths} worker "
+        f"deaths, fingerprint {report.merged.fingerprint()[:16]}"
+    )
+    if args.mode == "eval":
+        table = report.merged.eval_table()
+        for key, value in sorted(table["totals"].items()):
+            print(f"  total {key}: {value:g}")
+    else:
+        print(f"  transitions collected: {len(report.merged.transitions())}")
+    if not report.zero_lost:
+        print("LOST EPISODES", file=sys.stderr)
+        return 1
+    if args.verify_serial:
+        serial = run_rollouts_serial(task, specs)
+        if serial.merged.fingerprint() != report.merged.fingerprint():
+            print(
+                "PARALLEL/SERIAL MISMATCH: "
+                f"{serial.merged.fingerprint()} != {report.merged.fingerprint()}",
+                file=sys.stderr,
+            )
+            return 1
+        print("parallel run bit-identical to serial")
     return 0
 
 
@@ -670,9 +818,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--profile", type=str, default="severe",
         help="fault profile composed over env + components "
-             "(none, mild, severe, blackout) or a shard profile "
+             "(none, mild, severe, blackout), a shard profile "
              "(shard-kill, shard-stall, shard-skew, shard-blackout) to "
-             "run the sharded-topology harness",
+             "run the sharded-topology harness, or a worker profile "
+             "(worker-kill, worker-stall, worker-blackout) to run the "
+             "parallel-rollout harness",
     )
     p.add_argument(
         "--seeds", type=str, default="0,1", help="comma-separated chaos seeds"
@@ -711,6 +861,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="output path (default: BENCH_<date>.json in the working directory)",
     )
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "rollouts",
+        help="fault-tolerant parallel episode rollouts (eval or training "
+             "collection)",
+    )
+    _add_common(p)
+    p.add_argument(
+        "--mode", type=str, default="eval", choices=("eval", "train"),
+        help="eval: dispatch-simulation episodes; train: DQN experience "
+             "collection",
+    )
+    p.add_argument(
+        "--workers", type=int, default=2, help="worker process count"
+    )
+    p.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized campaign (250 people, 4 episodes, quarter-day window)",
+    )
+    p.add_argument(
+        "--results-dir", type=str, default="",
+        help="persist per-episode results here (enables resumption)",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="reuse completed episode cells from --results-dir",
+    )
+    p.add_argument(
+        "--verify-serial", action="store_true",
+        help="also run the serial path and fail unless bit-identical",
+    )
+    p.set_defaults(func=cmd_rollouts)
 
     p = sub.add_parser(
         "loadgen",

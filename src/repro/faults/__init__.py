@@ -36,14 +36,22 @@ from repro.faults.models import (
     ShardKillFault,
     ShardStallFault,
     TeamBreakdownFault,
+    WorkerCorruptResultFault,
+    WorkerCrashFault,
+    WorkerFaultInjector,
+    WorkerFaultPlan,
+    WorkerFaultProfile,
+    WorkerStallFault,
     sample_windows,
 )
 from repro.faults.profiles import (
     PROFILES,
     SHARD_PROFILES,
+    WORKER_PROFILES,
     FaultProfile,
     get_profile,
     get_shard_profile,
+    get_worker_profile,
     make_injector,
 )
 
@@ -65,8 +73,16 @@ __all__ = [
     "ShardKillFault",
     "ShardStallFault",
     "TeamBreakdownFault",
+    "WORKER_PROFILES",
+    "WorkerCorruptResultFault",
+    "WorkerCrashFault",
+    "WorkerFaultInjector",
+    "WorkerFaultPlan",
+    "WorkerFaultProfile",
+    "WorkerStallFault",
     "get_profile",
     "get_shard_profile",
+    "get_worker_profile",
     "make_injector",
     "sample_windows",
 ]

@@ -40,6 +40,9 @@ _TAG_CORRUPT_RECORD = 108
 _TAG_SHARD_KILL = 109
 _TAG_SHARD_STALL = 110
 _TAG_SHARD_SKEW = 111
+_TAG_WORKER_CRASH = 112
+_TAG_WORKER_STALL = 113
+_TAG_WORKER_CORRUPT = 114
 
 
 class InjectedDispatcherFault(RuntimeError):
@@ -656,3 +659,221 @@ class FaultInjector:
         if not model.enabled:
             return False
         return model.fails(self._rng(_TAG_DISPATCHER, cycle_index))
+
+
+# -- rollout worker faults ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkerCrashFault:
+    """A rollout worker process dies mid-episode (real process death).
+
+    ``p_affected`` episodes crash the worker on their first
+    ``max_crashes`` attempts and then succeed; ``p_poison`` episodes
+    crash on *every* attempt — the executor must quarantine them after
+    two kills instead of burning its retry budget.  The crash fires
+    after a per-episode number of in-episode heartbeats (uniform in
+    ``[0, crash_after_beats]``), so the death lands genuinely
+    mid-episode, not at the dispatch boundary.
+    """
+
+    p_affected: float = 0.0
+    max_crashes: int = 1
+    p_poison: float = 0.0
+    crash_after_beats: int = 3
+
+    @property
+    def enabled(self) -> bool:
+        return self.p_affected > 0.0 or self.p_poison > 0.0
+
+
+@dataclass(frozen=True)
+class WorkerStallFault:
+    """A rollout worker stops heartbeating (GC pause, livelock, swap).
+
+    Affected episodes make the worker sleep ``stall_s`` of real time
+    before running, on their first ``max_stalls`` attempts.  A stall
+    longer than the supervisor's heartbeat timeout is indistinguishable
+    from death: the coordinator must kill the worker and requeue the
+    episode.
+    """
+
+    p_affected: float = 0.0
+    max_stalls: int = 1
+    stall_s: float = 3.0
+
+    @property
+    def enabled(self) -> bool:
+        return self.p_affected > 0.0 and self.stall_s > 0.0
+
+
+@dataclass(frozen=True)
+class WorkerCorruptResultFault:
+    """A worker returns a bit-flipped result payload.
+
+    Affected episodes have their result envelope's payload mutated
+    after the checksum is computed, on their first ``max_corruptions``
+    attempts.  The coordinator must detect the digest mismatch, discard
+    the result, and re-run the episode — never merge it.
+    """
+
+    p_affected: float = 0.0
+    max_corruptions: int = 1
+
+    @property
+    def enabled(self) -> bool:
+        return self.p_affected > 0.0
+
+
+@dataclass(frozen=True)
+class WorkerFaultProfile:
+    """One parameterisation of the rollout-worker fault families."""
+
+    name: str
+    crash: WorkerCrashFault = WorkerCrashFault()
+    stall: WorkerStallFault = WorkerStallFault()
+    corrupt: WorkerCorruptResultFault = WorkerCorruptResultFault()
+
+    @property
+    def is_null(self) -> bool:
+        return not (
+            self.crash.enabled or self.stall.enabled or self.corrupt.enabled
+        )
+
+
+@dataclass(frozen=True)
+class WorkerFaultPlan:
+    """What the injector orders a worker to do for one episode attempt.
+
+    Precedence when several families hit the same attempt: a stall wins
+    (the supervisor kills the worker before the episode runs), then a
+    crash, then a corrupt result.  The plan is a pure function of
+    ``(seed, episode id, attempt)`` — never of the worker that happens
+    to run the attempt.
+    """
+
+    crash_after_beats: int | None = None
+    stall_s: float = 0.0
+    corrupt_result: bool = False
+    poisoned: bool = False
+
+    @property
+    def is_null(self) -> bool:
+        return (
+            self.crash_after_beats is None
+            and self.stall_s <= 0.0
+            and not self.corrupt_result
+        )
+
+
+#: The do-nothing plan, shared so the hot worker loop allocates nothing.
+NULL_WORKER_PLAN = WorkerFaultPlan()
+
+
+class WorkerFaultInjector:
+    """Deterministic per-episode oracle for rollout-worker faults.
+
+    Keyed exactly like :class:`FaultInjector`: each episode's fate for
+    each family comes from a generator seeded ``(seed, family tag,
+    episode id)``, sampled lazily and cached — so an episode's faults
+    depend only on the seed and its id, never on which worker runs it,
+    in which order episodes are queried, or how many attempts other
+    episodes needed.
+    """
+
+    def __init__(self, profile: WorkerFaultProfile, seed: int = 0) -> None:
+        if seed < 0:
+            raise ValueError("seed must be non-negative")
+        self.profile = profile
+        self.seed = int(seed)
+        #: episode id -> (n_crash_attempts, poisoned, crash_after_beats)
+        self._crash: dict[int, tuple[int, bool, int]] = {}
+        #: episode id -> n_stall_attempts
+        self._stall: dict[int, int] = {}
+        #: episode id -> n_corrupt_attempts
+        self._corrupt: dict[int, int] = {}
+
+    @property
+    def is_null(self) -> bool:
+        return self.profile.is_null
+
+    def _rng(self, tag: int, episode_id: int) -> np.random.Generator:
+        return np.random.default_rng([self.seed, tag, int(episode_id)])
+
+    def _crash_fate(self, episode_id: int) -> tuple[int, bool, int]:
+        model = self.profile.crash
+        if not model.enabled:
+            return (0, False, 0)
+        if episode_id not in self._crash:
+            rng = self._rng(_TAG_WORKER_CRASH, episode_id)
+            affected = bool(rng.random() < model.p_affected)
+            poisoned = bool(rng.random() < model.p_poison)
+            beats = int(rng.integers(0, model.crash_after_beats + 1))
+            n = model.max_crashes if affected else 0
+            self._crash[episode_id] = (n, poisoned, beats)
+        return self._crash[episode_id]
+
+    def _stall_fate(self, episode_id: int) -> int:
+        model = self.profile.stall
+        if not model.enabled:
+            return 0
+        if episode_id not in self._stall:
+            rng = self._rng(_TAG_WORKER_STALL, episode_id)
+            affected = bool(rng.random() < model.p_affected)
+            self._stall[episode_id] = model.max_stalls if affected else 0
+        return self._stall[episode_id]
+
+    def _corrupt_fate(self, episode_id: int) -> int:
+        model = self.profile.corrupt
+        if not model.enabled:
+            return 0
+        if episode_id not in self._corrupt:
+            rng = self._rng(_TAG_WORKER_CORRUPT, episode_id)
+            affected = bool(rng.random() < model.p_affected)
+            self._corrupt[episode_id] = model.max_corruptions if affected else 0
+        return self._corrupt[episode_id]
+
+    def poisoned(self, episode_id: int) -> bool:
+        """Does this episode crash its worker on every attempt?"""
+        return self._crash_fate(episode_id)[1]
+
+    def plan(self, episode_id: int, attempt: int) -> WorkerFaultPlan:
+        """The fault plan for one ``(episode, attempt)`` pair."""
+        if self.profile.is_null:
+            return NULL_WORKER_PLAN
+        n_crash, poisoned, beats = self._crash_fate(episode_id)
+        n_stall = self._stall_fate(episode_id)
+        n_corrupt = self._corrupt_fate(episode_id)
+        stall_s = 0.0
+        crash_after: int | None = None
+        # Stalls occupy the earliest attempts, crashes the next ones:
+        # disjoint attempt ranges keep every planned fault observable and
+        # the per-episode kill count an exact, predictable function of
+        # the plan (stall-kills + crash-kills).
+        if attempt < n_stall:
+            stall_s = self.profile.stall.stall_s
+        elif poisoned or attempt < n_stall + n_crash:
+            crash_after = beats
+        corrupt = not poisoned and (
+            n_stall + n_crash <= attempt < n_stall + n_crash + n_corrupt
+        )
+        if stall_s <= 0.0 and crash_after is None and not corrupt:
+            return NULL_WORKER_PLAN if not poisoned else WorkerFaultPlan()
+        return WorkerFaultPlan(
+            crash_after_beats=crash_after,
+            stall_s=stall_s,
+            corrupt_result=corrupt,
+            poisoned=poisoned,
+        )
+
+    def faulted_attempts(self, episode_id: int) -> int:
+        """Attempts this episode sacrifices to non-poison faults.
+
+        The executor's retry budget must exceed this for the episode to
+        complete; the chaos harness uses it to prove zero episodes are
+        lost by construction, not luck.
+        """
+        n_crash, poisoned, _ = self._crash_fate(episode_id)
+        if poisoned:
+            return -1
+        return self._stall_fate(episode_id) + n_crash + self._corrupt_fate(episode_id)

@@ -41,6 +41,10 @@ from repro.faults.models import (
     ShardKillFault,
     ShardStallFault,
     TeamBreakdownFault,
+    WorkerCorruptResultFault,
+    WorkerCrashFault,
+    WorkerFaultProfile,
+    WorkerStallFault,
 )
 
 
@@ -189,6 +193,44 @@ SHARD_PROFILES: dict[str, ShardFaultProfile] = {
         ),
     ),
 }
+
+
+#: Rollout-worker fault severities.  Names are prefixed ``worker-`` so
+#: the chaos CLI can route them to the rollout harness.  ``worker-kill``
+#: is the acceptance profile: real process deaths mid-episode, a slice of
+#: poison episodes that must be quarantined, and zero lost episodes.
+WORKER_PROFILES: dict[str, WorkerFaultProfile] = {
+    "worker-none": WorkerFaultProfile(name="worker-none"),
+    "worker-kill": WorkerFaultProfile(
+        name="worker-kill",
+        crash=WorkerCrashFault(
+            p_affected=0.5, max_crashes=1, p_poison=0.2, crash_after_beats=3
+        ),
+    ),
+    "worker-stall": WorkerFaultProfile(
+        name="worker-stall",
+        stall=WorkerStallFault(p_affected=0.5, max_stalls=1, stall_s=5.0),
+    ),
+    "worker-blackout": WorkerFaultProfile(
+        name="worker-blackout",
+        crash=WorkerCrashFault(
+            p_affected=0.4, max_crashes=1, p_poison=0.1, crash_after_beats=3
+        ),
+        stall=WorkerStallFault(p_affected=0.3, max_stalls=1, stall_s=5.0),
+        corrupt=WorkerCorruptResultFault(p_affected=0.3, max_corruptions=1),
+    ),
+}
+
+
+def get_worker_profile(name: str) -> WorkerFaultProfile:
+    """Look up a shipped rollout-worker fault profile by name."""
+    try:
+        return WORKER_PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(WORKER_PROFILES))
+        raise ValueError(
+            f"unknown worker-fault profile {name!r} (choose from: {known})"
+        ) from None
 
 
 def get_shard_profile(name: str) -> ShardFaultProfile:

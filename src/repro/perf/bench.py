@@ -37,6 +37,7 @@ HOT_PATHS = (
     "prediction_batched",
     "full_tick_cached",
     "training_step",
+    "rollout_parallel_2w",
 )
 
 #: name -> (speedup key, seed benchmark, optimized benchmark)
@@ -211,6 +212,89 @@ def _bench_training_step(quick: bool) -> dict[str, dict[str, float | int]]:
     return {"training_step": _record(_best_of(run, 2 if quick else 3), steps)}
 
 
+def _bench_rollouts(quick: bool) -> dict[str, Any]:
+    """Serial vs parallel episode rollouts over one evaluation window.
+
+    Self-checking like the routing workloads: each parallel campaign's
+    merged fingerprint must equal the serial one, so a reported
+    throughput can never come from dropping or reordering episodes.
+    Returns both the per-episode records and the ``episodes_per_minute``
+    summary the bench artifact carries.
+    """
+    import os
+
+    from repro.data.charlotte import build_charlotte_scenario
+    from repro.rollouts.executor import (
+        RolloutConfig,
+        RolloutExecutor,
+        run_rollouts_serial,
+    )
+    from repro.rollouts.spec import EpisodeSpec
+    from repro.rollouts.tasks import EvalRolloutTask
+    from repro.sim.requests import RescueRequest
+    from repro.weather.storms import FLORENCE
+
+    scenario = build_charlotte_scenario(FLORENCE)
+    network = scenario.network
+    rng = np.random.default_rng(4)
+    seg_ids = np.array(network.segment_ids())
+    t0 = scenario.timeline.storm_start_s
+    t1 = t0 + (1.0 if quick else 2.0) * 3_600.0
+    requests = []
+    for i, seg in enumerate(rng.choice(seg_ids, size=30 if quick else 120)):
+        segment = network.segment(int(seg))
+        requests.append(
+            RescueRequest(
+                request_id=i,
+                person_id=i,
+                time_s=float(t0 + rng.uniform(0.0, (t1 - t0) * 0.8)),
+                segment_id=int(seg),
+                node_id=segment.u,
+            )
+        )
+    task = EvalRolloutTask(
+        scenario=scenario,
+        requests=tuple(requests),
+        t0_s=t0,
+        t1_s=t1,
+        num_teams=10,
+    )
+    episodes = 4 if quick else 8
+    specs = [EpisodeSpec(i, task.kind, seed=0) for i in range(episodes)]
+    n_workers = max(2, min(4, (os.cpu_count() or 2)))
+
+    def run_parallel(workers: int) -> str:
+        config = RolloutConfig(num_workers=workers, beat_interval_s=0.05)
+        report = RolloutExecutor(task, config, seed=0).run(specs)
+        return report.merged.fingerprint()
+
+    t = time.perf_counter()
+    expected = run_rollouts_serial(task, specs).merged.fingerprint()
+    serial_s = time.perf_counter() - t
+    t = time.perf_counter()
+    fp_2w = run_parallel(2)
+    par2_s = time.perf_counter() - t
+    t = time.perf_counter()
+    fp_nw = run_parallel(n_workers)
+    parn_s = time.perf_counter() - t
+    if fp_2w != expected or fp_nw != expected:
+        raise AssertionError("parallel rollout diverged from serial path")
+    return {
+        "benchmarks": {
+            "rollout_serial": _record(serial_s, episodes),
+            "rollout_parallel_2w": _record(par2_s, episodes),
+            "rollout_parallel_nw": _record(parn_s, episodes),
+        },
+        "episodes_per_minute": {
+            "serial": float(episodes * 60.0 / serial_s),
+            "workers_2": float(episodes * 60.0 / par2_s),
+            "workers_n": float(episodes * 60.0 / parn_s),
+            "n_workers": int(n_workers),
+            "episodes": int(episodes),
+        },
+    }
+
+
 # -- suite -------------------------------------------------------------------
 
 
@@ -221,6 +305,8 @@ def run_bench(quick: bool = False) -> dict[str, Any]:
     benchmarks.update(_bench_prediction(quick))
     benchmarks.update(_bench_full_tick(quick))
     benchmarks.update(_bench_training_step(quick))
+    rollouts = _bench_rollouts(quick)
+    benchmarks.update(rollouts["benchmarks"])
     speedups = {
         key: float(
             benchmarks[seed]["seconds_per_op"] / benchmarks[fast]["seconds_per_op"]
@@ -237,6 +323,7 @@ def run_bench(quick: bool = False) -> dict[str, Any]:
         "peak_rss_kib": int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss),
         "benchmarks": benchmarks,
         "speedups": speedups,
+        "episodes_per_minute": rollouts["episodes_per_minute"],
     }
 
 
@@ -281,6 +368,20 @@ def validate_bench_payload(payload: Any) -> list[str]:
             value = speedups.get(key)
             if not isinstance(value, (int, float)) or value <= 0:
                 problems.append(f"speedups.{key} must be positive")
+    epm = payload.get("episodes_per_minute")
+    if not isinstance(epm, dict):
+        problems.append("episodes_per_minute must be an object")
+    else:
+        for key in ("serial", "workers_2", "workers_n"):
+            value = epm.get(key)
+            if not isinstance(value, (int, float)) or value <= 0:
+                problems.append(f"episodes_per_minute.{key} must be positive")
+        for key in ("n_workers", "episodes"):
+            value = epm.get(key)
+            if not isinstance(value, int) or value <= 0:
+                problems.append(
+                    f"episodes_per_minute.{key} must be a positive integer"
+                )
     return problems
 
 
@@ -313,5 +414,12 @@ def format_bench_table(payload: dict[str, Any]) -> str:
         lines.append(
             f"speedup {key:<12} {payload['speedups'][key]:>7.1f}x  ({seed} -> {fast})"
         )
+    epm = payload["episodes_per_minute"]
+    lines.append(
+        f"episodes/min: serial {epm['serial']:.0f}, "
+        f"2 workers {epm['workers_2']:.0f}, "
+        f"{epm['n_workers']} workers {epm['workers_n']:.0f}  "
+        f"({epm['episodes']} episodes)"
+    )
     lines.append(f"peak RSS: {payload['peak_rss_kib'] / 1024.0:.1f} MiB")
     return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""Fault-tolerant parallel episode rollouts.
+
+A multi-process rollout executor feeding both DQN experience collection
+(:mod:`repro.core.training`) and the evaluation harnesses
+(:mod:`repro.eval`), built the way this codebase does everything:
+supervised (heartbeat watchdog, bounded retries, poison-episode
+quarantine, graceful degradation to serial), fault-injected (real
+worker process deaths via ``repro chaos --profile worker-*``), and
+provably equivalent — a parallel run's merged output is bit-identical
+to the serial seed path regardless of worker count, completion order,
+or mid-run deaths, and SIGKILL-and-resume of the coordinator is
+bit-identical through the per-episode store.
+
+Typical use::
+
+    from repro.rollouts import (
+        EpisodeSpec, EvalRolloutTask, RolloutConfig, RolloutExecutor,
+    )
+
+    task = EvalRolloutTask(scenario, requests, t0_s, t1_s, num_teams=20)
+    specs = [EpisodeSpec(i, task.kind, seed=0) for i in range(16)]
+    report = RolloutExecutor(task, RolloutConfig(num_workers=4)).run(specs)
+    table = report.merged.eval_table()
+"""
+
+from repro.rollouts.executor import (
+    PoisonedEpisode,
+    RolloutConfig,
+    RolloutExecutor,
+    RolloutIncident,
+    RolloutReport,
+    RolloutSupervisor,
+    run_rollouts_serial,
+)
+from repro.rollouts.merge import (
+    DuplicateEpisodeError,
+    MergedRollouts,
+    drain_transitions,
+    merge_results,
+)
+from repro.rollouts.spec import (
+    CorruptResultError,
+    EpisodeResult,
+    EpisodeSpec,
+    backoff_rng,
+    episode_rng,
+    episode_sim_seed,
+    unwrap_result,
+    wrap_result,
+)
+from repro.rollouts.store import RolloutStore
+from repro.rollouts.tasks import (
+    EvalRolloutTask,
+    RolloutTask,
+    SyntheticTask,
+    TrainingCollectTask,
+    build_training_collect_task,
+)
+
+__all__ = [
+    "CorruptResultError",
+    "DuplicateEpisodeError",
+    "EpisodeResult",
+    "EpisodeSpec",
+    "EvalRolloutTask",
+    "MergedRollouts",
+    "PoisonedEpisode",
+    "RolloutConfig",
+    "RolloutExecutor",
+    "RolloutIncident",
+    "RolloutReport",
+    "RolloutStore",
+    "RolloutSupervisor",
+    "RolloutTask",
+    "SyntheticTask",
+    "TrainingCollectTask",
+    "backoff_rng",
+    "build_training_collect_task",
+    "drain_transitions",
+    "episode_rng",
+    "episode_sim_seed",
+    "merge_results",
+    "run_rollouts_serial",
+    "unwrap_result",
+    "wrap_result",
+]

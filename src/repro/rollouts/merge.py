@@ -1,0 +1,202 @@
+"""Order-insensitive merge reducers for rollout results.
+
+The REP401/REP402 discipline applied to episode collection: results
+arrive in whatever order workers finish (scrambled further by retries
+and deaths), so every reducer here folds over ``sorted-by-episode-id``
+sequences and nothing else.  The merged output is a pure function of
+the *set* of results — parallel runs are bit-identical to serial runs
+regardless of worker count, completion order, or how many workers died
+along the way.
+
+Duplicates are rejected loudly rather than deduplicated silently: a
+correct executor never commits the same episode twice, so a duplicate
+reaching the merge is a coordinator bug worth crashing on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterable
+
+import numpy as np
+
+from repro.core.artifacts import sha256_json
+from repro.ml.replay import Transition
+from repro.rollouts.spec import EpisodeResult
+
+if TYPE_CHECKING:
+    from repro.ml.replay import ReplayBuffer
+
+
+class DuplicateEpisodeError(ValueError):
+    """The same episode id was merged twice — a coordinator bug."""
+
+
+def merge_results(results: Iterable[EpisodeResult]) -> "MergedRollouts":
+    """Fold results into canonical episode-id order, rejecting duplicates."""
+    by_id: dict[int, EpisodeResult] = {}
+    for result in results:
+        if result.episode_id in by_id:
+            raise DuplicateEpisodeError(
+                f"episode {result.episode_id} merged twice"
+            )
+        by_id[result.episode_id] = result
+    ordered = tuple(by_id[eid] for eid in sorted(by_id))
+    return MergedRollouts(results=ordered)
+
+
+@dataclass(frozen=True)
+class MergedRollouts:
+    """The canonical, order-free view of a completed campaign."""
+
+    results: tuple[EpisodeResult, ...]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def episode_ids(self) -> tuple[int, ...]:
+        return tuple(r.episode_id for r in self.results)
+
+    def restrict(self, episode_ids: Iterable[int]) -> "MergedRollouts":
+        """The sub-merge over a subset of episodes (still sorted)."""
+        keep = set(episode_ids)
+        return MergedRollouts(
+            results=tuple(r for r in self.results if r.episode_id in keep)
+        )
+
+    def as_json(self) -> dict[str, Any]:
+        """Canonical JSON form; the basis of :meth:`fingerprint`."""
+        return {
+            "episodes": [
+                {
+                    "episode_id": r.episode_id,
+                    "kind": r.kind,
+                    "payload": r.payload,
+                }
+                for r in self.results
+            ]
+        }
+
+    def fingerprint(self) -> str:
+        """SHA-256 of the canonical merged form.
+
+        Two campaigns are bit-identical iff their fingerprints match;
+        this is the equality the chaos harness and the parallel-vs-serial
+        smoke checks assert.
+        """
+        return sha256_json(self.as_json())
+
+    # -- eval reduction --------------------------------------------------------
+
+    def eval_table(self) -> dict[str, Any]:
+        """Aggregate eval-episode payloads into one summary table.
+
+        Sums and means fold in episode-id order; any numeric field shared
+        by every payload is aggregated, so the table's layout is stable
+        across task variants.
+        """
+        rows = []
+        for r in self.results:
+            row = {"episode_id": r.episode_id}
+            row.update(
+                {
+                    k: v
+                    for k, v in sorted(r.payload.items())
+                    if isinstance(v, (int, float)) and not isinstance(v, bool)
+                }
+            )
+            rows.append(row)
+        # Seeds are identity, not measurement: keep them in the rows but
+        # out of the aggregates.
+        numeric_keys = sorted(
+            {k for row in rows for k in row}
+            - {"episode_id", "sim_seed", "day"}
+        )
+        totals = {
+            k: float(sum(row.get(k, 0.0) for row in rows)) for k in numeric_keys
+        }
+        means = {
+            k: (totals[k] / len(rows) if rows else 0.0) for k in numeric_keys
+        }
+        return {
+            "episodes": rows,
+            "totals": totals,
+            "means": means,
+            "count": len(rows),
+        }
+
+    # -- training reduction ----------------------------------------------------
+
+    def transitions(self) -> list[Transition]:
+        """Every collected transition, in (episode id, step) order."""
+        out: list[Transition] = []
+        for r in self.results:
+            for item in r.payload.get("transitions", []):
+                state, action, reward, next_state, done = item
+                out.append(
+                    Transition(
+                        state=np.asarray(state, dtype=np.float64),
+                        action=int(action),
+                        reward=float(reward),
+                        next_state=np.asarray(next_state, dtype=np.float64),
+                        done=bool(done),
+                    )
+                )
+        return out
+
+    def feed_replay(self, buffer: "ReplayBuffer") -> int:
+        """Push every merged transition into a replay buffer, in order.
+
+        Returns the number of transitions pushed.  Feeding the same
+        merged campaign into two fresh buffers produces byte-identical
+        buffer state — the replay-level equality the merge tests assert.
+        """
+        transitions = self.transitions()
+        for tr in transitions:
+            buffer.push(tr)
+        return len(transitions)
+
+    def replay_arrays(self) -> dict[str, np.ndarray]:
+        """Merged transitions as flat arrays (for fingerprinting buffers)."""
+        transitions = self.transitions()
+        if not transitions:
+            return {
+                "states": np.zeros((0, 0)),
+                "actions": np.zeros(0, dtype=np.int64),
+                "rewards": np.zeros(0),
+                "next_states": np.zeros((0, 0)),
+                "dones": np.zeros(0, dtype=bool),
+            }
+        return {
+            "states": np.stack([t.state for t in transitions]),
+            "actions": np.array([t.action for t in transitions], dtype=np.int64),
+            "rewards": np.array([t.reward for t in transitions]),
+            "next_states": np.stack([t.next_state for t in transitions]),
+            "dones": np.array([t.done for t in transitions], dtype=bool),
+        }
+
+
+def drain_transitions(buffer: "ReplayBuffer") -> list[list[Any]]:
+    """Serialize a replay buffer's contents in insertion order.
+
+    Used by the training-collect task to ship episode transitions over
+    the wire as plain JSON.  The ring math recovers insertion order from
+    ``(head, size)``: element ``i`` of the logical sequence lives at
+    ``(head - size + i) mod capacity``.
+    """
+    state = buffer.get_state()
+    capacity, _state_dim, size, head = (int(x) for x in state["meta"])
+    out: list[list[Any]] = []
+    for i in range(size):
+        j = (head - size + i) % capacity
+        out.append(
+            [
+                [float(x) for x in state["states"][j]],
+                int(state["actions"][j]),
+                float(state["rewards"][j]),
+                [float(x) for x in state["next_states"][j]],
+                bool(state["dones"][j]),
+            ]
+        )
+    return out

@@ -1,0 +1,152 @@
+"""Episode specs, seeding, and the checksummed result envelope.
+
+The determinism contract starts here.  An :class:`EpisodeSpec` is the
+*only* input a worker gets, and every random draw inside an episode
+comes from a generator keyed ``(campaign seed, episode tag, episode
+id)`` — never from the worker that happens to run it, the process id,
+or the wall clock.  Because an episode's result is a pure function of
+its spec, any two successful attempts of the same episode produce
+byte-identical payloads, which is what makes retries, worker deaths,
+and completion-order scrambling invisible to the merged output.
+
+Results travel between processes wrapped in a checksummed envelope:
+the coordinator re-hashes the payload on receipt and rejects any
+envelope whose digest does not match (a :class:`CorruptResultError`),
+so a corrupting worker can cost an attempt but never poison the merge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.artifacts import sha256_json
+
+#: Substream tags for the rollout layer, disjoint from the fault-family
+#: tags (101-114 in ``repro.faults.models``).
+_TAG_EPISODE = 115
+_TAG_BACKOFF = 116
+
+#: Envelope format marker; bump the version on layout changes.
+RESULT_FORMAT = "repro-rollout-result"
+RESULT_VERSION = 1
+
+
+class CorruptResultError(ValueError):
+    """A result envelope failed its integrity check."""
+
+
+@dataclass(frozen=True)
+class EpisodeSpec:
+    """One unit of rollout work, picklable and worker-agnostic.
+
+    ``options`` is a flat tuple of ``(key, value)`` string pairs so the
+    spec stays hashable and its JSON form is canonical.
+    """
+
+    episode_id: int
+    kind: str
+    seed: int
+    options: tuple[tuple[str, str], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.episode_id < 0:
+            raise ValueError("episode_id must be non-negative")
+        if self.seed < 0:
+            raise ValueError("seed must be non-negative")
+
+    def as_json(self) -> dict[str, Any]:
+        return {
+            "episode_id": self.episode_id,
+            "kind": self.kind,
+            "seed": self.seed,
+            "options": [list(pair) for pair in self.options],
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict[str, Any]) -> "EpisodeSpec":
+        return cls(
+            episode_id=int(payload["episode_id"]),
+            kind=str(payload["kind"]),
+            seed=int(payload["seed"]),
+            options=tuple(
+                (str(k), str(v)) for k, v in payload.get("options", [])
+            ),
+        )
+
+
+def episode_rng(spec: EpisodeSpec) -> np.random.Generator:
+    """The episode's private generator.
+
+    Keyed by ``(seed, episode tag, episode id)`` only: which worker runs
+    the episode, and on which attempt, cannot change a single draw.
+    """
+    return np.random.default_rng([spec.seed, _TAG_EPISODE, spec.episode_id])
+
+
+def episode_sim_seed(spec: EpisodeSpec) -> int:
+    """A derived integer seed for components that take plain ints."""
+    return int(episode_rng(spec).integers(0, 2**31 - 1))
+
+
+def backoff_rng(seed: int, episode_id: int, attempt: int) -> np.random.Generator:
+    """Jitter stream for retry backoff — keyed by episode, not worker."""
+    return np.random.default_rng([seed, _TAG_BACKOFF, episode_id, attempt])
+
+
+@dataclass(frozen=True)
+class EpisodeResult:
+    """One completed episode: the spec identity plus its JSON payload."""
+
+    episode_id: int
+    kind: str
+    payload: dict[str, Any]
+
+
+def wrap_result(spec: EpisodeSpec, payload: dict[str, Any]) -> dict[str, Any]:
+    """Seal a payload into the checksummed wire envelope."""
+    return {
+        "format": RESULT_FORMAT,
+        "version": RESULT_VERSION,
+        "episode_id": spec.episode_id,
+        "kind": spec.kind,
+        "payload": payload,
+        "sha256": sha256_json(payload),
+    }
+
+
+def unwrap_result(envelope: Any) -> EpisodeResult:
+    """Verify and open an envelope; raise :class:`CorruptResultError`.
+
+    Every check is loud: a malformed envelope, a version skew, or a
+    digest mismatch each names what was wrong so incident records stay
+    diagnosable.
+    """
+    if not isinstance(envelope, dict):
+        raise CorruptResultError(
+            f"result envelope is {type(envelope).__name__}, not a dict"
+        )
+    if envelope.get("format") != RESULT_FORMAT:
+        raise CorruptResultError(
+            f"unexpected envelope format {envelope.get('format')!r}"
+        )
+    if envelope.get("version") != RESULT_VERSION:
+        raise CorruptResultError(
+            f"unsupported envelope version {envelope.get('version')!r}"
+        )
+    payload = envelope.get("payload")
+    if not isinstance(payload, dict):
+        raise CorruptResultError("envelope payload is not a dict")
+    digest = sha256_json(payload)
+    if digest != envelope.get("sha256"):
+        raise CorruptResultError(
+            f"payload digest mismatch: {digest[:12]} != "
+            f"{str(envelope.get('sha256'))[:12]}"
+        )
+    return EpisodeResult(
+        episode_id=int(envelope["episode_id"]),
+        kind=str(envelope["kind"]),
+        payload=payload,
+    )

@@ -1,0 +1,80 @@
+"""Durable per-episode result cells: the coordinator's checkpoint layer.
+
+One JSON file per completed episode, written atomically through
+:mod:`repro.core.artifacts` (PR 2), each embedding the spec it answers
+and a SHA-256 of the result envelope.  Resume is therefore trivial and
+paranoid at once: preload every cell, silently discard anything
+malformed, checksum-mismatched, or answering a *different* spec (the
+campaign may have changed under the directory), and re-run exactly the
+episodes without a valid cell.  Because a cell's payload is a pure
+function of its spec, a resumed campaign merges bit-identically to an
+uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import pathlib
+from typing import Any
+
+from repro.core.artifacts import atomic_write_json, sha256_json
+from repro.rollouts.spec import CorruptResultError, EpisodeSpec, unwrap_result
+
+logger = logging.getLogger("repro.rollouts")
+
+FORMAT = "repro-rollout-cell"
+
+
+class RolloutStore:
+    """Crash-safe, resumable storage of per-episode result envelopes."""
+
+    def __init__(self, root: str | pathlib.Path) -> None:
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, episode_id: int) -> pathlib.Path:
+        return self.root / f"episode={int(episode_id):06d}.json"
+
+    def put(self, spec: EpisodeSpec, envelope: dict[str, Any]) -> None:
+        """Commit one verified envelope (atomic write + embedded digest)."""
+        cell = {
+            "format": FORMAT,
+            "spec": spec.as_json(),
+            "sha256": sha256_json(envelope),
+            "envelope": envelope,
+        }
+        atomic_write_json(self._path(spec.episode_id), cell)
+
+    def get(self, spec: EpisodeSpec) -> dict[str, Any] | None:
+        """The stored envelope for ``spec``, or ``None`` when absent/invalid.
+
+        Every rejection is logged and treated as a cache miss — the
+        episode simply re-runs — so a torn write or stale campaign can
+        cost time but never correctness.
+        """
+        path = self._path(spec.episode_id)
+        if not path.exists():
+            return None
+        try:
+            cell = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            logger.warning("discarding unreadable cell %s: %s", path.name, exc)
+            return None
+        if not isinstance(cell, dict) or cell.get("format") != FORMAT:
+            logger.warning("discarding cell %s: wrong format", path.name)
+            return None
+        if cell.get("spec") != spec.as_json():
+            logger.warning("discarding cell %s: spec mismatch", path.name)
+            return None
+        envelope = cell.get("envelope")
+        if sha256_json(envelope) != cell.get("sha256"):
+            logger.warning("discarding cell %s: digest mismatch", path.name)
+            return None
+        try:
+            unwrap_result(envelope)
+        except CorruptResultError as exc:
+            logger.warning("discarding cell %s: %s", path.name, exc)
+            return None
+        assert isinstance(envelope, dict)
+        return envelope

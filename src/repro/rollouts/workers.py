@@ -1,0 +1,113 @@
+"""The rollout worker process loop.
+
+Each worker owns a private task queue and a private message queue — a
+worker killed mid-``put`` can corrupt at most its own channel, which the
+coordinator treats the same as any other death.  The loop is austere by
+design: pull a spec, run the episode (beating through the heartbeat
+callback), seal the payload in a checksummed envelope, send it back.
+
+Injected faults execute *here*, in the real child process: a planned
+crash is an ``os._exit`` mid-episode (no atexit, no queue flush — as
+close to ``kill -9`` as a process can do to itself), a stall is a real
+sleep long enough to miss heartbeats, and a corrupt result flips the
+payload after the checksum so the coordinator's integrity check must
+catch it.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as queue_mod
+import time
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    import multiprocessing
+
+    from repro.faults.models import WorkerFaultInjector
+    from repro.rollouts.spec import EpisodeSpec
+    from repro.rollouts.tasks import RolloutTask
+
+from repro.rollouts.spec import wrap_result
+
+#: Exit code a fault-crashed worker dies with (visible in incidents).
+CRASH_EXIT_CODE = 17
+
+
+def worker_main(
+    worker_id: int,
+    task: "RolloutTask",
+    context: Any,
+    task_queue: "multiprocessing.Queue[Any]",
+    msg_queue: "multiprocessing.Queue[Any]",
+    injector: "WorkerFaultInjector | None",
+    beat_interval_s: float,
+    parent_pid: int,
+) -> None:
+    """Run episodes until the ``None`` sentinel (or orphaned, or killed).
+
+    ``worker_id`` exists for logging and fault *observation* only — the
+    fault plan, the episode seed and the payload are all functions of the
+    episode, never of this id (REP403 guards that boundary).
+    """
+    while True:
+        # A SIGKILLed coordinator cannot clean us up; detect re-parenting
+        # and exit rather than linger as an orphan holding the store lock.
+        if os.getppid() != parent_pid:  # repro: allow-worker-ident -- orphan detection only; never flows into seeds or results
+            os._exit(0)
+        try:
+            item = task_queue.get(timeout=beat_interval_s)
+        except queue_mod.Empty:
+            msg_queue.put(("beat",))
+            continue
+        if item is None:
+            return
+        spec, attempt = item
+        _run_one(task, context, spec, attempt, msg_queue, injector)
+
+
+def _run_one(
+    task: "RolloutTask",
+    context: Any,
+    spec: "EpisodeSpec",
+    attempt: int,
+    msg_queue: "multiprocessing.Queue[Any]",
+    injector: "WorkerFaultInjector | None",
+) -> None:
+    plan = None
+    if injector is not None:
+        plan = injector.plan(spec.episode_id, attempt)
+        if plan.stall_s > 0.0:
+            # A stalled worker stops beating; the supervisor must kill us.
+            time.sleep(plan.stall_s)
+    beats = 0
+
+    def beat() -> None:
+        nonlocal beats
+        if (
+            plan is not None
+            and plan.crash_after_beats is not None
+            and beats >= plan.crash_after_beats
+        ):
+            # Death BEFORE the put: the channel stays clean, the episode
+            # is genuinely lost mid-flight, and the supervisor finds out
+            # only through the silence.
+            os._exit(CRASH_EXIT_CODE)
+        beats += 1
+        msg_queue.put(("beat",))
+
+    try:
+        payload = task.run_episode(context, spec, beat)
+    except Exception as exc:  # repro: allow-broad-except -- converted to a typed error message; the coordinator records and retries
+        msg_queue.put(
+            ("error", spec.episode_id, attempt, f"{type(exc).__name__}: {exc}")
+        )
+        return
+    envelope = wrap_result(spec, payload)
+    if plan is not None and plan.corrupt_result:
+        # Flip the payload after sealing: the digest no longer matches and
+        # the coordinator must reject the envelope, not merge it.
+        envelope = dict(envelope)
+        envelope["payload"] = dict(envelope["payload"])
+        envelope["payload"]["__corrupted__"] = True
+    msg_queue.put(("result", spec.episode_id, attempt, envelope))

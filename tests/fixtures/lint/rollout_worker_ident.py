@@ -1,0 +1,21 @@
+"""Fixture: worker identity and wall-clock leaking into rollout state."""
+# reprolint: module=repro.rollouts.workers
+import os
+import time
+
+import numpy as np
+
+
+def episode_seed(seed, worker_id, episode_id):
+    # The banned spawn key: results now depend on worker assignment.
+    return np.random.default_rng([seed, worker_id, episode_id])
+
+
+def stamp_result(payload):
+    payload["pid"] = os.getpid()
+    payload["finished_at"] = time.time()
+    return payload
+
+
+def orphaned(parent_pid):
+    return os.getppid() != parent_pid  # repro: allow-worker-ident -- fixture: sanctioned orphan check

@@ -1,0 +1,192 @@
+"""Property-style tests for the order-insensitive merge reducers.
+
+The claim under test: the merged campaign is a pure function of the
+*set* of episode results.  Random completion orders, different worker
+counts, and mid-run worker deaths must all produce byte-equal replay
+buffers and eval tables against the serial reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.runner import RetryPolicy
+from repro.faults import WorkerCrashFault, WorkerFaultInjector
+from repro.faults.models import WorkerFaultProfile
+from repro.ml.replay import ReplayBuffer, Transition
+from repro.rollouts import (
+    DuplicateEpisodeError,
+    EpisodeSpec,
+    RolloutConfig,
+    RolloutExecutor,
+    SyntheticTask,
+    drain_transitions,
+    merge_results,
+    run_rollouts_serial,
+)
+
+TASK = SyntheticTask(steps=4, state_dim=3)
+SPECS = [EpisodeSpec(episode_id=i, kind=TASK.kind, seed=9) for i in range(10)]
+
+
+def fast_config(num_workers):
+    return RolloutConfig(
+        num_workers=num_workers,
+        heartbeat_timeout_s=3.0,
+        beat_interval_s=0.05,
+        poll_interval_s=0.005,
+        max_worker_restarts=64,
+        retry=RetryPolicy(max_attempts=4, base_delay_s=0.01, max_delay_s=0.05),
+    )
+
+
+@pytest.fixture(scope="module")
+def serial():
+    return run_rollouts_serial(TASK, SPECS)
+
+
+def buffer_state(merged, capacity=64):
+    buffer = ReplayBuffer(capacity=capacity, state_dim=TASK.state_dim)
+    merged.feed_replay(buffer)
+    return buffer.get_state()
+
+
+def states_equal(a, b):
+    return set(a) == set(b) and all(np.array_equal(a[k], b[k]) for k in a)
+
+
+# -- completion-order scrambling (pure, no processes) --------------------------
+
+
+class TestOrderInsensitivity:
+    def test_any_completion_order_merges_identically(self, serial):
+        rng = np.random.default_rng(0)
+        results = list(serial.merged.results)
+        reference = serial.merged.fingerprint()
+        for _ in range(25):
+            shuffled = [results[i] for i in rng.permutation(len(results))]
+            assert merge_results(shuffled).fingerprint() == reference
+
+    def test_scrambled_merges_feed_identical_replay_buffers(self, serial):
+        rng = np.random.default_rng(1)
+        results = list(serial.merged.results)
+        reference = buffer_state(serial.merged)
+        for _ in range(10):
+            shuffled = [results[i] for i in rng.permutation(len(results))]
+            assert states_equal(buffer_state(merge_results(shuffled)), reference)
+
+    def test_scrambled_merges_produce_identical_eval_tables(self, serial):
+        rng = np.random.default_rng(2)
+        results = list(serial.merged.results)
+        reference = serial.merged.eval_table()
+        for _ in range(10):
+            shuffled = [results[i] for i in rng.permutation(len(results))]
+            assert merge_results(shuffled).eval_table() == reference
+
+    def test_duplicates_are_rejected_loudly(self, serial):
+        results = list(serial.merged.results)
+        with pytest.raises(DuplicateEpisodeError):
+            merge_results(results + [results[0]])
+
+    def test_restrict_keeps_sorted_subset(self, serial):
+        sub = serial.merged.restrict([7, 1, 4])
+        assert sub.episode_ids == (1, 4, 7)
+        assert sub.fingerprint() == serial.merged.restrict({1, 4, 7}).fingerprint()
+
+
+# -- real parallel runs: worker counts and injected deaths ---------------------
+
+
+class TestParallelEqualsSerial:
+    @pytest.mark.parametrize("num_workers", [1, 2, 4])
+    def test_worker_count_never_changes_the_bytes(self, serial, num_workers):
+        report = RolloutExecutor(
+            TASK, config=fast_config(num_workers), seed=9
+        ).run(SPECS)
+        assert report.zero_lost
+        assert report.merged.fingerprint() == serial.merged.fingerprint()
+        assert states_equal(buffer_state(report.merged), buffer_state(serial.merged))
+        assert report.merged.eval_table() == serial.merged.eval_table()
+
+    @pytest.mark.parametrize("chaos_seed", [1, 3])
+    def test_injected_deaths_never_change_the_bytes(self, serial, chaos_seed):
+        """Workers really die mid-episode; retried attempts must slot
+        back into the exact same merged bytes."""
+        profile = WorkerFaultProfile(
+            name="crashy",
+            crash=WorkerCrashFault(
+                p_affected=0.5, max_crashes=1, crash_after_beats=2
+            ),
+        )
+        report = RolloutExecutor(
+            TASK,
+            config=fast_config(2),
+            seed=9,
+            fault_injector=WorkerFaultInjector(profile, seed=chaos_seed),
+        ).run(SPECS)
+        assert report.worker_deaths > 0, "chaos seed must kill at least once"
+        assert report.zero_lost
+        assert not report.quarantined_ids
+        assert report.merged.fingerprint() == serial.merged.fingerprint()
+        assert states_equal(buffer_state(report.merged), buffer_state(serial.merged))
+        assert report.merged.eval_table() == serial.merged.eval_table()
+
+
+# -- replay-buffer ring arithmetic ---------------------------------------------
+
+
+class TestDrainTransitions:
+    def make_transition(self, rng, state_dim=3):
+        return Transition(
+            state=rng.random(state_dim),
+            action=int(rng.integers(0, 4)),
+            reward=float(rng.random()),
+            next_state=rng.random(state_dim),
+            done=bool(rng.random() < 0.2),
+        )
+
+    @pytest.mark.parametrize("n_pushed", [0, 5, 8, 13])
+    def test_round_trip_preserves_insertion_order(self, n_pushed):
+        """Drain must recover insertion order even after the ring wraps
+        (capacity 8, up to 13 pushes)."""
+        rng = np.random.default_rng(42)
+        buffer = ReplayBuffer(capacity=8, state_dim=3)
+        pushed = [self.make_transition(rng) for _ in range(n_pushed)]
+        for tr in pushed:
+            buffer.push(tr)
+        drained = drain_transitions(buffer)
+        expected = pushed[-8:]
+        assert len(drained) == len(expected)
+        for row, tr in zip(drained, expected):
+            state, action, reward, next_state, done = row
+            assert np.allclose(state, tr.state)
+            assert action == tr.action
+            assert reward == tr.reward
+            assert np.allclose(next_state, tr.next_state)
+            assert done == tr.done
+
+    def test_drained_rows_are_plain_json_types(self):
+        rng = np.random.default_rng(0)
+        buffer = ReplayBuffer(capacity=4, state_dim=3)
+        buffer.push(self.make_transition(rng))
+        [[state, action, reward, next_state, done]] = drain_transitions(buffer)
+        assert all(type(x) is float for x in state + next_state)
+        assert type(action) is int
+        assert type(reward) is float
+        assert type(done) is bool
+
+
+# -- eval-table semantics ------------------------------------------------------
+
+
+class TestEvalTable:
+    def test_identity_fields_stay_out_of_aggregates(self, serial):
+        table = serial.merged.eval_table()
+        assert table["count"] == len(SPECS)
+        for aggregate in (table["totals"], table["means"]):
+            assert "episode_id" not in aggregate
+            assert "sim_seed" not in aggregate
+        assert {row["episode_id"] for row in table["episodes"]} == set(
+            range(len(SPECS))
+        )

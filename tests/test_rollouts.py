@@ -1,0 +1,454 @@
+"""The fault-tolerant rollout executor: supervision, faults, resume.
+
+These tests spawn *real* forked worker processes and inject *real*
+process deaths (``os._exit`` mid-episode), stalls longer than the
+heartbeat timeout, and checksum-breaking result corruption — then
+assert the merged output is bit-identical to the serial reference and
+that no episode is ever silently lost.  The supervisor state machine is
+additionally unit-tested in isolation on a :class:`ManualClock`.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.runner import RetryPolicy
+from repro.faults import (
+    WorkerCorruptResultFault,
+    WorkerCrashFault,
+    WorkerFaultInjector,
+    WorkerStallFault,
+    get_worker_profile,
+)
+from repro.faults.models import NULL_WORKER_PLAN, WorkerFaultProfile
+from repro.rollouts import (
+    CorruptResultError,
+    EpisodeSpec,
+    RolloutConfig,
+    RolloutExecutor,
+    RolloutStore,
+    RolloutSupervisor,
+    SyntheticTask,
+    episode_rng,
+    run_rollouts_serial,
+    unwrap_result,
+    wrap_result,
+)
+from repro.service.deadline import ManualClock
+
+TASK = SyntheticTask(steps=4, state_dim=3)
+
+
+def make_specs(n, seed=5):
+    return [
+        EpisodeSpec(episode_id=i, kind=TASK.kind, seed=seed) for i in range(n)
+    ]
+
+
+def fast_config(**overrides):
+    defaults = dict(
+        num_workers=2,
+        heartbeat_timeout_s=3.0,
+        beat_interval_s=0.05,
+        poll_interval_s=0.005,
+        retry=RetryPolicy(max_attempts=4, base_delay_s=0.01, max_delay_s=0.05),
+    )
+    defaults.update(overrides)
+    return RolloutConfig(**defaults)
+
+
+# -- spec / envelope contracts -------------------------------------------------
+
+
+class TestSpecAndEnvelope:
+    def test_spec_json_round_trip(self):
+        spec = EpisodeSpec(
+            episode_id=3, kind="eval", seed=7, options=(("day", "Sep 16"),)
+        )
+        assert EpisodeSpec.from_json(spec.as_json()) == spec
+
+    def test_spec_rejects_negative_identity(self):
+        with pytest.raises(ValueError):
+            EpisodeSpec(episode_id=-1, kind="eval", seed=0)
+        with pytest.raises(ValueError):
+            EpisodeSpec(episode_id=0, kind="eval", seed=-1)
+
+    def test_episode_rng_is_worker_agnostic(self):
+        """Identical specs draw identical streams — the determinism root."""
+        spec = EpisodeSpec(episode_id=9, kind="synthetic", seed=2)
+        a = episode_rng(spec).random(8)
+        b = episode_rng(spec).random(8)
+        assert (a == b).all()
+
+    def test_wrap_unwrap_round_trip(self):
+        spec = EpisodeSpec(episode_id=1, kind="synthetic", seed=0)
+        envelope = wrap_result(spec, {"total": 1.5})
+        result = unwrap_result(envelope)
+        assert result.episode_id == 1
+        assert result.payload == {"total": 1.5}
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda env: env.update(format="nope"),
+            lambda env: env.update(version=99),
+            lambda env: env.update(payload="not-a-dict"),
+            lambda env: env["payload"].update(total=9.9),
+        ],
+    )
+    def test_unwrap_rejects_tampering(self, mutate):
+        spec = EpisodeSpec(episode_id=1, kind="synthetic", seed=0)
+        envelope = wrap_result(spec, {"total": 1.5})
+        mutate(envelope)
+        with pytest.raises(CorruptResultError):
+            unwrap_result(envelope)
+
+    def test_unwrap_rejects_non_dict(self):
+        with pytest.raises(CorruptResultError):
+            unwrap_result([1, 2, 3])
+
+
+# -- config validation ---------------------------------------------------------
+
+
+class TestRolloutConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_workers": 0},
+            {"heartbeat_timeout_s": 0.0},
+            {"beat_interval_s": 0.0},
+            {"beat_interval_s": 31.0},  # above the heartbeat timeout
+            {"kill_quarantine_threshold": 0},
+            {"max_worker_restarts": -1},
+            {"max_poison": 0},
+            {"max_incidents": 0},
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            RolloutConfig(**kwargs)
+
+
+# -- the supervisor state machine (pure, on a manual clock) --------------------
+
+
+class TestRolloutSupervisor:
+    def test_overdue_detection(self):
+        clock = ManualClock()
+        sup = RolloutSupervisor(heartbeat_timeout_s=1.0, clock=clock)
+        sup.on_spawn(0)
+        sup.on_spawn(1)
+        clock.advance(0.9)
+        sup.on_beat(1)
+        clock.advance(0.5)  # worker 0 last heard 1.4s ago, worker 1 0.5s ago
+        assert sup.overdue() == [0]
+
+    def test_assignment_counts_as_contact(self):
+        clock = ManualClock()
+        sup = RolloutSupervisor(heartbeat_timeout_s=1.0, clock=clock)
+        sup.on_spawn(0)
+        clock.advance(0.9)
+        sup.on_assign(0, episode_id=4, attempt=0)
+        clock.advance(0.9)
+        assert sup.overdue() == []
+        assert sup.inflight(0) == (4, 0)
+        assert sup.idle_workers() == []
+
+    def test_death_returns_inflight_and_records(self):
+        clock = ManualClock()
+        sup = RolloutSupervisor(heartbeat_timeout_s=1.0, clock=clock)
+        sup.on_spawn(0)
+        sup.on_assign(0, episode_id=7, attempt=2)
+        assert sup.on_death(0, "killed in test") == (7, 2)
+        assert sup.deaths == 1
+        assert sup.live_workers() == []
+        [incident] = sup.incidents
+        assert incident.kind == "worker_death"
+        assert incident.episode_id == 7
+        assert incident.worker_id == 0
+
+    def test_complete_frees_the_worker(self):
+        clock = ManualClock()
+        sup = RolloutSupervisor(heartbeat_timeout_s=1.0, clock=clock)
+        sup.on_spawn(0)
+        sup.on_assign(0, episode_id=1, attempt=0)
+        sup.on_complete(0)
+        assert sup.inflight(0) is None
+        assert sup.idle_workers() == [0]
+
+    def test_incident_ring_is_bounded(self):
+        clock = ManualClock()
+        sup = RolloutSupervisor(
+            heartbeat_timeout_s=1.0, clock=clock, max_incidents=3
+        )
+        for i in range(5):
+            sup.record("noise", f"event {i}")
+        assert len(sup.incidents) == 3
+        assert sup.incidents_dropped == 2
+        assert sup.incidents[0].message == "event 2"
+
+
+# -- the fault injector oracle -------------------------------------------------
+
+
+class TestWorkerFaultInjector:
+    def test_plan_is_pure_and_order_free(self):
+        profile = get_worker_profile("worker-blackout")
+        a = WorkerFaultInjector(profile, seed=3)
+        b = WorkerFaultInjector(profile, seed=3)
+        # Query b in scrambled order; fates must not shift.
+        for eid in (7, 0, 12, 3):
+            for attempt in (2, 0, 1):
+                b.plan(eid, attempt)
+        for eid in range(16):
+            for attempt in range(4):
+                assert a.plan(eid, attempt) == b.plan(eid, attempt)
+
+    def test_disjoint_precedence_stall_crash_corrupt(self):
+        profile = WorkerFaultProfile(
+            name="all-on",
+            crash=WorkerCrashFault(p_affected=1.0, max_crashes=1),
+            stall=WorkerStallFault(p_affected=1.0, max_stalls=1, stall_s=2.0),
+            corrupt=WorkerCorruptResultFault(p_affected=1.0, max_corruptions=1),
+        )
+        injector = WorkerFaultInjector(profile, seed=0)
+        assert injector.plan(0, 0).stall_s == 2.0
+        assert injector.plan(0, 1).crash_after_beats is not None
+        assert injector.plan(0, 2).corrupt_result
+        assert injector.plan(0, 3).is_null
+        assert injector.faulted_attempts(0) == 3
+
+    def test_poison_crashes_every_attempt(self):
+        profile = WorkerFaultProfile(
+            name="poison",
+            crash=WorkerCrashFault(p_affected=0.0, p_poison=1.0),
+        )
+        injector = WorkerFaultInjector(profile, seed=1)
+        for attempt in range(6):
+            assert injector.plan(5, attempt).crash_after_beats is not None
+        assert injector.poisoned(5)
+        assert injector.faulted_attempts(5) == -1
+
+    def test_null_profile_allocates_nothing(self):
+        injector = WorkerFaultInjector(get_worker_profile("worker-none"))
+        assert injector.is_null
+        assert injector.plan(0, 0) is NULL_WORKER_PLAN
+
+    def test_unknown_profile_is_loud(self):
+        with pytest.raises(ValueError, match="worker-kill"):
+            get_worker_profile("worker-typo")
+
+
+# -- the executor against real processes ---------------------------------------
+
+
+class TestRolloutExecutor:
+    def test_parallel_is_bit_identical_to_serial(self):
+        specs = make_specs(8)
+        serial = run_rollouts_serial(TASK, specs)
+        report = RolloutExecutor(
+            TASK, config=fast_config(num_workers=3), seed=5
+        ).run(specs)
+        assert report.completed == 8
+        assert report.zero_lost
+        assert report.worker_deaths == 0
+        assert report.merged.fingerprint() == serial.merged.fingerprint()
+
+    def test_duplicate_episode_ids_rejected(self):
+        specs = make_specs(2) + make_specs(1)
+        with pytest.raises(ValueError, match="duplicate"):
+            RolloutExecutor(TASK, config=fast_config()).run(specs)
+        with pytest.raises(ValueError, match="duplicate"):
+            run_rollouts_serial(TASK, specs)
+
+    def test_crashes_retry_and_poison_quarantines(self):
+        """Real process deaths: non-poison episodes survive, poison ones
+        are quarantined with a full record, nothing is lost."""
+        specs = make_specs(8)
+        profile = WorkerFaultProfile(
+            name="crashy",
+            crash=WorkerCrashFault(
+                p_affected=0.6, max_crashes=1, p_poison=0.25, crash_after_beats=2
+            ),
+        )
+        injector = WorkerFaultInjector(profile, seed=4)
+        expected_poison = sorted(
+            s.episode_id for s in specs if injector.poisoned(s.episode_id)
+        )
+        assert expected_poison, "seed must include at least one poison episode"
+
+        serial = run_rollouts_serial(TASK, specs)
+        report = RolloutExecutor(
+            TASK,
+            config=fast_config(max_worker_restarts=64),
+            seed=5,
+            fault_injector=WorkerFaultInjector(profile, seed=4),
+        ).run(specs)
+
+        assert report.zero_lost
+        assert list(report.quarantined_ids) == expected_poison
+        assert report.worker_deaths >= len(expected_poison) * 2
+        for poisoned in report.quarantined:
+            assert poisoned.kills >= 2
+            assert any("killed its worker" in r for r in poisoned.reasons)
+        survivors = [
+            s.episode_id for s in specs if s.episode_id not in expected_poison
+        ]
+        assert (
+            report.merged.fingerprint()
+            == serial.merged.restrict(survivors).fingerprint()
+        )
+        kinds = {i.kind for i in report.incidents}
+        assert "worker_death" in kinds
+        assert "quarantine" in kinds
+
+    def test_stalled_worker_is_killed_and_episode_requeued(self):
+        specs = make_specs(4)
+        profile = WorkerFaultProfile(
+            name="stally",
+            stall=WorkerStallFault(p_affected=0.6, max_stalls=1, stall_s=2.0),
+        )
+        injector = WorkerFaultInjector(profile, seed=2)
+        n_stalled = sum(
+            1 for s in specs if injector.plan(s.episode_id, 0).stall_s > 0
+        )
+        assert n_stalled, "seed must stall at least one episode"
+
+        serial = run_rollouts_serial(TASK, specs)
+        report = RolloutExecutor(
+            TASK,
+            config=fast_config(heartbeat_timeout_s=0.6, max_worker_restarts=64),
+            seed=5,
+            fault_injector=WorkerFaultInjector(profile, seed=2),
+        ).run(specs)
+
+        assert report.completed == len(specs)
+        assert report.worker_deaths >= n_stalled
+        assert any(
+            "heartbeat timeout" in i.message
+            for i in report.incidents
+            if i.kind == "worker_death"
+        )
+        assert report.merged.fingerprint() == serial.merged.fingerprint()
+
+    def test_corrupt_results_are_rejected_and_rerun(self):
+        specs = make_specs(6)
+        profile = WorkerFaultProfile(
+            name="flippy",
+            corrupt=WorkerCorruptResultFault(p_affected=0.6, max_corruptions=1),
+        )
+        injector = WorkerFaultInjector(profile, seed=6)
+        n_corrupt = sum(
+            1
+            for s in specs
+            if injector.plan(s.episode_id, 0).corrupt_result
+        )
+        assert n_corrupt, "seed must corrupt at least one episode"
+
+        serial = run_rollouts_serial(TASK, specs)
+        report = RolloutExecutor(
+            TASK,
+            config=fast_config(),
+            seed=5,
+            fault_injector=WorkerFaultInjector(profile, seed=6),
+        ).run(specs)
+
+        assert report.completed == len(specs)
+        corrupt_incidents = [
+            i for i in report.incidents if i.kind == "corrupt_result"
+        ]
+        assert len(corrupt_incidents) >= n_corrupt
+        assert report.merged.fingerprint() == serial.merged.fingerprint()
+
+    def test_degrades_to_serial_when_restart_budget_spent(self):
+        """All workers keep dying: the campaign must still finish, via
+        the in-process serial fallback, bit-identically."""
+        specs = make_specs(5)
+        profile = WorkerFaultProfile(
+            name="carnage",
+            crash=WorkerCrashFault(p_affected=0.0, p_poison=1.0),
+        )
+        serial = run_rollouts_serial(TASK, specs)
+        report = RolloutExecutor(
+            TASK,
+            config=fast_config(
+                max_worker_restarts=2, kill_quarantine_threshold=99
+            ),
+            seed=5,
+            fault_injector=WorkerFaultInjector(profile, seed=0),
+        ).run(specs)
+        assert report.degraded
+        assert report.zero_lost
+        assert not report.quarantined_ids
+        assert report.merged.fingerprint() == serial.merged.fingerprint()
+        assert any(i.kind == "degraded" for i in report.incidents)
+
+
+# -- the store: checkpointed campaigns and paranoid resume ---------------------
+
+
+class TestRolloutStore:
+    def test_parallel_resume_is_bit_identical(self, tmp_path):
+        specs = make_specs(6)
+        serial = run_rollouts_serial(TASK, specs)
+        first = RolloutExecutor(
+            TASK,
+            config=fast_config(),
+            seed=5,
+            store=RolloutStore(tmp_path),
+        ).run(specs)
+        second = RolloutExecutor(
+            TASK,
+            config=fast_config(),
+            seed=5,
+            store=RolloutStore(tmp_path),
+        ).run(specs)
+        assert second.from_store == len(specs)
+        assert second.workers_spawned == 0
+        for report in (first, second):
+            assert report.merged.fingerprint() == serial.merged.fingerprint()
+
+    def test_partial_store_reruns_only_missing_episodes(self, tmp_path):
+        specs = make_specs(6)
+        store = RolloutStore(tmp_path)
+        run_rollouts_serial(TASK, specs[:3], store=store)
+        resumed = run_rollouts_serial(TASK, specs, store=store)
+        assert resumed.from_store == 3
+        assert resumed.completed == 6
+        reference = run_rollouts_serial(TASK, specs)
+        assert resumed.merged.fingerprint() == reference.merged.fingerprint()
+
+    def test_get_rejects_spec_mismatch(self, tmp_path):
+        store = RolloutStore(tmp_path)
+        spec = make_specs(1)[0]
+        store.put(spec, wrap_result(spec, {"total": 1.0}))
+        other = EpisodeSpec(episode_id=0, kind=spec.kind, seed=spec.seed + 1)
+        assert store.get(other) is None
+        assert store.get(spec) is not None
+
+    def test_get_rejects_torn_write(self, tmp_path):
+        store = RolloutStore(tmp_path)
+        spec = make_specs(1)[0]
+        store.put(spec, wrap_result(spec, {"total": 1.0}))
+        path = tmp_path / "episode=000000.json"
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        assert store.get(spec) is None
+
+    def test_get_rejects_digest_mismatch(self, tmp_path):
+        store = RolloutStore(tmp_path)
+        spec = make_specs(1)[0]
+        store.put(spec, wrap_result(spec, {"total": 1.0}))
+        path = tmp_path / "episode=000000.json"
+        cell = json.loads(path.read_text())
+        cell["envelope"]["payload"]["total"] = 9.0
+        path.write_text(json.dumps(cell))
+        assert store.get(spec) is None
+
+    def test_get_rejects_wrong_format(self, tmp_path):
+        store = RolloutStore(tmp_path)
+        spec = make_specs(1)[0]
+        (tmp_path / "episode=000000.json").write_text('{"format": "other"}')
+        assert store.get(spec) is None

@@ -41,6 +41,7 @@ EXPECTED = {
     "dur_unsafe_write.py": ["REP201"] * 5,
     "exc_hygiene.py": ["REP301", "REP302", "REP302"],
     "ord_set_iteration.py": ["REP401", "REP401", "REP401"],
+    "rollout_worker_ident.py": ["REP403"] * 3,
     "shard_merge.py": ["REP402"] * 4,
     "svc_swallow.py": ["REP303", "REP303"],
     "pragma_suppression.py": ["REP102"],
@@ -167,6 +168,36 @@ def test_service_swallow_scoped_to_service_package():
         "REP303"
     ]
     assert lint_source(source, module="repro.sim.engine") == []
+
+
+def test_worker_identity_scoped_to_rollouts_package():
+    source = "import os\npid = os.getpid()\n"
+    assert [f.rule for f in lint_source(source, module="repro.rollouts.workers")] == [
+        "REP403"
+    ]
+    assert lint_source(source, module="repro.service.loop") == []
+
+
+def test_worker_identity_flags_wallclock_in_rollouts():
+    source = "import time\nt = time.monotonic()\n"
+    assert [f.rule for f in lint_source(source, module="repro.rollouts.executor")] == [
+        "REP403"
+    ]
+
+
+def test_worker_identity_spawn_key_detected_through_attributes():
+    source = (
+        "import numpy as np\n"
+        "rng = np.random.default_rng([seed, self.worker_id, episode_id])\n"
+    )
+    assert [f.rule for f in lint_source(source, module="repro.rollouts.spec")] == [
+        "REP403"
+    ]
+    clean = (
+        "import numpy as np\n"
+        "rng = np.random.default_rng([seed, 115, episode_id])\n"
+    )
+    assert lint_source(clean, module="repro.rollouts.spec") == []
 
 
 def test_service_swallow_satisfied_by_recorder_call():
