@@ -3,9 +3,13 @@
 The dispatch loop's bit-reproducibility, the artifact layer's crash
 atomicity and the fault pipeline's exception discipline are conventions
 no off-the-shelf linter knows about.  This package turns them into a
-static gate: :mod:`repro.analysis.rules` holds the rule catalogue,
-:mod:`repro.analysis.engine` runs it over source trees with per-line
-pragma escape hatches (:mod:`repro.analysis.pragmas`), and
+static gate: :mod:`repro.analysis.rules` holds the per-file rule
+catalogue, :mod:`repro.analysis.project` builds the whole-program view
+(import graph, stream-tag index, fork closure) that the
+:mod:`repro.analysis.project_rules` REP5xx-7xx rules judge,
+:mod:`repro.analysis.engine` runs both passes over source trees with
+per-line pragma escape hatches (:mod:`repro.analysis.pragmas`),
+:mod:`repro.analysis.sarif` serializes reports for code scanning, and
 :mod:`repro.analysis.cli` is the ``repro lint`` front end.
 
 Programmatic use::
@@ -24,7 +28,24 @@ from repro.analysis.engine import (
     module_name_for,
 )
 from repro.analysis.findings import Finding, count_by_rule
-from repro.analysis.pragmas import KNOWN_PRAGMAS, PragmaTable, parse_pragmas
+from repro.analysis.pragmas import (
+    KNOWN_PRAGMAS,
+    PROJECT_PRAGMAS,
+    PragmaTable,
+    parse_pragmas,
+)
+from repro.analysis.project import (
+    ProjectConfig,
+    ProjectConfigError,
+    ProjectContext,
+    find_project_config,
+    load_project_config,
+)
+from repro.analysis.project_rules import (
+    DEFAULT_PROJECT_RULES,
+    PROJECT_RULE_INDEX,
+    ProjectRule,
+)
 from repro.analysis.rules import (
     DEFAULT_RULES,
     RULE_CATALOGUE,
@@ -32,17 +53,29 @@ from repro.analysis.rules import (
     Rule,
     RuleDoc,
 )
+from repro.analysis.sarif import report_as_sarif, report_as_sarif_json
 
 __all__ = [
+    "DEFAULT_PROJECT_RULES",
     "DEFAULT_RULES",
     "Finding",
     "KNOWN_PRAGMAS",
     "LintReport",
+    "PROJECT_PRAGMAS",
+    "PROJECT_RULE_INDEX",
     "PragmaTable",
+    "ProjectConfig",
+    "ProjectConfigError",
+    "ProjectContext",
+    "ProjectRule",
     "RULE_CATALOGUE",
     "RULE_INDEX",
     "Rule",
     "RuleDoc",
+    "find_project_config",
+    "load_project_config",
+    "report_as_sarif",
+    "report_as_sarif_json",
     "count_by_rule",
     "default_target",
     "lint_paths",

@@ -3,10 +3,14 @@
 Exit codes follow the convention CI expects: ``0`` clean, ``1`` findings,
 ``2`` usage or I/O errors.  ``--format json`` emits a stable document
 (version, per-rule counts, findings) so dashboards can diff finding
-counts across PRs; ``--select`` narrows to specific rule ids; fixture
-trees that are *supposed* to violate rules are linted with the same
-engine the gate uses, so the self-tests and the gate can never drift
-apart.
+counts across PRs; ``--format sarif`` emits SARIF 2.1.0 for GitHub code
+scanning.  ``--select`` narrows to specific rule ids; ``--project``
+adds the whole-program pass (REP5xx architecture, REP6xx RNG streams,
+REP7xx fork safety) configured from the nearest ``[tool.reprolint]``
+table; ``--jobs`` fans the per-file pass over a process pool with
+byte-identical output.  Fixture trees that are *supposed* to violate
+rules are linted with the same engine the gate uses, so the self-tests
+and the gate can never drift apart.
 """
 
 from __future__ import annotations
@@ -14,10 +18,22 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from collections.abc import Sequence
 
 from repro.analysis.engine import LintReport, default_target, lint_paths
 from repro.analysis.findings import count_by_rule
+from repro.analysis.project import (
+    ProjectConfig,
+    ProjectConfigError,
+    find_project_config,
+    load_project_config,
+)
+from repro.analysis.project_rules import (
+    DEFAULT_PROJECT_RULES,
+    PROJECT_RULE_INDEX,
+    ProjectRule,
+)
 from repro.analysis.rules import DEFAULT_RULES, RULE_CATALOGUE, RULE_INDEX, Rule
 
 #: Bumped when the JSON document shape changes.
@@ -32,9 +48,9 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="finding output format (json is machine-readable and stable)",
+        help="finding output format (json/sarif are machine-readable and stable)",
     )
     parser.add_argument(
         "--select",
@@ -48,25 +64,60 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="do not flag pragmas that suppress nothing (REP001)",
     )
     parser.add_argument(
+        "--project",
+        action="store_true",
+        help=(
+            "also run the whole-program pass (REP5xx/6xx/7xx) using the "
+            "nearest pyproject.toml [tool.reprolint] configuration"
+        ),
+    )
+    parser.add_argument(
+        "--config",
+        type=str,
+        default="",
+        help="explicit pyproject.toml for --project (default: walk up from paths)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="process-pool width for the per-file pass (0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="report wall time and pass composition on stderr",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalogue and exit",
     )
 
 
-def _select_rules(select: str) -> tuple[Sequence[Rule], list[str]]:
-    """Resolve ``--select`` into rule instances; returns (rules, unknown)."""
+def _select_rules(
+    select: str,
+) -> tuple[Sequence[Rule], Sequence[ProjectRule], list[str]]:
+    """Resolve ``--select`` into rule instances; returns
+    (file rules, project rules, unknown ids)."""
     if not select:
-        return DEFAULT_RULES, []
+        return DEFAULT_RULES, DEFAULT_PROJECT_RULES, []
     wanted = [s.strip().upper() for s in select.split(",") if s.strip()]
-    unknown = [s for s in wanted if s not in RULE_INDEX]
+    unknown = [
+        s for s in wanted if s not in RULE_INDEX and s not in PROJECT_RULE_INDEX
+    ]
     # De-duplicate while preserving catalogue order (REP102/REP103 share a
     # checker instance).
     chosen: list[Rule] = []
     for rule in DEFAULT_RULES:
         if rule in (RULE_INDEX[s] for s in wanted if s in RULE_INDEX):
             chosen.append(rule)
-    return chosen, unknown
+    chosen_project = [
+        rule
+        for rule in DEFAULT_PROJECT_RULES
+        if rule.rule_id in wanted
+    ]
+    return chosen, chosen_project, unknown
 
 
 def _print_catalogue() -> None:
@@ -78,6 +129,10 @@ def _print_catalogue() -> None:
             print(f"    scope: {', '.join(doc.scope)}")
         if doc.exempt:
             print(f"    exempt: {', '.join(doc.exempt)}")
+    for rule in DEFAULT_PROJECT_RULES:
+        print(f"{rule.rule_id}  {rule.name}  [# repro: {rule.pragma}]")
+        print(f"    {rule.description}")
+        print("    scope: whole-program (--project)")
 
 
 def report_as_json(report: LintReport) -> str:
@@ -91,24 +146,69 @@ def report_as_json(report: LintReport) -> str:
     return json.dumps(document, indent=2, sort_keys=True)
 
 
+def _resolve_project_config(
+    args: argparse.Namespace, paths: Sequence[str]
+) -> ProjectConfig | None:
+    """The ``--project`` configuration, or ``None`` => exit 2 upstream."""
+    if args.config:
+        return load_project_config(args.config)
+    located = find_project_config(list(paths))
+    if located is None:
+        raise ProjectConfigError(
+            "no pyproject.toml with a [tool.reprolint] table found above "
+            f"{', '.join(str(p) for p in paths)}; pass --config"
+        )
+    return load_project_config(located)
+
+
 def run_lint(args: argparse.Namespace) -> int:
     if args.list_rules:
         _print_catalogue()
         return 0
-    rules, unknown = _select_rules(args.select)
+    rules, project_rules, unknown = _select_rules(args.select)
     if unknown:
         print(f"unknown rule ids: {', '.join(unknown)}", file=sys.stderr)
         return 2
-    paths = args.paths or [default_target()]
+    paths = [str(p) for p in (args.paths or [default_target()])]
+    jobs = args.jobs
+    if jobs <= 0:
+        import os
+
+        jobs = os.cpu_count() or 1
+    project_config: ProjectConfig | None = None
+    if args.project:
+        try:
+            project_config = _resolve_project_config(args, paths)
+        except (ProjectConfigError, OSError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    started = time.perf_counter()
     try:
         report = lint_paths(
-            paths, rules=rules, strict_pragmas=not args.no_strict_pragmas
+            paths,
+            rules=rules,
+            strict_pragmas=not args.no_strict_pragmas,
+            jobs=jobs,
+            project_rules=project_rules if args.project else (),
+            project_config=project_config,
         )
     except FileNotFoundError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    elapsed = time.perf_counter() - started
+    if args.verbose:
+        passes = "file+project" if report.project_pass else "file"
+        print(
+            f"reprolint: {report.files_checked} file(s), {passes} pass, "
+            f"jobs={jobs}, {elapsed:.2f}s wall",
+            file=sys.stderr,
+        )
     if args.format == "json":
         print(report_as_json(report))
+    elif args.format == "sarif":
+        from repro.analysis.sarif import report_as_sarif_json
+
+        print(report_as_sarif_json(report))
     else:
         for finding in report.findings:
             print(finding.format_text())

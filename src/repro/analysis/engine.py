@@ -1,12 +1,27 @@
-"""The reprolint engine: file discovery, scoping, pragma filtering.
+"""The reprolint engine: discovery, scoping, pragma filtering, passes.
 
-The engine maps each ``.py`` file to its dotted module name (so rules can
-scope themselves to ``repro.sim``, exempt ``repro.core.artifacts``, ...),
-parses it once, runs every applicable rule over the AST, and filters the
-raw findings through the file's pragma table.  Pragmas are audited in the
-same pass: unknown pragma names become ``REP002`` findings and — in
-strict-pragma mode, the default — pragmas that suppressed nothing become
-``REP001`` findings.
+The engine runs up to two passes.  The **per-file pass** maps each
+``.py`` file to its dotted module name (so rules can scope themselves to
+``repro.sim``, exempt ``repro.core.artifacts``, ...), parses it once,
+runs every applicable rule over the AST, and filters the raw findings
+through the file's pragma table.  The **project pass** (``--project``)
+additionally builds a :class:`~repro.analysis.project.ProjectContext`
+— import graph, symbol index, RNG spawn sites — over the whole tree and
+runs the REP5xx/6xx/7xx rules on it.
+
+Pragmas are audited once, after every pass that ran: unknown pragma
+names become ``REP002`` findings and — in strict-pragma mode, the
+default — pragmas that suppressed nothing become ``REP001`` findings.
+The project-only pragmas (``allow-layering`` & co.) are exempt from the
+unused audit when only the per-file pass ran, since the rules they
+suppress never executed.
+
+The per-file pass can fan out over a process pool (``jobs > 1``):
+workers lint whole files and ship findings plus the pragma suppressions
+they consumed back to the parent, which replays them into its own
+tables — so the audit, the project pass, and the final ordering are
+identical to a serial run.  Any pool failure degrades to the serial
+path rather than failing the lint.
 
 Module names are derived from the path by walking up to the nearest
 package root (the highest directory chain with ``__init__.py`` files).
@@ -21,18 +36,45 @@ which is how the self-test fixtures exercise scoped rules.
 from __future__ import annotations
 
 import ast
+import concurrent.futures
+import concurrent.futures.process
+import io
 import pathlib
+import pickle
 import re
+import tokenize
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
 from repro.analysis.findings import Finding
-from repro.analysis.pragmas import PragmaTable, parse_pragmas
+from repro.analysis.pragmas import (
+    PROJECT_PRAGMAS,
+    PragmaTable,
+    parse_pragmas,
+)
+from repro.analysis.project import FileContext, ProjectConfig, ProjectContext
+from repro.analysis.project_rules import ProjectRule
 from repro.analysis.rules import DEFAULT_RULES, Rule
 
 _MODULE_DIRECTIVE_RE = re.compile(
-    r"^\s*#\s*reprolint:\s*module\s*=\s*([A-Za-z_][\w.]*)\s*$", re.MULTILINE
+    r"^#\s*reprolint:\s*module\s*=\s*([A-Za-z_][\w.]*)\s*$"
 )
+
+
+def _module_directive(source: str) -> str | None:
+    """The ``# reprolint: module=...`` directive, from real comment
+    tokens only — a directive *quoted* in a docstring must not re-point
+    the quoting file's module identity."""
+    reader = io.StringIO(source).readline
+    try:
+        for tok in tokenize.generate_tokens(reader):
+            if tok.type == tokenize.COMMENT:
+                match = _MODULE_DIRECTIVE_RE.match(tok.string)
+                if match:
+                    return match.group(1)
+    except tokenize.TokenError:
+        pass
+    return None
 
 
 @dataclass
@@ -44,6 +86,8 @@ class LintReport:
     #: Files that failed to parse, as (path, error) — reported as findings
     #: too (rule ``REP000``), but kept separately for programmatic use.
     errors: list[tuple[str, str]] = field(default_factory=list)
+    #: True when the whole-program (REP5xx-7xx) pass ran.
+    project_pass: bool = False
 
     @property
     def clean(self) -> bool:
@@ -81,7 +125,10 @@ def discover_files(paths: Sequence[str | pathlib.Path]) -> list[pathlib.Path]:
 
 
 def _pragma_audit(
-    path: str, table: PragmaTable, strict_pragmas: bool
+    path: str,
+    table: PragmaTable,
+    strict_pragmas: bool,
+    skip: frozenset[str] = frozenset(),
 ) -> Iterable[Finding]:
     for line, token in table.unknown:
         yield Finding(
@@ -92,7 +139,7 @@ def _pragma_audit(
             message=f"unknown reprolint pragma `{token}`",
         )
     if strict_pragmas:
-        for line, token in table.unused():
+        for line, token in table.unused(skip):
             yield Finding(
                 path=path,
                 line=line,
@@ -100,6 +147,25 @@ def _pragma_audit(
                 rule="REP001",
                 message=f"pragma `{token}` suppresses no finding; remove it",
             )
+
+
+def _check_file_rules(
+    tree: ast.Module,
+    module: str,
+    path: str,
+    rules: Sequence[Rule],
+    table: PragmaTable,
+) -> list[Finding]:
+    """Run the per-file rules over one tree, pragma-suppressed, unaudited."""
+    findings: list[Finding] = []
+    for rule in rules:
+        if not rule.applies_to(module):
+            continue
+        for f in rule.check(tree, module, path):
+            if f.pragma and table.suppresses(f.line, f.pragma):
+                continue
+            findings.append(f)
+    return findings
 
 
 def lint_source(
@@ -110,27 +176,106 @@ def lint_source(
     rules: Sequence[Rule] = DEFAULT_RULES,
     strict_pragmas: bool = True,
 ) -> list[Finding]:
-    """Lint one source text; the core primitive behind :func:`lint_paths`.
+    """Lint one source text; the per-file primitive behind :func:`lint_paths`.
 
     ``module`` defaults to an in-file ``# reprolint: module=...`` directive
-    when present, else the path stem.
+    when present, else the path stem.  Project-only pragmas are exempt
+    from the unused audit here — a single file cannot judge them.
     """
     if module is None:
-        directive = _MODULE_DIRECTIVE_RE.search(source)
-        module = directive.group(1) if directive else pathlib.Path(path).stem
+        module = _module_directive(source) or pathlib.Path(path).stem
     tree = ast.parse(source, filename=path)
     table = parse_pragmas(source)
-    findings: list[Finding] = []
-    for rule in rules:
-        if not rule.applies_to(module):
-            continue
-        for f in rule.check(tree, module, path):
-            if f.pragma and table.suppresses(f.line, f.pragma):
-                continue
-            findings.append(f)
-    findings.extend(_pragma_audit(path, table, strict_pragmas))
+    findings = _check_file_rules(tree, module, path, rules, table)
+    findings.extend(
+        _pragma_audit(path, table, strict_pragmas, skip=PROJECT_PRAGMAS)
+    )
     findings.sort()
     return findings
+
+
+# -- process-pool plumbing -----------------------------------------------------
+#
+# Workers are handed (absolute path, display path, module, rules) and do
+# the whole read/parse/check cycle in their own process.  They return
+# raw findings *plus* the (line, pragma) suppressions they consumed, so
+# the parent can replay usage into its own tables and run the audit with
+# full knowledge — identical output to the serial path, in any order.
+
+_PoolJob = tuple[str, str, str, tuple[Rule, ...]]
+_PoolResult = tuple[
+    str,
+    list[Finding],
+    list[tuple[int, str]],
+    tuple[int, str] | None,
+]
+
+#: Failures that make the pool unusable; anything else propagates —
+#: a rule crash should fail the lint loudly, not silently degrade.
+_POOL_ERRORS = (
+    OSError,
+    pickle.PicklingError,
+    concurrent.futures.process.BrokenProcessPool,
+)
+
+
+def _pool_lint_file(job: _PoolJob) -> _PoolResult:
+    """Worker entry: lint one file, return findings + used pragma pairs."""
+    file_path, display, module, rules = job
+    try:
+        source = pathlib.Path(file_path).read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return display, [], [], (1, f"unreadable file: {exc}")
+    try:
+        tree = ast.parse(source, filename=display)
+    except SyntaxError as exc:
+        return display, [], [], (exc.lineno or 1, f"syntax error: {exc.msg}")
+    table = parse_pragmas(source)
+    findings = _check_file_rules(tree, module, display, rules, table)
+    return display, findings, table.used_pairs(), None
+
+
+def _run_file_pass(
+    contexts: Sequence[FileContext],
+    files: Sequence[pathlib.Path],
+    rules: Sequence[Rule],
+    jobs: int,
+) -> list[Finding]:
+    """Per-file rules over already-parsed contexts, serial or pooled."""
+    if jobs > 1 and len(contexts) > 1:
+        jobs_payload: list[_PoolJob] = [
+            (str(f), ctx.path, ctx.module, tuple(rules))
+            for f, ctx in zip(files, contexts)
+        ]
+        by_path = {ctx.path: ctx for ctx in contexts}
+        try:
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(jobs, len(contexts))
+            ) as pool:
+                results = list(
+                    pool.map(
+                        _pool_lint_file,
+                        jobs_payload,
+                        chunksize=max(1, len(jobs_payload) // (jobs * 4)),
+                    )
+                )
+        except _POOL_ERRORS:
+            results = None
+        if results is not None:
+            findings: list[Finding] = []
+            for display, file_findings, used, _error in results:
+                findings.extend(file_findings)
+                by_path[display].pragmas.mark_used(used)
+            return findings
+    findings = []
+    for ctx in contexts:
+        findings.extend(
+            _check_file_rules(ctx.tree, ctx.module, ctx.path, rules, ctx.pragmas)
+        )
+    return findings
+
+
+# -- the entry point -----------------------------------------------------------
 
 
 def lint_paths(
@@ -138,9 +283,23 @@ def lint_paths(
     *,
     rules: Sequence[Rule] = DEFAULT_RULES,
     strict_pragmas: bool = True,
+    jobs: int = 1,
+    project_rules: Sequence[ProjectRule] = (),
+    project_config: ProjectConfig | None = None,
 ) -> LintReport:
-    """Lint files and directory trees into one :class:`LintReport`."""
-    report = LintReport()
+    """Lint files and directory trees into one :class:`LintReport`.
+
+    With ``project_rules`` (and their ``project_config``), the whole-
+    program pass runs after the per-file pass over the same parsed tree;
+    findings from both passes share pragma suppression and one audit.
+    ``jobs > 1`` fans the per-file pass over a process pool; output is
+    byte-identical to the serial path.
+    """
+    if project_rules and project_config is None:
+        raise ValueError("project_rules need a project_config")
+    report = LintReport(project_pass=bool(project_rules))
+    contexts: list[FileContext] = []
+    parsed_files: list[pathlib.Path] = []
     for file in discover_files(paths):
         rel = _display_path(file)
         try:
@@ -152,30 +311,52 @@ def lint_paths(
             )
             continue
         try:
-            findings = lint_source(
-                source,
-                path=rel,
-                module=_module_for_source(file, source),
-                rules=rules,
-                strict_pragmas=strict_pragmas,
-            )
+            tree = ast.parse(source, filename=rel)
         except SyntaxError as exc:
             report.errors.append((rel, str(exc)))
             report.findings.append(
                 Finding(rel, exc.lineno or 1, 1, "REP000", f"syntax error: {exc.msg}")
             )
             continue
+        contexts.append(
+            FileContext(
+                path=rel,
+                module=_module_for_source(file, source),
+                source=source,
+                tree=tree,
+                pragmas=parse_pragmas(source),
+            )
+        )
+        parsed_files.append(file)
         report.files_checked += 1
-        report.findings.extend(findings)
+
+    report.findings.extend(_run_file_pass(contexts, parsed_files, rules, jobs))
+
+    if project_rules and project_config is not None:
+        project = ProjectContext(contexts, project_config)
+        tables = {ctx.path: ctx.pragmas for ctx in contexts}
+        for rule in project_rules:
+            for f in rule.check(project):
+                table = tables.get(f.path)
+                if (
+                    f.pragma
+                    and table is not None
+                    and table.suppresses(f.line, f.pragma)
+                ):
+                    continue
+                report.findings.append(f)
+
+    skip = frozenset() if project_rules else PROJECT_PRAGMAS
+    for ctx in contexts:
+        report.findings.extend(
+            _pragma_audit(ctx.path, ctx.pragmas, strict_pragmas, skip=skip)
+        )
     report.findings.sort()
     return report
 
 
 def _module_for_source(file: pathlib.Path, source: str) -> str:
-    directive = _MODULE_DIRECTIVE_RE.search(source)
-    if directive:
-        return directive.group(1)
-    return module_name_for(file)
+    return _module_directive(source) or module_name_for(file)
 
 
 def _display_path(file: pathlib.Path) -> str:

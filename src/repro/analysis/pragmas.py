@@ -30,10 +30,22 @@ from __future__ import annotations
 import io
 import re
 import tokenize
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
+#: Pragmas only the whole-program pass (``repro lint --project``) can
+#: judge: a per-file run must not flag them as unused (REP001), because
+#: it never runs the rules they suppress.
+PROJECT_PRAGMAS = frozenset(
+    {
+        "allow-layering",
+        "allow-stream-tag",
+        "allow-fork-unsafe",
+    }
+)
+
 #: The full set of recognized pragma tokens; rules reference these by name.
-KNOWN_PRAGMAS = frozenset(
+KNOWN_PRAGMAS = PROJECT_PRAGMAS | frozenset(
     {
         "allow-nondeterminism",
         "allow-wallclock",
@@ -71,13 +83,28 @@ class PragmaTable:
             return True
         return False
 
-    def unused(self) -> list[tuple[int, str]]:
-        """Declared-but-never-suppressing (line, token) pairs, sorted."""
+    def mark_used(self, pairs: Iterable[tuple[int, str]]) -> None:
+        """Replay suppressions recorded elsewhere (a parallel lint worker
+        runs the rules in its own process and ships the used pairs back)."""
+        self._used.update(pairs)
+
+    def used_pairs(self) -> list[tuple[int, str]]:
+        """The (line, token) pairs that suppressed something, sorted."""
+        return sorted(self._used)
+
+    def unused(
+        self, skip: frozenset[str] = frozenset()
+    ) -> list[tuple[int, str]]:
+        """Declared-but-never-suppressing (line, token) pairs, sorted.
+
+        ``skip`` names pragma tokens exempt from the audit — the
+        project-only pragmas when no project pass ran.
+        """
         declared = {
             (line, token)
             for line, tokens in self.by_line.items()
             for token in tokens
-            if token in KNOWN_PRAGMAS
+            if token in KNOWN_PRAGMAS and token not in skip
         }
         return sorted(declared - self._used)
 

@@ -1,0 +1,724 @@
+"""Whole-program context for the reprolint project pass.
+
+The per-file rules (REP1xx-4xx) see one AST at a time; the invariants
+that PR 6/7 rest on — disjoint RNG stream keys across subsystems,
+acyclic layering, fork-safe worker closures — are only visible with the
+whole tree in hand.  This module builds that view once per run:
+
+* a **module import graph** distinguishing static module-scope edges
+  (what layering judges), lazy function-scope edges (what a forked
+  worker will eventually pull in), and ``TYPE_CHECKING``-guarded edges
+  (invisible at runtime, ignored by both);
+* a **symbol index** of module-level integer constants, including the
+  ``NAME = _register(value, ...)`` form the stream registry uses, so
+  tags can be chased across modules through import aliases;
+* every ``default_rng([seed, <tag>, ...])`` **spawn site**, with the
+  tag expression resolved through constants, imports, and — when the
+  tag is a function parameter, as in the fault injectors — through the
+  module's own call sites.
+
+The project pass is configured from ``[tool.reprolint]`` in
+``pyproject.toml`` (layer adjacency, forbidden reaches, the streams
+module, fork entry points).  Python 3.10 has no ``tomllib``, so a
+dependency-free parser for exactly the subset those tables use backs
+it up.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, field
+
+from repro.analysis.pragmas import PragmaTable
+from repro.analysis.rules import dotted_name, import_aliases
+
+try:  # Python >= 3.11
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - exercised on 3.10 CI
+    tomllib = None  # type: ignore[assignment]
+
+
+class ProjectConfigError(ValueError):
+    """The ``[tool.reprolint]`` configuration is missing or malformed."""
+
+
+# -- configuration -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ProjectConfig:
+    """The declared architecture the project pass enforces.
+
+    ``layers`` maps each top-level package (the component right under
+    ``root_package``) to the packages its module-scope imports may
+    target.  ``forbidden_reach`` pairs must stay unreachable even
+    transitively.  ``shared_modules`` are dependency-free leaf modules
+    (the stream registry) importable from any layer.
+    """
+
+    layers: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    forbidden_reach: tuple[tuple[str, str], ...] = ()
+    streams_module: str = ""
+    shared_modules: tuple[str, ...] = ()
+    fork_entry_points: tuple[str, ...] = ()
+    fork_sanctioned: tuple[str, ...] = ()
+    root_package: str = "repro"
+
+
+def _parse_toml_subset(text: str) -> dict[str, dict[str, object]]:
+    """Parse just the ``[tool.reprolint*]`` tables from a TOML document.
+
+    Supports the value shapes those tables use: bare strings and arrays
+    of strings (single- or multi-line).  Every other table in the file
+    is skipped wholesale, so the rest of ``pyproject.toml`` can use any
+    TOML feature it likes.
+    """
+    tables: dict[str, dict[str, object]] = {}
+    section = ""
+    pending_key = ""
+    pending = ""
+    for raw in text.splitlines():
+        line = raw.strip()
+        if pending_key:
+            pending += " " + line
+            if "]" not in line:
+                continue
+            tables[section][pending_key] = _parse_string_array(pending)
+            pending_key = ""
+            continue
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("["):
+            section = line.strip("[]").strip().strip('"')
+            if section.startswith("tool.reprolint"):
+                tables.setdefault(section, {})
+            continue
+        if not section.startswith("tool.reprolint") or "=" not in line:
+            continue
+        key, _, value = line.partition("=")
+        key = key.strip().strip('"')
+        value = value.strip()
+        if value.startswith("["):
+            if "]" not in value:
+                pending_key, pending = key, value
+                continue
+            tables[section][key] = _parse_string_array(value)
+        elif value.startswith('"'):
+            tables[section][key] = value.split("#", 1)[0].strip().strip('"')
+    return tables
+
+
+def _parse_string_array(text: str) -> list[str]:
+    return re.findall(r'"([^"]*)"', text)
+
+
+def _reprolint_tables(path: pathlib.Path) -> dict[str, dict[str, object]]:
+    text = path.read_text(encoding="utf-8")
+    if tomllib is not None:
+        data = tomllib.loads(text)
+        tool = data.get("tool", {}).get("reprolint")
+        if tool is None:
+            return {}
+        tables: dict[str, dict[str, object]] = {"tool.reprolint": {}}
+        for key, value in tool.items():
+            if isinstance(value, dict):
+                tables[f"tool.reprolint.{key}"] = dict(value)
+            else:
+                tables["tool.reprolint"][key] = value
+        return tables
+    return _parse_toml_subset(text)
+
+
+def _string_tuple(value: object, key: str) -> tuple[str, ...]:
+    if not isinstance(value, list) or not all(isinstance(v, str) for v in value):
+        raise ProjectConfigError(f"[tool.reprolint] {key} must be a string array")
+    return tuple(value)
+
+
+def load_project_config(path: str | pathlib.Path) -> ProjectConfig:
+    """Load :class:`ProjectConfig` from a ``pyproject.toml``."""
+    pyproject = pathlib.Path(path)
+    tables = _reprolint_tables(pyproject)
+    if "tool.reprolint" not in tables:
+        raise ProjectConfigError(f"no [tool.reprolint] table in {pyproject}")
+    main = tables["tool.reprolint"]
+    layers: dict[str, tuple[str, ...]] = {}
+    for pkg, allowed in tables.get("tool.reprolint.layers", {}).items():
+        layers[pkg] = _string_tuple(allowed, f"layers.{pkg}")
+    reach: list[tuple[str, str]] = []
+    for entry in _string_tuple(main.get("forbidden-reach", []), "forbidden-reach"):
+        src, arrow, dst = entry.partition("->")
+        if not arrow or not src.strip() or not dst.strip():
+            raise ProjectConfigError(
+                f"forbidden-reach entry {entry!r} is not of the form 'src -> dst'"
+            )
+        reach.append((src.strip(), dst.strip()))
+    streams = main.get("streams-module", "")
+    root = main.get("root-package", "repro")
+    if not isinstance(streams, str) or not isinstance(root, str):
+        raise ProjectConfigError(
+            "[tool.reprolint] streams-module/root-package must be strings"
+        )
+    return ProjectConfig(
+        layers=layers,
+        forbidden_reach=tuple(reach),
+        streams_module=streams,
+        shared_modules=_string_tuple(
+            main.get("shared-modules", []), "shared-modules"
+        ),
+        fork_entry_points=_string_tuple(
+            main.get("fork-entry-points", []), "fork-entry-points"
+        ),
+        fork_sanctioned=_string_tuple(
+            main.get("fork-sanctioned", []), "fork-sanctioned"
+        ),
+        root_package=root,
+    )
+
+
+def find_project_config(
+    paths: Sequence[str | pathlib.Path],
+) -> pathlib.Path | None:
+    """The nearest ``pyproject.toml`` with a ``[tool.reprolint]`` table,
+    walking up from each lint path in turn."""
+    for raw in paths:
+        probe = pathlib.Path(raw).resolve()
+        if probe.is_file():
+            probe = probe.parent
+        for candidate in (probe, *probe.parents):
+            pyproject = candidate / "pyproject.toml"
+            if not pyproject.is_file():
+                continue
+            try:
+                if _reprolint_tables(pyproject):
+                    return pyproject
+            except (OSError, ValueError):
+                continue
+    return None
+
+
+# -- per-file facts ------------------------------------------------------------
+
+
+@dataclass
+class FileContext:
+    """One parsed source file plus everything rules need to judge it."""
+
+    path: str
+    module: str
+    source: str
+    tree: ast.Module
+    pragmas: PragmaTable
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One import statement, located and classified."""
+
+    src: str
+    target: str
+    line: int
+    #: Function-scope import: invisible to layering, but real at runtime
+    #: (a forked worker will execute it), so the fork closure keeps it.
+    lazy: bool
+    #: Guarded by ``if TYPE_CHECKING:`` — never executed; ignored by both.
+    type_checking: bool
+
+
+@dataclass(frozen=True)
+class SpawnSite:
+    """One ``default_rng([seed, <tag>, ...])`` call with a list key."""
+
+    path: str
+    module: str
+    line: int
+    col: int
+    #: Statically resolved tag values (usually one; several when the tag
+    #: is a parameter fed from several call sites), or ``None`` when the
+    #: tag defeats resolution.
+    tags: tuple[int, ...] | None
+    tag_text: str
+
+
+def _is_type_checking_test(node: ast.expr) -> bool:
+    return (isinstance(node, ast.Name) and node.id == "TYPE_CHECKING") or (
+        isinstance(node, ast.Attribute) and node.attr == "TYPE_CHECKING"
+    )
+
+
+class _ModuleScanner(ast.NodeVisitor):
+    """Single AST walk collecting imports, spawn sites, and call sites."""
+
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self.aliases = import_aliases(ctx.tree)
+        self.edges: list[ImportEdge] = []
+        self.spawns: list[tuple[ast.Call, _Scope]] = []
+        #: (call node, enclosing scope) for every plain/self call.
+        self.calls: list[tuple[ast.Call, _Scope]] = []
+        #: (class name or "", function name) -> def node.
+        self.functions: dict[tuple[str, str], ast.FunctionDef | ast.AsyncFunctionDef] = {}
+        self._class = ""
+        self._func_depth = 0
+        self._func: ast.FunctionDef | ast.AsyncFunctionDef | None = None
+        self._type_checking = False
+
+    # -- scope tracking --------------------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        prev = self._class
+        if self._func_depth == 0:
+            self._class = node.name
+        self.generic_visit(node)
+        self._class = prev
+
+    def _visit_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        if self._func_depth == 0:
+            self.functions[(self._class, node.name)] = node
+        prev = self._func
+        self._func_depth += 1
+        if self._func_depth == 1:
+            self._func = node
+        self.generic_visit(node)
+        self._func_depth -= 1
+        self._func = prev if self._func_depth else None
+        if self._func_depth == 0:
+            self._func = None
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_If(self, node: ast.If) -> None:
+        if _is_type_checking_test(node.test):
+            prev = self._type_checking
+            self._type_checking = True
+            for stmt in node.body:
+                self.visit(stmt)
+            self._type_checking = prev
+            for stmt in node.orelse:
+                self.visit(stmt)
+            return
+        self.generic_visit(node)
+
+    # -- collection ------------------------------------------------------------
+
+    def _edge(self, target: str, line: int) -> None:
+        self.edges.append(
+            ImportEdge(
+                src=self.ctx.module,
+                target=target,
+                line=line,
+                lazy=self._func_depth > 0,
+                type_checking=self._type_checking,
+            )
+        )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for name in node.names:
+            self._edge(name.name, node.lineno)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        base = node.module or ""
+        if node.level:
+            parts = self.ctx.module.split(".")
+            # A module's level-1 base is its package; a package __init__'s
+            # is itself, which module naming already collapses to.
+            anchor = parts[: len(parts) - node.level]
+            base = ".".join(anchor + ([node.module] if node.module else []))
+        if base:
+            for name in node.names:
+                if name.name == "*":
+                    self._edge(base, node.lineno)
+                else:
+                    self._edge(f"{base}.{name.name}", node.lineno)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        scope = _Scope(self._class, self._func)
+        dotted = dotted_name(node.func, self.aliases)
+        if dotted == "numpy.random.default_rng":
+            self.spawns.append((node, scope))
+        self.calls.append((node, scope))
+        self.generic_visit(node)
+
+
+@dataclass(frozen=True)
+class _Scope:
+    """Innermost enclosing (class, function) of a node, for param chasing."""
+
+    class_name: str
+    func: ast.FunctionDef | ast.AsyncFunctionDef | None
+
+
+def _int_literal(node: ast.expr) -> int | None:
+    if isinstance(node, ast.Constant) and type(node.value) is int:
+        return node.value
+    if (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, ast.USub)
+        and isinstance(node.operand, ast.Constant)
+        and type(node.operand.value) is int
+    ):
+        return -node.operand.value
+    return None
+
+
+def _constant_value(node: ast.expr) -> int | None:
+    """An int from a module-level assignment — a literal, or the registry
+    form ``NAME = _register(value, ...)``."""
+    direct = _int_literal(node)
+    if direct is not None:
+        return direct
+    if isinstance(node, ast.Call) and node.args:
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else ""
+        )
+        if name == "_register":
+            return _int_literal(node.args[0])
+    return None
+
+
+def module_int_constants(tree: ast.Module) -> dict[str, int]:
+    """Module-level ``NAME = <int>`` bindings (including registry calls)."""
+    consts: dict[str, int] = {}
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            value = stmt.value
+            targets = [t for t in stmt.targets if isinstance(t, ast.Name)]
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            value = stmt.value
+            targets = [stmt.target] if isinstance(stmt.target, ast.Name) else []
+        else:
+            continue
+        resolved = _constant_value(value)
+        if resolved is not None:
+            for target in targets:
+                consts[target.id] = resolved
+    return consts
+
+
+# -- the project context -------------------------------------------------------
+
+
+class ProjectContext:
+    """Everything the REP5xx/6xx/7xx rules need, built in one pass."""
+
+    def __init__(
+        self, files: Sequence[FileContext], config: ProjectConfig
+    ) -> None:
+        self.config = config
+        self.files = sorted(files, key=lambda f: f.module)
+        self.by_module: dict[str, FileContext] = {
+            f.module: f for f in self.files
+        }
+        self._scanners: dict[str, _ModuleScanner] = {}
+        self._constants: dict[str, dict[str, int]] = {}
+        for ctx in self.files:
+            scanner = _ModuleScanner(ctx)
+            scanner.visit(ctx.tree)
+            self._scanners[ctx.module] = scanner
+            self._constants[ctx.module] = module_int_constants(ctx.tree)
+        self.spawn_sites: list[SpawnSite] = []
+        for ctx in self.files:
+            self.spawn_sites.extend(self._spawn_sites_for(ctx))
+        self.spawn_sites.sort(key=lambda s: (s.path, s.line, s.col))
+
+    # -- import graph ----------------------------------------------------------
+
+    def _project_target(self, target: str) -> str | None:
+        """Collapse an import target onto a module in this project."""
+        parts = target.split(".")
+        for i in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:i])
+            if candidate in self.by_module:
+                return candidate
+        return None
+
+    def edges(
+        self, *, include_lazy: bool, ancestors: bool = False
+    ) -> Iterator[ImportEdge]:
+        """Project-internal import edges.
+
+        ``ancestors`` additionally emits edges to each target's enclosing
+        packages: importing ``a.b.c`` executes ``a/__init__`` and
+        ``a/b/__init__`` first, which is exactly how real circular-import
+        crashes arise, so the cycle check wants those edges too.
+        Packages that also enclose the *importing* module are skipped —
+        a submodule importing a sibling does not re-enter its own
+        package's ``__init__``.
+        """
+        for scanner in self._scanners.values():
+            for edge in scanner.edges:
+                if edge.type_checking or (edge.lazy and not include_lazy):
+                    continue
+                target = self._project_target(edge.target)
+                if target is None or target == edge.src:
+                    continue
+                yield ImportEdge(
+                    edge.src, target, edge.line, edge.lazy, False
+                )
+                if not ancestors:
+                    continue
+                parts = target.split(".")
+                for i in range(1, len(parts)):
+                    package = ".".join(parts[:i])
+                    if package not in self.by_module or package == edge.src:
+                        continue
+                    if edge.src.startswith(package + "."):
+                        continue
+                    yield ImportEdge(
+                        edge.src, package, edge.line, edge.lazy, False
+                    )
+
+    def static_graph(
+        self, *, ancestors: bool = False
+    ) -> dict[str, list[ImportEdge]]:
+        """Module-scope import adjacency (what layering and cycles judge)."""
+        graph: dict[str, list[ImportEdge]] = {m: [] for m in self.by_module}
+        for edge in self.edges(include_lazy=False, ancestors=ancestors):
+            graph[edge.src].append(edge)
+        return graph
+
+    def runtime_graph(self) -> dict[str, list[ImportEdge]]:
+        """Static plus lazy edges — what a forked worker can execute."""
+        graph: dict[str, list[ImportEdge]] = {m: [] for m in self.by_module}
+        for edge in self.edges(include_lazy=True):
+            graph[edge.src].append(edge)
+        return graph
+
+    def package_of(self, module: str) -> str | None:
+        """The layer a module belongs to: the path component right under
+        the root package (``repro.sim.engine`` -> ``sim``)."""
+        root = self.config.root_package
+        if module == root or not module.startswith(root + "."):
+            return None
+        return module.split(".")[1]
+
+    def fork_closure(self) -> tuple[set[str], dict[str, str]]:
+        """Modules reachable from the fork entry points, with one witness
+        predecessor per module for readable finding messages."""
+        graph = self.runtime_graph()
+        entries = [
+            m for m in self.config.fork_entry_points if m in self.by_module
+        ]
+        seen: set[str] = set()
+        parent: dict[str, str] = {}
+        queue = list(entries)
+        for entry in entries:
+            seen.add(entry)
+        while queue:
+            module = queue.pop(0)
+            for edge in graph.get(module, []):
+                if edge.target not in seen:
+                    seen.add(edge.target)
+                    parent[edge.target] = module
+                    queue.append(edge.target)
+        return seen, parent
+
+    def import_chain(self, module: str, parent: dict[str, str]) -> list[str]:
+        """Entry-to-module chain reconstructed from BFS witnesses."""
+        chain = [module]
+        while chain[-1] in parent:
+            chain.append(parent[chain[-1]])
+        return list(reversed(chain))
+
+    # -- symbol index ----------------------------------------------------------
+
+    def constant(self, module: str, name: str, depth: int = 4) -> int | None:
+        """Resolve ``module.name`` to an int, chasing re-export aliases."""
+        if depth <= 0 or module not in self.by_module:
+            return None
+        value = self._constants[module].get(name)
+        if value is not None:
+            return value
+        alias = self._scanners[module].aliases.get(name)
+        if alias is None:
+            return None
+        return self.dotted_constant(alias, depth - 1)
+
+    def dotted_constant(self, dotted: str, depth: int = 4) -> int | None:
+        owner, _, attr = dotted.rpartition(".")
+        if not owner or not attr:
+            return None
+        target = self._project_target(owner)
+        if target is None:
+            return None
+        return self.constant(target, attr, depth)
+
+    def registry_values(self) -> dict[int, str] | None:
+        """value -> constant name from the streams module, or ``None``
+        when the registry is outside the linted tree (REP6xx then skip
+        the registration check — a partial lint can't judge it)."""
+        module = self.config.streams_module
+        if not module or module not in self.by_module:
+            return None
+        values: dict[int, str] = {}
+        for name, value in self._constants[module].items():
+            values.setdefault(value, name)
+        return values
+
+    def registry_duplicates(self) -> list[tuple[str, str, int]]:
+        """(first name, duplicate name, value) for registry collisions."""
+        module = self.config.streams_module
+        if not module or module not in self.by_module:
+            return []
+        first: dict[int, str] = {}
+        duplicates: list[tuple[str, str, int]] = []
+        for name, value in self._constants[module].items():
+            if value in first:
+                duplicates.append((first[value], name, value))
+            else:
+                first[value] = name
+        return duplicates
+
+    def constant_line(self, module: str, name: str) -> int:
+        ctx = self.by_module.get(module)
+        if ctx is None:
+            return 1
+        for stmt in ctx.tree.body:
+            targets: list[ast.expr] = []
+            if isinstance(stmt, ast.Assign):
+                targets = list(stmt.targets)
+            elif isinstance(stmt, ast.AnnAssign):
+                targets = [stmt.target]
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return stmt.lineno
+        return 1
+
+    # -- spawn-site resolution -------------------------------------------------
+
+    def _spawn_sites_for(self, ctx: FileContext) -> list[SpawnSite]:
+        scanner = self._scanners[ctx.module]
+        sites: list[SpawnSite] = []
+        for call, scope in scanner.spawns:
+            if not call.args or not isinstance(call.args[0], ast.List):
+                continue
+            key = call.args[0]
+            if len(key.elts) < 2:
+                continue
+            tag_expr = key.elts[1]
+            values = self._resolve_tag(tag_expr, scope, ctx.module, depth=6)
+            sites.append(
+                SpawnSite(
+                    path=ctx.path,
+                    module=ctx.module,
+                    line=call.lineno,
+                    col=call.col_offset + 1,
+                    tags=tuple(sorted(values)) if values else None,
+                    tag_text=ast.unparse(tag_expr),
+                )
+            )
+        return sites
+
+    def _resolve_tag(
+        self, expr: ast.expr, scope: _Scope, module: str, depth: int
+    ) -> set[int] | None:
+        """Resolve a tag expression to concrete int values, or ``None``.
+
+        Chases, in order: int literals, module-level constants (local and
+        imported), and — when the tag is a parameter of the enclosing
+        function — the arguments at that function's own call sites, which
+        is how the fault injectors' ``self._rng(tag, entity)`` helpers
+        resolve back to registry constants.
+        """
+        if depth <= 0:
+            return None
+        literal = _int_literal(expr)
+        if literal is not None:
+            return {literal}
+        scanner = self._scanners[module]
+        if isinstance(expr, (ast.Name, ast.Attribute)):
+            dotted = dotted_name(expr, scanner.aliases)
+            if isinstance(expr, ast.Name):
+                value = self.constant(module, expr.id)
+                if value is not None:
+                    return {value}
+            if dotted is not None:
+                value = self.dotted_constant(dotted)
+                if value is not None:
+                    return {value}
+        if isinstance(expr, ast.Name) and scope.func is not None:
+            return self._resolve_param(expr.id, scope, module, depth)
+        return None
+
+    def _resolve_param(
+        self, name: str, scope: _Scope, module: str, depth: int
+    ) -> set[int] | None:
+        func = scope.func
+        if func is None:
+            return None
+        params = [a.arg for a in func.args.posonlyargs + func.args.args]
+        if name not in params:
+            return None
+        index = params.index(name)
+        is_method = scope.class_name != "" and index > 0 and params[0] in (
+            "self",
+            "cls",
+        )
+        scanner = self._scanners[module]
+        resolved: set[int] = set()
+        found_site = False
+        for call, call_scope in scanner.calls:
+            if is_method and call_scope.class_name != scope.class_name:
+                continue
+            arg = self._call_argument(call, func.name, name, index, is_method)
+            if arg is None:
+                continue
+            found_site = True
+            if call_scope.func is func:
+                # Self-recursion contributes nothing new.
+                continue
+            values = self._resolve_tag(arg, call_scope, module, depth - 1)
+            if values is None:
+                return None
+            resolved.update(values)
+        return resolved if found_site and resolved else None
+
+    def _call_argument(
+        self,
+        call: ast.Call,
+        func_name: str,
+        param: str,
+        index: int,
+        is_method: bool,
+    ) -> ast.expr | None:
+        """The expression this call passes for ``param``, if it is a call
+        to the scoped function (``f(...)`` or ``self.f(...)``)."""
+        func = call.func
+        if is_method:
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr == func_name
+                and isinstance(func.value, ast.Name)
+                and func.value.id in ("self", "cls")
+            ):
+                return None
+            positional = index - 1
+        else:
+            if not (isinstance(func, ast.Name) and func.id == func_name):
+                return None
+            positional = index
+        for keyword in call.keywords:
+            if keyword.arg == param:
+                return keyword.value
+        if 0 <= positional < len(call.args):
+            arg = call.args[positional]
+            return None if isinstance(arg, ast.Starred) else arg
+        return None
+
+    # -- fork-safety facts -----------------------------------------------------
+
+    def scanner(self, module: str) -> _ModuleScanner:
+        return self._scanners[module]
+
+    def aliases(self, module: str) -> dict[str, str]:
+        return self._scanners[module].aliases

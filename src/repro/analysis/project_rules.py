@@ -1,0 +1,805 @@
+"""Whole-program rules: architecture, RNG streams, fork safety.
+
+These rules see the :class:`~repro.analysis.project.ProjectContext` —
+the full tree parsed once — instead of one file at a time:
+
+=======  =========================  ==========================================
+Rule     Pragma                     Invariant
+=======  =========================  ==========================================
+REP501   allow-layering             module-scope imports follow the layer DAG
+REP502   allow-layering             no module-level import cycles
+REP503   allow-layering             every package is declared in the layer spec
+REP504   allow-layering             forbidden layers stay transitively apart
+REP601   allow-stream-tag           one subsystem per RNG stream tag
+REP602   allow-stream-tag           every literal tag is in the registry
+REP603   allow-stream-tag           tags must be statically resolvable
+REP701   allow-fork-unsafe          no post-import writes to module globals
+                                    in the fork closure
+REP702   allow-fork-unsafe          no lambdas across the process boundary
+REP703   allow-fork-unsafe          sync primitives only in sanctioned modules
+=======  =========================  ==========================================
+
+Layering judges **static module-scope** imports only: a lazy
+function-scope import is a deliberate cycle-breaker and stays legal
+(the fork-safety walk still follows it, because a forked worker will
+execute it).  Every rule suppresses with a per-line pragma, audited by
+the same REP001/REP002 machinery as the per-file rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import ImportEdge, ProjectContext, SpawnSite
+from repro.analysis.rules import dotted_name
+
+LAYER_PRAGMA = "allow-layering"
+STREAM_PRAGMA = "allow-stream-tag"
+FORK_PRAGMA = "allow-fork-unsafe"
+
+
+@dataclass(frozen=True)
+class ProjectRule:
+    """One whole-program invariant checker."""
+
+    rule_id: str
+    name: str
+    pragma: str
+    description: str
+
+    def check(self, project: ProjectContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, path: str, line: int, col: int, message: str
+    ) -> Finding:
+        return Finding(
+            path=path,
+            line=line,
+            col=col,
+            rule=self.rule_id,
+            message=message,
+            pragma=self.pragma,
+        )
+
+
+# -- REP5xx: architecture ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LayerEdgeRule(ProjectRule):
+    """REP501: a module-scope import crosses layers the spec forbids."""
+
+    rule_id: str = "REP501"
+    name: str = "architecture/layer-violation"
+    pragma: str = LAYER_PRAGMA
+    description: str = (
+        "a module-scope import targets a package the layer spec in "
+        "[tool.reprolint.layers] does not allow for the importing package"
+    )
+
+    def check(self, project: ProjectContext) -> Iterator[Finding]:
+        layers = project.config.layers
+        shared = set(project.config.shared_modules)
+        for edge in sorted(
+            project.edges(include_lazy=False),
+            key=lambda e: (e.src, e.line),
+        ):
+            src_pkg = project.package_of(edge.src)
+            dst_pkg = project.package_of(edge.target)
+            if src_pkg is None or dst_pkg is None or src_pkg == dst_pkg:
+                continue
+            if edge.target in shared:
+                continue
+            if src_pkg not in layers or dst_pkg not in layers:
+                continue  # REP503's problem, not a spurious edge finding
+            if dst_pkg in layers[src_pkg]:
+                continue
+            ctx = project.by_module[edge.src]
+            yield self.finding(
+                ctx.path,
+                edge.line,
+                1,
+                f"layer violation: `{src_pkg}` may not import `{dst_pkg}` "
+                f"({edge.src} -> {edge.target}); allowed from `{src_pkg}`: "
+                f"{', '.join(layers[src_pkg]) or '(nothing)'}",
+            )
+
+
+@dataclass(frozen=True)
+class ImportCycleRule(ProjectRule):
+    """REP502: the module-scope import graph must stay acyclic.
+
+    Runs over the static graph **including ancestor-package edges**
+    (importing ``a.b.c`` executes ``a/__init__`` and ``a/b/__init__``
+    first), which is precisely how real circular-import crashes happen
+    even when no explicit pair of modules imports each other.
+    """
+
+    rule_id: str = "REP502"
+    name: str = "architecture/import-cycle"
+    pragma: str = LAYER_PRAGMA
+    description: str = (
+        "module-level import cycle; break it with a lazy function-scope "
+        "import or by moving the shared piece below both modules"
+    )
+
+    def check(self, project: ProjectContext) -> Iterator[Finding]:
+        graph = project.static_graph(ancestors=True)
+        adjacency = {
+            src: sorted({e.target for e in edges})
+            for src, edges in graph.items()
+        }
+        for component in _tarjan_sccs(adjacency):
+            cycle = sorted(component)
+            anchor = cycle[0]
+            edge = next(
+                (
+                    e
+                    for e in sorted(graph[anchor], key=lambda e: e.line)
+                    if e.target in component
+                ),
+                None,
+            )
+            ctx = project.by_module[anchor]
+            chain = _cycle_chain(anchor, component, adjacency)
+            yield self.finding(
+                ctx.path,
+                edge.line if edge else 1,
+                1,
+                f"import cycle: {' -> '.join(chain)}",
+            )
+
+
+def _tarjan_sccs(adjacency: dict[str, list[str]]) -> list[set[str]]:
+    """Strongly connected components with >1 node (or a self-loop),
+    iteratively, in deterministic node order."""
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    counter = 0
+    components: list[set[str]] = []
+
+    for root in sorted(adjacency):
+        if root in index:
+            continue
+        work: list[tuple[str, int]] = [(root, 0)]
+        while work:
+            node, child_index = work[-1]
+            if child_index == 0:
+                index[node] = lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            children = adjacency.get(node, [])
+            for i in range(child_index, len(children)):
+                child = children[i]
+                if child not in index:
+                    work[-1] = (node, i + 1)
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: set[str] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                if len(component) > 1 or node in adjacency.get(node, []):
+                    components.append(component)
+    return components
+
+
+def _cycle_chain(
+    start: str, component: set[str], adjacency: dict[str, list[str]]
+) -> list[str]:
+    """A concrete closed walk through the component, for the message."""
+    chain = [start]
+    seen = {start}
+    node = start
+    while True:
+        successors = [
+            t for t in adjacency.get(node, []) if t in component
+        ]
+        nxt = next((t for t in successors if t not in seen), None)
+        if nxt is None:
+            closing = next((t for t in successors if t == start), start)
+            chain.append(closing)
+            return chain
+        chain.append(nxt)
+        seen.add(nxt)
+        node = nxt
+
+
+@dataclass(frozen=True)
+class UndeclaredPackageRule(ProjectRule):
+    """REP503: every top-level package must appear in the layer spec."""
+
+    rule_id: str = "REP503"
+    name: str = "architecture/undeclared-package"
+    pragma: str = LAYER_PRAGMA
+    description: str = (
+        "a package under the root has no entry in [tool.reprolint.layers]; "
+        "an undeclared package is invisible to the layer check"
+    )
+
+    def check(self, project: ProjectContext) -> Iterator[Finding]:
+        if not project.config.layers:
+            return
+        seen: set[str] = set()
+        for ctx in project.files:
+            package = project.package_of(ctx.module)
+            if package is None or package in project.config.layers:
+                continue
+            if package in seen:
+                continue
+            seen.add(package)
+            yield self.finding(
+                ctx.path,
+                1,
+                1,
+                f"package `{package}` (module {ctx.module}) is not declared "
+                "in [tool.reprolint.layers]",
+            )
+
+
+@dataclass(frozen=True)
+class ForbiddenReachRule(ProjectRule):
+    """REP504: forbidden package pairs stay *transitively* unreachable.
+
+    Direct edges are REP501's job; this rule walks the static graph and
+    reports the full offending chain, so `sim` can never smuggle a
+    dependency on `service` through three intermediaries.
+    """
+
+    rule_id: str = "REP504"
+    name: str = "architecture/forbidden-reach"
+    pragma: str = LAYER_PRAGMA
+    description: str = (
+        "a package listed in forbidden-reach can transitively reach its "
+        "forbidden target through module-scope imports"
+    )
+
+    def check(self, project: ProjectContext) -> Iterator[Finding]:
+        graph = project.static_graph()
+        shared = set(project.config.shared_modules)
+        for src_pkg, dst_pkg in project.config.forbidden_reach:
+            found = self._shortest_reach(project, graph, shared, src_pkg, dst_pkg)
+            if found is None:
+                continue
+            chain, first_edge = found
+            if len(chain) <= 2:
+                continue  # a direct edge is REP501's finding
+            ctx = project.by_module[chain[0]]
+            yield self.finding(
+                ctx.path,
+                first_edge.line,
+                1,
+                f"forbidden reach: `{src_pkg}` -> `{dst_pkg}` via "
+                f"{' -> '.join(chain)}",
+            )
+
+    def _shortest_reach(
+        self,
+        project: ProjectContext,
+        graph: dict[str, list[ImportEdge]],
+        shared: set[str],
+        src_pkg: str,
+        dst_pkg: str,
+    ) -> tuple[list[str], ImportEdge] | None:
+        sources = sorted(
+            m for m in project.by_module if project.package_of(m) == src_pkg
+        )
+        parent: dict[str, str] = {}
+        queue = list(sources)
+        seen = set(sources)
+        target: str | None = None
+        while queue and target is None:
+            module = queue.pop(0)
+            if (
+                project.package_of(module) == dst_pkg
+                and module not in shared
+            ):
+                target = module
+                break
+            for edge in sorted(graph.get(module, []), key=lambda e: e.target):
+                if edge.target in seen or edge.target in shared:
+                    continue
+                seen.add(edge.target)
+                parent[edge.target] = module
+                queue.append(edge.target)
+        if target is None:
+            return None
+        chain = [target]
+        while chain[-1] in parent:
+            chain.append(parent[chain[-1]])
+        chain.reverse()
+        first_edge = next(
+            e for e in graph[chain[0]] if e.target == chain[1]
+        )
+        return chain, first_edge
+
+
+# -- REP6xx: RNG stream keys ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DuplicateStreamTagRule(ProjectRule):
+    """REP601: a stream tag value may belong to exactly one subsystem."""
+
+    rule_id: str = "REP601"
+    name: str = "streams/duplicate-tag"
+    pragma: str = STREAM_PRAGMA
+    description: str = (
+        "the same RNG stream tag is spawned by more than one subsystem "
+        "(or registered twice): overlapping keys draw correlated "
+        "randomness and silently break parallel == serial bit-identity"
+    )
+
+    def check(self, project: ProjectContext) -> Iterator[Finding]:
+        streams_module = project.config.streams_module
+        for first, duplicate, value in project.registry_duplicates():
+            ctx = project.by_module[streams_module]
+            yield self.finding(
+                ctx.path,
+                project.constant_line(streams_module, duplicate),
+                1,
+                f"registry collision: `{duplicate}` reuses tag {value} "
+                f"already registered as `{first}`",
+            )
+        by_value: dict[int, dict[str, list[SpawnSite]]] = {}
+        for site in project.spawn_sites:
+            if site.tags is None:
+                continue
+            subsystem = project.package_of(site.module) or site.module
+            for value in site.tags:
+                by_value.setdefault(value, {}).setdefault(
+                    subsystem, []
+                ).append(site)
+        for value in sorted(by_value):
+            owners = by_value[value]
+            if len(owners) < 2:
+                continue
+            names = sorted(owners)
+            for subsystem in names:
+                others = ", ".join(n for n in names if n != subsystem)
+                for site in owners[subsystem]:
+                    yield self.finding(
+                        site.path,
+                        site.line,
+                        site.col,
+                        f"stream tag {value} is spawned by `{subsystem}` "
+                        f"and also by: {others}",
+                    )
+
+
+@dataclass(frozen=True)
+class UnregisteredStreamTagRule(ProjectRule):
+    """REP602: every resolved tag must exist in the central registry."""
+
+    rule_id: str = "REP602"
+    name: str = "streams/unregistered-tag"
+    pragma: str = STREAM_PRAGMA
+    description: str = (
+        "a default_rng list key uses a tag missing from the stream "
+        "registry (streams-module); register it first so collisions "
+        "stay impossible by construction"
+    )
+
+    def check(self, project: ProjectContext) -> Iterator[Finding]:
+        registry = project.registry_values()
+        if registry is None:
+            return  # registry outside the linted tree; nothing to judge
+        for site in project.spawn_sites:
+            if site.tags is None:
+                continue
+            missing = [v for v in site.tags if v not in registry]
+            if missing:
+                yield self.finding(
+                    site.path,
+                    site.line,
+                    site.col,
+                    f"unregistered stream tag(s) {missing} in "
+                    f"default_rng key (tag expression `{site.tag_text}`); "
+                    f"register in {project.config.streams_module}",
+                )
+
+
+@dataclass(frozen=True)
+class UnresolvedStreamTagRule(ProjectRule):
+    """REP603: a tag the analyzer cannot resolve defeats the audit."""
+
+    rule_id: str = "REP603"
+    name: str = "streams/unresolved-tag"
+    pragma: str = STREAM_PRAGMA
+    description: str = (
+        "a default_rng list key's tag position is not statically "
+        "resolvable to registry constants; an unauditable tag can "
+        "collide with any other stream"
+    )
+
+    def check(self, project: ProjectContext) -> Iterator[Finding]:
+        for site in project.spawn_sites:
+            if site.tags is None:
+                yield self.finding(
+                    site.path,
+                    site.line,
+                    site.col,
+                    f"stream tag `{site.tag_text}` is not statically "
+                    "resolvable; use a registered constant from "
+                    f"{project.config.streams_module or 'the stream registry'}",
+                )
+
+
+# -- REP7xx: fork safety -------------------------------------------------------
+
+#: Methods that mutate a dict/list/set in place.
+_MUTATORS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "clear",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+    }
+)
+
+#: Constructors of mutable containers at module scope.
+_MUTABLE_FACTORIES = frozenset(
+    {"dict", "list", "set", "defaultdict", "deque", "OrderedDict", "Counter"}
+)
+
+#: Cross-process/thread coordination primitives (REP703).
+_SYNC_PRIMITIVES = frozenset(
+    {
+        "Queue",
+        "SimpleQueue",
+        "JoinableQueue",
+        "LifoQueue",
+        "PriorityQueue",
+        "Lock",
+        "RLock",
+        "Semaphore",
+        "BoundedSemaphore",
+        "Condition",
+        "Event",
+        "Barrier",
+        "Process",
+        "Pool",
+        "Manager",
+    }
+)
+
+_SYNC_MODULES = ("multiprocessing", "threading", "queue")
+
+
+def _module_level_bindings(tree: ast.Module) -> tuple[set[str], set[str]]:
+    """(all module-level names, names bound to mutable containers)."""
+    names: set[str] = set()
+    mutable: set[str] = set()
+    for stmt in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = list(stmt.targets), stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            names.add(target.id)
+            if _is_mutable_container(value):
+                mutable.add(target.id)
+    return names, mutable
+
+
+def _is_mutable_container(value: ast.expr | None) -> bool:
+    if isinstance(value, (ast.Dict, ast.List, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        func = value.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else ""
+        )
+        return name in _MUTABLE_FACTORIES
+    return False
+
+
+def _function_locals(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Names bound locally in a function (params + plain assignments),
+    excluding names it declares ``global``."""
+    bound = {a.arg for a in func.args.posonlyargs + func.args.args + func.args.kwonlyargs}
+    if func.args.vararg:
+        bound.add(func.args.vararg.arg)
+    if func.args.kwarg:
+        bound.add(func.args.kwarg.arg)
+    global_names: set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Global):
+            global_names.update(node.names)
+        elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    bound.add(target.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            if isinstance(node.target, ast.Name):
+                bound.add(node.target.id)
+    return bound - global_names
+
+
+@dataclass(frozen=True)
+class ForkMutableGlobalRule(ProjectRule):
+    """REP701: module globals written after import, in the fork closure.
+
+    A forked worker inherits a *copy* of module state at fork time;
+    anything the parent (or another code path) writes afterwards
+    silently diverges between processes — the exact bug class the
+    rollout layer's bit-identity gate exists to exclude.
+    """
+
+    rule_id: str = "REP701"
+    name: str = "fork-safety/mutable-global"
+    pragma: str = FORK_PRAGMA
+    description: str = (
+        "a module-level global in the fork closure is rebound (`global`) "
+        "or mutated in place after import; per-process divergence breaks "
+        "parallel == serial"
+    )
+
+    def check(self, project: ProjectContext) -> Iterator[Finding]:
+        closure, parents = project.fork_closure()
+        for module in sorted(closure):
+            ctx = project.by_module[module]
+            module_names, mutable = _module_level_bindings(ctx.tree)
+            chain = " -> ".join(project.import_chain(module, parents))
+            for func in self._top_functions(ctx.tree):
+                local = _function_locals(func)
+                for node in ast.walk(func):
+                    finding = self._judge(
+                        node, module_names, mutable, local, ctx.path, chain
+                    )
+                    if finding is not None:
+                        yield finding
+
+    def _top_functions(
+        self, tree: ast.Module
+    ) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    def _judge(
+        self,
+        node: ast.AST,
+        module_names: set[str],
+        mutable: set[str],
+        local: set[str],
+        path: str,
+        chain: str,
+    ) -> Finding | None:
+        if isinstance(node, ast.Global):
+            hits = [n for n in node.names if n in module_names]
+            if hits:
+                return self.finding(
+                    path,
+                    node.lineno,
+                    node.col_offset + 1,
+                    f"`global {', '.join(hits)}` rebinds module state in "
+                    f"the fork closure (reached via {chain})",
+                )
+            return None
+        target: ast.expr | None = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+        elif isinstance(node, (ast.AugAssign, ast.Delete)):
+            target = (
+                node.target
+                if isinstance(node, ast.AugAssign)
+                else (node.targets[0] if node.targets else None)
+            )
+        if (
+            isinstance(target, ast.Subscript)
+            and isinstance(target.value, ast.Name)
+            and target.value.id in mutable
+            and target.value.id not in local
+        ):
+            return self.finding(
+                path,
+                node.lineno,
+                node.col_offset + 1,
+                f"in-place write to module-level `{target.value.id}` in "
+                f"the fork closure (reached via {chain})",
+            )
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATORS
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in mutable
+            and node.func.value.id not in local
+        ):
+            return self.finding(
+                path,
+                node.lineno,
+                node.col_offset + 1,
+                f"`{node.func.value.id}.{node.func.attr}(...)` mutates a "
+                f"module-level container in the fork closure (reached via "
+                f"{chain})",
+            )
+        return None
+
+
+@dataclass(frozen=True)
+class ForkClosureCaptureRule(ProjectRule):
+    """REP702: lambdas/closures must not cross the process boundary."""
+
+    rule_id: str = "REP702"
+    name: str = "fork-safety/closure-over-boundary"
+    pragma: str = FORK_PRAGMA
+    description: str = (
+        "a lambda is passed through a task queue or as a Process target; "
+        "closures capture parent state and may not even pickle — send "
+        "plain data and resolve behaviour on the worker side"
+    )
+
+    def check(self, project: ProjectContext) -> Iterator[Finding]:
+        closure, _ = project.fork_closure()
+        for module in sorted(closure):
+            scanner = project.scanner(module)
+            ctx = project.by_module[module]
+            for call, _scope in scanner.calls:
+                yield from self._judge_call(call, ctx.path)
+
+    def _judge_call(self, call: ast.Call, path: str) -> Iterator[Finding]:
+        func = call.func
+        is_put = isinstance(func, ast.Attribute) and func.attr in (
+            "put",
+            "put_nowait",
+        )
+        is_process = (
+            isinstance(func, ast.Attribute) and func.attr == "Process"
+        ) or (isinstance(func, ast.Name) and func.id == "Process")
+        if not (is_put or is_process):
+            return
+        boundary = "task queue" if is_put else "Process"
+        exprs: list[ast.expr] = list(call.args)
+        exprs.extend(k.value for k in call.keywords)
+        for expr in exprs:
+            for node in ast.walk(expr):
+                if isinstance(node, ast.Lambda):
+                    yield self.finding(
+                        path,
+                        node.lineno,
+                        node.col_offset + 1,
+                        f"lambda crosses the process boundary via {boundary}",
+                    )
+
+
+@dataclass(frozen=True)
+class ForkSyncPrimitiveRule(ProjectRule):
+    """REP703: queues/locks only where the supervisor pattern lives."""
+
+    rule_id: str = "REP703"
+    name: str = "fork-safety/unsanctioned-primitive"
+    pragma: str = FORK_PRAGMA
+    description: str = (
+        "a multiprocessing/threading primitive is constructed in a fork-"
+        "closure module outside fork-sanctioned; ad-hoc queues and locks "
+        "bypass the supervised worker lifecycle"
+    )
+
+    def check(self, project: ProjectContext) -> Iterator[Finding]:
+        closure, _ = project.fork_closure()
+        sanctioned = set(project.config.fork_sanctioned)
+        for module in sorted(closure - sanctioned):
+            scanner = project.scanner(module)
+            ctx = project.by_module[module]
+            contexts = self._mp_context_names(ctx.tree, scanner.aliases)
+            for call, _scope in scanner.calls:
+                dotted = (
+                    ast.unparse(call.func)
+                    if isinstance(call.func, (ast.Name, ast.Attribute))
+                    else ""
+                )
+                name = self._primitive_name(call, scanner.aliases, contexts)
+                if name is None:
+                    continue
+                yield self.finding(
+                    ctx.path,
+                    call.lineno,
+                    call.col_offset + 1,
+                    f"`{dotted or name}` constructs a sync primitive in "
+                    f"fork-closure module {module}; only fork-sanctioned "
+                    "modules may own worker plumbing",
+                )
+
+    def _mp_context_names(
+        self, tree: ast.Module, aliases: dict[str, str]
+    ) -> set[str]:
+        """Local names bound from ``multiprocessing.get_context(...)``."""
+        names: set[str] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Assign) or not isinstance(
+                node.value, ast.Call
+            ):
+                continue
+            dotted = dotted_name(node.value.func, aliases)
+            if dotted in ("multiprocessing.get_context",):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+        return names
+
+    def _primitive_name(
+        self,
+        call: ast.Call,
+        aliases: dict[str, str],
+        contexts: set[str],
+    ) -> str | None:
+        func = call.func
+        dotted = dotted_name(func, aliases)
+        if dotted is not None:
+            parts = dotted.split(".")
+            if parts[0] in _SYNC_MODULES and parts[-1] in _SYNC_PRIMITIVES:
+                return parts[-1]
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _SYNC_PRIMITIVES
+            and isinstance(func.value, ast.Name)
+            and func.value.id in contexts
+        ):
+            return func.attr
+        return None
+
+
+DEFAULT_PROJECT_RULES: tuple[ProjectRule, ...] = (
+    LayerEdgeRule(),
+    ImportCycleRule(),
+    UndeclaredPackageRule(),
+    ForbiddenReachRule(),
+    DuplicateStreamTagRule(),
+    UnregisteredStreamTagRule(),
+    UnresolvedStreamTagRule(),
+    ForkMutableGlobalRule(),
+    ForkClosureCaptureRule(),
+    ForkSyncPrimitiveRule(),
+)
+
+PROJECT_RULE_INDEX: dict[str, ProjectRule] = {
+    r.rule_id: r for r in DEFAULT_PROJECT_RULES
+}
+
+__all__ = [
+    "DEFAULT_PROJECT_RULES",
+    "PROJECT_RULE_INDEX",
+    "ProjectRule",
+    "FORK_PRAGMA",
+    "LAYER_PRAGMA",
+    "STREAM_PRAGMA",
+]

@@ -1,0 +1,122 @@
+"""SARIF 2.1.0 output for reprolint findings.
+
+SARIF (Static Analysis Results Interchange Format) is what GitHub code
+scanning ingests: uploading the document as an artifact of the CI lint
+job renders findings as inline annotations on the PR diff.  The
+emitter maps the reprolint vocabulary directly:
+
+* every rule in the catalogue (per-file and project) becomes a
+  ``reportingDescriptor`` under the tool driver, so viewers can show
+  the invariant's description next to each result;
+* every finding becomes a ``result`` with a ``physicalLocation``
+  (repo-relative URI, 1-based line/column region);
+* parse failures (``REP000``) ride along as ordinary results, so a
+  syntactically broken file is visible in the same view.
+
+Only the stable subset of SARIF the consumers actually read is
+emitted; the document validates against the 2.1.0 schema.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any
+
+from repro.analysis.project_rules import DEFAULT_PROJECT_RULES
+from repro.analysis.rules import RULE_CATALOGUE
+
+if TYPE_CHECKING:
+    from repro.analysis.engine import LintReport
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: reprolint's stable tool identity in emitted documents.
+TOOL_NAME = "reprolint"
+TOOL_VERSION = "1.0.0"
+
+
+def _rule_descriptors() -> list[dict[str, Any]]:
+    """One ``reportingDescriptor`` per rule id the engine can emit."""
+    descriptors: dict[str, dict[str, Any]] = {}
+    for doc in RULE_CATALOGUE:
+        descriptors[doc.rule_id] = {
+            "id": doc.rule_id,
+            "name": doc.name,
+            "shortDescription": {"text": doc.description},
+            "defaultConfiguration": {"level": "error"},
+        }
+    for rule in DEFAULT_PROJECT_RULES:
+        descriptors[rule.rule_id] = {
+            "id": rule.rule_id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.description},
+            "defaultConfiguration": {"level": "error"},
+        }
+    descriptors.setdefault(
+        "REP000",
+        {
+            "id": "REP000",
+            "name": "engine/parse-failure",
+            "shortDescription": {
+                "text": "the file could not be read or parsed"
+            },
+            "defaultConfiguration": {"level": "error"},
+        },
+    )
+    return [descriptors[k] for k in sorted(descriptors)]
+
+
+def report_as_sarif(report: "LintReport") -> dict[str, Any]:
+    """A SARIF 2.1.0 document (as a plain dict) for one lint report."""
+    descriptors = _rule_descriptors()
+    rule_index = {d["id"]: i for i, d in enumerate(descriptors)}
+    results: list[dict[str, Any]] = []
+    for finding in report.findings:
+        result: dict[str, Any] = {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": max(finding.line, 1),
+                            "startColumn": max(finding.col, 1),
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.rule in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "version": TOOL_VERSION,
+                        "rules": descriptors,
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "results": results,
+            }
+        ],
+    }
+
+
+def report_as_sarif_json(report: "LintReport") -> str:
+    """The SARIF document serialized stably (sorted keys, 2-space indent)."""
+    return json.dumps(report_as_sarif(report), indent=2, sort_keys=True)

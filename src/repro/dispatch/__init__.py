@@ -24,6 +24,11 @@ from repro.dispatch.base import (
 )
 from repro.dispatch.nearest import NearestDispatcher
 from repro.dispatch.schedule import ScheduleDispatcher
+
+# Package-level mutuality with repro.sim (rescue_ts reads RescueRequest,
+# the sim engine drives dispatchers); module-level acyclic — both sides
+# import leaf submodules only, never package attributes mid-init.
+# repro: allow-layering -- package-init cycle is benign at module level
 from repro.dispatch.rescue_ts import RescueTsDispatcher
 
 __all__ = [

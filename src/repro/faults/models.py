@@ -22,27 +22,31 @@ from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 import numpy as np
 
+# Stream tags keep each family's random substream independent: the
+# generator for (seed, tag, entity) never collides across families.
+# All tags live in the central registry (repro.core.streams); the
+# REP6xx project lint proves no other subsystem reuses them.
+from repro.core.streams import (
+    STREAM_FAULT_BREAKDOWN,
+    STREAM_FAULT_CLOSURE,
+    STREAM_FAULT_COMM,
+    STREAM_FAULT_CORRUPT_RECORD,
+    STREAM_FAULT_DISPATCHER,
+    STREAM_FAULT_GPS,
+    STREAM_FAULT_POLICY_LATENCY,
+    STREAM_FAULT_PREDICTOR,
+    STREAM_SHARD_KILL,
+    STREAM_SHARD_SKEW,
+    STREAM_SHARD_STALL,
+    STREAM_WORKER_CORRUPT,
+    STREAM_WORKER_CRASH,
+    STREAM_WORKER_STALL,
+)
+
 if TYPE_CHECKING:
     from repro.faults.profiles import FaultProfile
 
 logger = logging.getLogger("repro.faults")
-
-#: Stream tags keep each family's random substream independent: the
-#: generator for (seed, tag, entity) never collides across families.
-_TAG_GPS = 101
-_TAG_COMM = 102
-_TAG_BREAKDOWN = 103
-_TAG_CLOSURE = 104
-_TAG_DISPATCHER = 105
-_TAG_PREDICTOR = 106
-_TAG_POLICY_LATENCY = 107
-_TAG_CORRUPT_RECORD = 108
-_TAG_SHARD_KILL = 109
-_TAG_SHARD_STALL = 110
-_TAG_SHARD_SKEW = 111
-_TAG_WORKER_CRASH = 112
-_TAG_WORKER_STALL = 113
-_TAG_WORKER_CORRUPT = 114
 
 
 class InjectedDispatcherFault(RuntimeError):
@@ -345,19 +349,19 @@ class ComponentFaultInjector:
         model = self.profile.predictor
         if not model.enabled:
             return False
-        return model.fails(self._rng(_TAG_PREDICTOR, cycle_index))
+        return model.fails(self._rng(STREAM_FAULT_PREDICTOR, cycle_index))
 
     def policy_spike_s(self, cycle_index: int) -> float:
         model = self.profile.policy_latency
         if not model.enabled:
             return 0.0
-        return model.spike(self._rng(_TAG_POLICY_LATENCY, cycle_index))
+        return model.spike(self._rng(STREAM_FAULT_POLICY_LATENCY, cycle_index))
 
     def corrupt_fraction(self, cycle_index: int) -> float:
         model = self.profile.corrupt_records
         if not model.enabled:
             return 0.0
-        return model.storm_fraction(self._rng(_TAG_CORRUPT_RECORD, cycle_index))
+        return model.storm_fraction(self._rng(STREAM_FAULT_CORRUPT_RECORD, cycle_index))
 
     def mutation_rng(self, cycle_index: int) -> np.random.Generator:
         """Generator for *which* records a storm corrupts and *how*.
@@ -366,7 +370,7 @@ class ComponentFaultInjector:
         mutation never shifts whether the storm fires.
         """
         return np.random.default_rng(
-            [self.seed, _TAG_CORRUPT_RECORD, int(cycle_index), 1]
+            [self.seed, STREAM_FAULT_CORRUPT_RECORD, int(cycle_index), 1]
         )
 
 
@@ -512,13 +516,13 @@ class ShardFaultInjector:
 
     def killed(self, shard_id: int, t_s: float) -> bool:
         windows = self._windows(
-            self.profile.kill, _TAG_SHARD_KILL, shard_id, self._kill
+            self.profile.kill, STREAM_SHARD_KILL, shard_id, self._kill
         )
         return any(w.covers(t_s) for w in windows)
 
     def stall_s(self, shard_id: int, t_s: float) -> float:
         windows = self._windows(
-            self.profile.stall, _TAG_SHARD_STALL, shard_id, self._stall
+            self.profile.stall, STREAM_SHARD_STALL, shard_id, self._stall
         )
         if any(w.covers(t_s) for w in windows):
             return self.profile.stall.stall_s
@@ -526,7 +530,7 @@ class ShardFaultInjector:
 
     def capacity_divisor(self, shard_id: int, t_s: float) -> int:
         windows = self._windows(
-            self.profile.skew, _TAG_SHARD_SKEW, shard_id, self._skew
+            self.profile.skew, STREAM_SHARD_SKEW, shard_id, self._skew
         )
         if any(w.covers(t_s) for w in windows):
             return self.profile.skew.capacity_divisor
@@ -594,14 +598,14 @@ class FaultInjector:
 
     def gps_stale(self, person_id: int, t_s: float) -> bool:
         """Is this person's GPS fix unavailable right now?"""
-        windows = self._windows(self.profile.gps, _TAG_GPS, person_id, self._gps)
+        windows = self._windows(self.profile.gps, STREAM_FAULT_GPS, person_id, self._gps)
         return self._covering(windows, t_s) is not None
 
     # -- communication ------------------------------------------------------
 
     def comm_blocked(self, team_id: int, t_s: float) -> bool:
         """Is this team's radio link down right now?"""
-        windows = self._windows(self.profile.comm, _TAG_COMM, team_id, self._comm)
+        windows = self._windows(self.profile.comm, STREAM_FAULT_COMM, team_id, self._comm)
         return self._covering(windows, t_s) is not None
 
     @property
@@ -614,7 +618,7 @@ class FaultInjector:
     def breakdown_window(self, team_id: int, t_s: float) -> OutageWindow | None:
         """The breakdown window covering ``t``, if the team is broken down."""
         windows = self._windows(
-            self.profile.breakdown, _TAG_BREAKDOWN, team_id, self._breakdown
+            self.profile.breakdown, STREAM_FAULT_BREAKDOWN, team_id, self._breakdown
         )
         return self._covering(windows, t_s)
 
@@ -631,7 +635,7 @@ class FaultInjector:
             return
         model = self.profile.closure
         for seg in segment_ids:
-            windows = model.windows_for(self._rng(_TAG_CLOSURE, seg), self.t0_s, self.t1_s)
+            windows = model.windows_for(self._rng(STREAM_FAULT_CLOSURE, seg), self.t0_s, self.t1_s)
             if windows:
                 self._closures[int(seg)] = windows
         self._segments_bound = True
@@ -658,7 +662,7 @@ class FaultInjector:
         model = self.profile.dispatcher
         if not model.enabled:
             return False
-        return model.fails(self._rng(_TAG_DISPATCHER, cycle_index))
+        return model.fails(self._rng(STREAM_FAULT_DISPATCHER, cycle_index))
 
 
 # -- rollout worker faults ----------------------------------------------------
@@ -805,7 +809,7 @@ class WorkerFaultInjector:
         if not model.enabled:
             return (0, False, 0)
         if episode_id not in self._crash:
-            rng = self._rng(_TAG_WORKER_CRASH, episode_id)
+            rng = self._rng(STREAM_WORKER_CRASH, episode_id)
             affected = bool(rng.random() < model.p_affected)
             poisoned = bool(rng.random() < model.p_poison)
             beats = int(rng.integers(0, model.crash_after_beats + 1))
@@ -818,7 +822,7 @@ class WorkerFaultInjector:
         if not model.enabled:
             return 0
         if episode_id not in self._stall:
-            rng = self._rng(_TAG_WORKER_STALL, episode_id)
+            rng = self._rng(STREAM_WORKER_STALL, episode_id)
             affected = bool(rng.random() < model.p_affected)
             self._stall[episode_id] = model.max_stalls if affected else 0
         return self._stall[episode_id]
@@ -828,7 +832,7 @@ class WorkerFaultInjector:
         if not model.enabled:
             return 0
         if episode_id not in self._corrupt:
-            rng = self._rng(_TAG_WORKER_CORRUPT, episode_id)
+            rng = self._rng(STREAM_WORKER_CORRUPT, episode_id)
             affected = bool(rng.random() < model.p_affected)
             self._corrupt[episode_id] = model.max_corruptions if affected else 0
         return self._corrupt[episode_id]

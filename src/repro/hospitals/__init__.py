@@ -7,6 +7,11 @@ their previous staying position was inside a flood zone.
 """
 
 from repro.hospitals.hospitals import Hospital, place_hospitals
+
+# Package-level mutuality with repro.mobility (delivery reads the trace
+# types, the generator reads Hospital); module-level acyclic — both sides
+# import leaf submodules only, never package attributes mid-init.
+# repro: allow-layering -- package-init cycle is benign at module level
 from repro.hospitals.delivery import DeliveryEvent, detect_deliveries, label_rescued
 
 __all__ = [

@@ -420,6 +420,9 @@ class MobilityTraceGenerator:
     def _simulate_person(
         self, person: Person, out: _Buffers, rescues: list[RescueRecord]
     ) -> None:
+        # Pre-registry key layout, frozen for bit-compatibility: the
+        # per-person stream keys (seed, person id) with no family tag.
+        # repro: allow-stream-tag -- seed-era layout; retagging would reshuffle every golden trace
         rng = np.random.default_rng([self.config.seed, person.person_id])
         t = 0.0
         cur = person.home_node
@@ -481,11 +484,17 @@ class MobilityTraceGenerator:
 
     def _dirty(self, trace: GpsTrace) -> GpsTrace:
         """Inject duplicates and out-of-range outliers into a clean trace."""
+        # Lazy: a module-level import of repro.core from here closes a
+        # cycle (core.predictor -> data.charlotte -> this module).  The
+        # mobility layer sits below core, so only this leaf constants
+        # module may be reached, and only lazily.
+        from repro.core.streams import STREAM_MOBILITY_DIRTY
+
         cfg = self.config
         n = len(trace)
         if n == 0:
             return trace
-        rng = np.random.default_rng([cfg.seed, 999_983])
+        rng = np.random.default_rng([cfg.seed, STREAM_MOBILITY_DIRTY])
         n_dup = int(cfg.duplicate_rate * n)
         n_out = int(cfg.outlier_rate * n)
         parts = [trace]

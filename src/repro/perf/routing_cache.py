@@ -304,7 +304,7 @@ def set_routing_cache_enabled(enabled: bool) -> bool:
     The golden-equivalence suite uses this to run the same scenario through
     the cached and the seed routing paths.
     """
-    global _ENABLED
+    global _ENABLED  # repro: allow-fork-unsafe -- test-only switch; results identical either way
     previous = _ENABLED
     _ENABLED = bool(enabled)
     return previous
@@ -321,13 +321,13 @@ def routing_cache(network: RoadNetwork) -> RoutingCache:
     cache = _CACHES.get(key)
     if cache is None or cache.network is not network:
         cache = RoutingCache(network)
-        _CACHES[key] = cache
+        _CACHES[key] = cache  # repro: allow-fork-unsafe -- per-process memo; affects speed, never results
     return cache
 
 
 def clear_routing_caches() -> None:
     """Drop every per-network cache (tests and long-lived processes)."""
-    _CACHES.clear()
+    _CACHES.clear()  # repro: allow-fork-unsafe -- per-process memo; affects speed, never results
 
 
 def default_router(network: RoadNetwork) -> Router:

@@ -65,5 +65,5 @@ def travel_time_oracle(network: RoadNetwork) -> TravelTimeOracle:
     """Per-network memoized oracle (the matrix takes ~a second to build)."""
     key = id(network)
     if key not in _ORACLE_CACHE:
-        _ORACLE_CACHE[key] = TravelTimeOracle(network)
+        _ORACLE_CACHE[key] = TravelTimeOracle(network)  # repro: allow-fork-unsafe -- per-process memo; affects speed, never results
     return _ORACLE_CACHE[key]

@@ -24,10 +24,10 @@ import numpy as np
 
 from repro.core.artifacts import sha256_json
 
-#: Substream tags for the rollout layer, disjoint from the fault-family
-#: tags (101-114 in ``repro.faults.models``).
-_TAG_EPISODE = 115
-_TAG_BACKOFF = 116
+# Substream tags for the rollout layer, registered centrally in
+# repro.core.streams — disjoint from the fault-family tags (101-114)
+# by construction, and the REP6xx project lint proves it.
+from repro.core.streams import STREAM_ROLLOUT_BACKOFF, STREAM_ROLLOUT_EPISODE
 
 #: Envelope format marker; bump the version on layout changes.
 RESULT_FORMAT = "repro-rollout-result"
@@ -83,7 +83,7 @@ def episode_rng(spec: EpisodeSpec) -> np.random.Generator:
     Keyed by ``(seed, episode tag, episode id)`` only: which worker runs
     the episode, and on which attempt, cannot change a single draw.
     """
-    return np.random.default_rng([spec.seed, _TAG_EPISODE, spec.episode_id])
+    return np.random.default_rng([spec.seed, STREAM_ROLLOUT_EPISODE, spec.episode_id])
 
 
 def episode_sim_seed(spec: EpisodeSpec) -> int:
@@ -93,7 +93,7 @@ def episode_sim_seed(spec: EpisodeSpec) -> int:
 
 def backoff_rng(seed: int, episode_id: int, attempt: int) -> np.random.Generator:
     """Jitter stream for retry backoff — keyed by episode, not worker."""
-    return np.random.default_rng([seed, _TAG_BACKOFF, episode_id, attempt])
+    return np.random.default_rng([seed, STREAM_ROLLOUT_BACKOFF, episode_id, attempt])
 
 
 @dataclass(frozen=True)

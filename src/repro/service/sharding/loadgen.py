@@ -38,6 +38,7 @@ from typing import Any
 import numpy as np
 
 from repro.core.artifacts import atomic_write_json
+from repro.core.streams import STREAM_LOADGEN_HOMES, STREAM_LOADGEN_JITTER
 from repro.service.deadline import ManualClock
 from repro.service.records import GpsRecord, IngestSchema
 from repro.service.sharding.partition import GridKeyspace, merge_counter_sum
@@ -47,10 +48,8 @@ from repro.service.sharding.supervisor import ShardSupervisor, SupervisorConfig
 LOADGEN_FORMAT = "repro-loadgen"
 LOADGEN_VERSION = 1
 
-#: Private substream tags for the loadgen's own draws (the shard fault
-#: tags live in :mod:`repro.faults.models`; these must not collide).
-_TAG_HOMES = 201
-_TAG_JITTER = 202
+# The loadgen's substream tags are registered in repro.core.streams,
+# disjoint from the shard fault tags by the REP6xx project lint.
 
 
 @dataclass(frozen=True)
@@ -138,7 +137,7 @@ class LoadGenerator:
         )
         self.supervisor = ShardSupervisor(self.router, SupervisorConfig())
         self.clock = ManualClock()
-        homes_rng = np.random.default_rng([cfg.seed, _TAG_HOMES])
+        homes_rng = np.random.default_rng([cfg.seed, STREAM_LOADGEN_HOMES])
         self._home_x = homes_rng.uniform(0.0, cfg.width_m, size=cfg.num_users)
         self._home_y = homes_rng.uniform(0.0, cfg.height_m, size=cfg.num_users)
         # The hot cell's centre: burst traffic lands here, all on one shard.
@@ -156,7 +155,7 @@ class LoadGenerator:
         n = min(cfg.steady_records_per_tick, cfg.num_users)
         ids = (self._offset + np.arange(n)) % cfg.num_users
         self._offset = int((self._offset + n) % cfg.num_users)
-        jitter = np.random.default_rng([cfg.seed, _TAG_JITTER, tick])
+        jitter = np.random.default_rng([cfg.seed, STREAM_LOADGEN_JITTER, tick])
         dx = jitter.normal(0.0, 50.0, size=n)
         dy = jitter.normal(0.0, 50.0, size=n)
         x = np.clip(self._home_x[ids] + dx, 0.0, cfg.width_m)

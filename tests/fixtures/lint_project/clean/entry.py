@@ -1,0 +1,12 @@
+# reprolint: module=proj.app.entry
+import numpy as np
+
+from proj.lib.streams import TAG_MAIN
+
+
+def make_rng(seed: int):
+    return np.random.default_rng([seed, TAG_MAIN])
+
+
+def run(seed: int) -> float:
+    return float(make_rng(seed).random())

@@ -1,0 +1,4 @@
+# reprolint: module=proj.lib.streams
+"""One registered stream tag, used exactly once."""
+
+TAG_MAIN = 7

@@ -1,0 +1,8 @@
+# reprolint: module=proj.a.alpha
+# Static mutual import with proj.b.beta: REP502, anchored here (the
+# alphabetically-first module in the strongly connected component).
+from proj.b.beta import beta_value
+
+
+def alpha_value() -> int:
+    return beta_value() + 1

@@ -1,0 +1,6 @@
+# reprolint: module=proj.b.beta
+from proj.a.alpha import alpha_value
+
+
+def beta_value() -> int:
+    return alpha_value() - 1

@@ -1,0 +1,6 @@
+# reprolint: module=proj.d.delta
+from proj.c.gamma import load
+
+
+def thing() -> int:
+    return 0 if load else 1

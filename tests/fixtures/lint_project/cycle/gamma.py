@@ -1,0 +1,9 @@
+# reprolint: module=proj.c.gamma
+# The back-edge to proj.d.delta is a lazy function-scope import: a
+# deliberate cycle-breaker, invisible to the static graph — no REP502.
+
+
+def load() -> int:
+    from proj.d.delta import thing
+
+    return thing()

@@ -1,0 +1,7 @@
+# reprolint: module=proj.m.mu
+# Same static cycle shape as alpha/beta, suppressed at the anchor line.
+from proj.n.nu import nu_value  # repro: allow-layering -- fixture: suppressed on purpose
+
+
+def mu_value() -> int:
+    return nu_value() + 1

@@ -1,0 +1,6 @@
+# reprolint: module=proj.n.nu
+from proj.m.mu import mu_value
+
+
+def nu_value() -> int:
+    return mu_value() - 1

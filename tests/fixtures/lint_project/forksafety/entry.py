@@ -1,0 +1,12 @@
+# reprolint: module=proj.workers.entry
+# The fork entry point; sanctioned, so its Queue construction is legal.
+import multiprocessing
+
+from proj.workers.state import remember
+from proj.workers.submit import ship
+
+
+def main() -> None:
+    queue = multiprocessing.Queue()
+    remember("boot", 1)
+    ship(queue)

@@ -1,0 +1,9 @@
+# reprolint: module=proj.other.free
+# Same mutable-global shape as state.py, but unreachable from any fork
+# entry point: no finding.
+
+_SEEN: dict = {}
+
+
+def note(key: str) -> None:
+    _SEEN[key] = True

@@ -1,0 +1,19 @@
+# reprolint: module=proj.workers.state
+# Module-level mutable state written after import, inside the fork
+# closure: REP701 (subscript write + `global` rebind), one suppressed.
+
+_CACHE: dict = {}
+_COUNT = 0
+
+
+def remember(key: str, value: int) -> None:
+    _CACHE[key] = value
+
+
+def bump() -> None:
+    global _COUNT
+    _COUNT += 1
+
+
+def remember_quietly(key: str, value: int) -> None:
+    _CACHE[key] = value  # repro: allow-fork-unsafe -- fixture: suppressed on purpose

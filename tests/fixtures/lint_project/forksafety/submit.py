@@ -1,0 +1,20 @@
+# reprolint: module=proj.workers.submit
+# A lambda across the process boundary (REP702) and an unsanctioned
+# sync primitive (REP703), each with a suppressed twin.
+import threading
+
+
+def ship(q) -> None:
+    q.put(lambda: 1)
+
+
+def ship_quietly(q) -> None:
+    q.put(lambda: 2)  # repro: allow-fork-unsafe -- fixture: suppressed on purpose
+
+
+def make_lock():
+    return threading.Lock()
+
+
+def make_lock_quietly():
+    return threading.Lock()  # repro: allow-fork-unsafe -- fixture: suppressed on purpose

@@ -1,0 +1,6 @@
+# reprolint: module=proj.svc.api
+from proj.db.models import Row
+
+
+def handle() -> str:
+    return Row().name

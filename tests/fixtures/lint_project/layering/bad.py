@@ -1,0 +1,7 @@
+# reprolint: module=proj.direct.bad
+# The layer spec gives `direct` no allowed targets: REP501.
+from proj.db.models import Row
+
+
+def fetch() -> str:
+    return Row().name

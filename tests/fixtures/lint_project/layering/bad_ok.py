@@ -1,0 +1,7 @@
+# reprolint: module=proj.direct.legacy
+# Same violation, suppressed: REP501 must stay quiet here.
+from proj.db.models import Row  # repro: allow-layering -- fixture: suppressed on purpose
+
+
+def fetch() -> str:
+    return Row().name

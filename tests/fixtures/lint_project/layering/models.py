@@ -1,0 +1,5 @@
+# reprolint: module=proj.db.models
+
+
+class Row:
+    name = "row"

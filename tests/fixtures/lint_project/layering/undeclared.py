@@ -1,0 +1,6 @@
+# reprolint: module=proj.extra.thing
+# Package `extra` has no [tool.reprolint.layers] entry: REP503.
+
+
+def nothing() -> None:
+    return None

@@ -1,0 +1,8 @@
+# reprolint: module=proj.ui.views
+# Legal direct edge (ui -> svc), but svc reaches db, and ui -> db is a
+# forbidden reach: REP504 fires here with the full chain.
+from proj.svc.api import handle
+
+
+def render() -> str:
+    return handle()

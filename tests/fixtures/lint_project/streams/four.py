@@ -1,0 +1,12 @@
+# reprolint: module=proj.four.mod
+# `tag` has no call sites to chase: not statically resolvable, REP603 —
+# once flagged, once pragma-suppressed.
+import numpy as np
+
+
+def make_rng(seed: int, tag: int):
+    return np.random.default_rng([seed, tag])
+
+
+def make_rng_quietly(seed: int, tag: int):
+    return np.random.default_rng([seed, tag])  # repro: allow-stream-tag -- fixture: suppressed on purpose

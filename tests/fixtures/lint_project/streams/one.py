@@ -1,0 +1,10 @@
+# reprolint: module=proj.one.mod
+# Spawns tag 1 via the registry constant — but proj.two spawns the same
+# value, so both sites get REP601 (cross-subsystem duplicate).
+import numpy as np
+
+from proj.lib.streams import TAG_ONE
+
+
+def make_rng(seed: int):
+    return np.random.default_rng([seed, TAG_ONE])

@@ -1,0 +1,11 @@
+# reprolint: module=proj.lib.streams
+"""Fixture stream registry: one healthy tag, one registry collision."""
+
+
+def _register(value: int, name: str, subsystem: str) -> int:
+    return value
+
+
+TAG_ONE = _register(1, "one", "one")
+TAG_TWO = 2
+TAG_DUP = _register(2, "dup", "two")  # collides with TAG_TWO: REP601

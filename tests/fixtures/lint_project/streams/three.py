@@ -1,0 +1,7 @@
+# reprolint: module=proj.three.mod
+# Tag 77 is in no registry: REP602.
+import numpy as np
+
+
+def make_rng(seed: int):
+    return np.random.default_rng([seed, 77])

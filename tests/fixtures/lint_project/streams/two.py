@@ -1,0 +1,7 @@
+# reprolint: module=proj.two.mod
+# Spawns literal tag 1 — registered, but owned by proj.one: REP601 here too.
+import numpy as np
+
+
+def make_rng(seed: int):
+    return np.random.default_rng([seed, 1])
