@@ -28,7 +28,8 @@ from repro.mobility.cleaning import clean_trace
 from repro.mobility.generator import TraceBundle
 from repro.mobility.mapmatch import map_match
 from repro.ml.dqn import DQNAgent
-from repro.sim.engine import RescueSimulator, SimulationConfig
+from repro.sim.engine import SimulationConfig
+from repro.sim.kernel import build_simulator
 from repro.sim.requests import remap_to_operable, requests_from_rescues
 from repro.weather.storms import SECONDS_PER_DAY
 
@@ -161,7 +162,7 @@ def _run_episodes(
             dispatcher = MobiRescueDispatcher(
                 scenario, predictor, feed, agent, cfg, training=True
             )
-            sim = RescueSimulator(
+            sim = build_simulator(
                 scenario,
                 requests,
                 dispatcher,

@@ -22,7 +22,8 @@ from repro.dispatch.nearest import NearestDispatcher
 from repro.dispatch.rescue_ts import RescueTsDispatcher
 from repro.dispatch.schedule import ScheduleDispatcher
 from repro.mobility.generator import TraceBundle
-from repro.sim.engine import RescueSimulator, SimulationConfig, SimulationResult
+from repro.sim.engine import SimulationConfig, SimulationResult
+from repro.sim.kernel import build_simulator
 from repro.sim.metrics import SimulationMetrics
 from repro.sim.requests import remap_to_operable, requests_from_rescues
 from repro.weather.storms import SECONDS_PER_DAY, day_index
@@ -167,7 +168,7 @@ class ExperimentHarness:
             dispatcher.positions_fn = DegradedPositionFeed(
                 dispatcher.positions_fn, injector
             )
-        sim = RescueSimulator(
+        sim = build_simulator(
             self.florence_scenario,
             self.eval_requests(),
             dispatcher,

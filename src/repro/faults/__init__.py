@@ -15,9 +15,10 @@ independent of query order.
 Typical use::
 
     from repro.faults import make_injector
+    from repro.sim.kernel import build_simulator
 
     injector = make_injector("severe", t0_s, t1_s, seed=0)
-    sim = RescueSimulator(scenario, requests, dispatcher, config,
+    sim = build_simulator(scenario, requests, dispatcher, config,
                           faults=injector)
 """
 

@@ -617,10 +617,17 @@ class FaultInjector:
 
     def breakdown_window(self, team_id: int, t_s: float) -> OutageWindow | None:
         """The breakdown window covering ``t``, if the team is broken down."""
-        windows = self._windows(
+        return self._covering(self.breakdown_windows(team_id), t_s)
+
+    def breakdown_windows(self, team_id: int) -> tuple[OutageWindow, ...]:
+        """This team's full breakdown schedule (sorted, disjoint windows).
+
+        The same lazily-sampled cache :meth:`breakdown_window` reads, so an
+        event-driven consumer that schedules from the whole list sees
+        exactly the windows a per-tick poller would."""
+        return self._windows(
             self.profile.breakdown, STREAM_FAULT_BREAKDOWN, team_id, self._breakdown
         )
-        return self._covering(windows, t_s)
 
     # -- road closures ------------------------------------------------------
 
@@ -644,6 +651,14 @@ class FaultInjector:
             len(self._closures),
             len(segment_ids),
         )
+
+    def closure_windows(self) -> dict[int, tuple[OutageWindow, ...]]:
+        """Segment -> closure windows, for event-driven closure tracking.
+
+        Valid after :meth:`bind_segments`; the same eager cache
+        :meth:`closed_segments` polls, exposed so a consumer can recompute
+        the closed set only when ``t`` crosses a window boundary."""
+        return self._closures
 
     def closed_segments(self, t_s: float) -> frozenset[int]:
         """Extra segments closed by injected faults at ``t`` (beyond flood)."""

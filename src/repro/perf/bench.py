@@ -36,6 +36,7 @@ HOT_PATHS = (
     "routing_cached",
     "prediction_batched",
     "full_tick_cached",
+    "full_tick_event",
     "training_step",
     "rollout_parallel_2w",
 )
@@ -45,6 +46,7 @@ _SPEEDUP_PAIRS = (
     ("routing", "routing_seed", "routing_cached"),
     ("prediction", "prediction_per_person", "prediction_batched"),
     ("full_tick", "full_tick_seed", "full_tick_cached"),
+    ("event_kernel", "full_tick_cached", "full_tick_event"),
 )
 
 
@@ -143,13 +145,21 @@ def _bench_prediction(quick: bool) -> dict[str, dict[str, float | int]]:
     }
 
 
-def _bench_full_tick(quick: bool) -> dict[str, dict[str, float | int]]:
-    """One evaluation window of the simulation engine, seed vs cached
-    routing, measured per simulated tick."""
+def _bench_full_tick(quick: bool) -> dict[str, Any]:
+    """One evaluation window of the simulation engine, three ways: seed
+    per-call routing, cached routing, and the event-driven kernel.
+
+    The workload is the regime the event kernel exists for — the paper's
+    100-team fleet stepped at sub-second fidelity — and it is
+    self-checking: all three engines must produce bit-identical pickup
+    and delivery traces or the benchmark raises.  Returns the per-tick
+    records plus the ``events_per_sim_hour`` summary for the kernel run.
+    """
     from repro.data.charlotte import build_charlotte_scenario
     from repro.dispatch.nearest import NearestDispatcher
     from repro.perf.routing_cache import DirectRouter, RoutingCache
     from repro.sim.engine import RescueSimulator, SimulationConfig
+    from repro.sim.kernel import EventKernelSimulator
     from repro.sim.requests import RescueRequest
     from repro.weather.storms import FLORENCE
 
@@ -158,10 +168,10 @@ def _bench_full_tick(quick: bool) -> dict[str, dict[str, float | int]]:
     rng = np.random.default_rng(2)
     seg_ids = np.array(network.segment_ids())
     t0 = scenario.timeline.storm_start_s
-    hours = 2.0 if quick else 6.0
+    hours = 1.0 if quick else 2.0
     t1 = t0 + hours * 3_600.0
     requests = []
-    for i, seg in enumerate(rng.choice(seg_ids, size=60 if quick else 240)):
+    for i, seg in enumerate(rng.choice(seg_ids, size=30 if quick else 80)):
         segment = network.segment(int(seg))
         requests.append(
             RescueRequest(
@@ -172,24 +182,50 @@ def _bench_full_tick(quick: bool) -> dict[str, dict[str, float | int]]:
                 node_id=segment.u,
             )
         )
-    config = SimulationConfig(t0_s=t0, t1_s=t1, num_teams=20, seed=0)
+    config = SimulationConfig(t0_s=t0, t1_s=t1, num_teams=100, seed=0, step_s=0.25)
     ticks = int((t1 - t0) / config.step_s) + 1
 
-    def run(router: Any) -> tuple[int, int]:
-        sim = RescueSimulator(
+    def run(sim: RescueSimulator) -> tuple[Any, ...]:
+        result = sim.run()
+        return (
+            tuple((p.request_id, p.team_id, p.t_s) for p in result.pickups),
+            tuple((d.request_id, d.t_s) for d in result.deliveries),
+            tuple(result.serving_samples),
+        )
+
+    def seed_sim(router: Any = None) -> RescueSimulator:
+        return RescueSimulator(
             scenario, list(requests), NearestDispatcher(), config, router=router
         )
-        result = sim.run()
-        return result.num_served, len(result.deliveries)
 
-    expected = run(DirectRouter(network))
-    seed_s = _best_of(lambda: run(DirectRouter(network)), 1)
-    cached_s = _best_of(lambda: run(RoutingCache(network)), 1)
-    if run(RoutingCache(network)) != expected:
+    expected = run(seed_sim(DirectRouter(network)))
+    seed_s = _best_of(lambda: run(seed_sim(DirectRouter(network))), 1)
+    cached_s = _best_of(lambda: run(seed_sim(RoutingCache(network))), 1)
+    if run(seed_sim(RoutingCache(network))) != expected:
         raise AssertionError("cached full-tick run diverged from seed run")
+
+    def kernel_sim() -> EventKernelSimulator:
+        return EventKernelSimulator(
+            scenario, list(requests), NearestDispatcher(), config
+        )
+
+    event_s = _best_of(lambda: run(kernel_sim()), 2 if quick else 3)
+    kernel = kernel_sim()
+    if run(kernel) != expected:
+        raise AssertionError("event-kernel run diverged from seed run")
     return {
-        "full_tick_seed": _record(seed_s, ticks),
-        "full_tick_cached": _record(cached_s, ticks),
+        "benchmarks": {
+            "full_tick_seed": _record(seed_s, ticks),
+            "full_tick_cached": _record(cached_s, ticks),
+            "full_tick_event": _record(event_s, ticks),
+        },
+        "events_per_sim_hour": {
+            "events": int(kernel.events_processed),
+            "ticks_processed": int(kernel.ticks_processed),
+            "grid_ticks": int(kernel.num_grid_ticks),
+            "sim_hours": float(hours),
+            "per_hour": float(kernel.events_processed / hours),
+        },
     }
 
 
@@ -303,7 +339,8 @@ def run_bench(quick: bool = False) -> dict[str, Any]:
     benchmarks: dict[str, dict[str, float | int]] = {}
     benchmarks.update(_bench_routing(quick))
     benchmarks.update(_bench_prediction(quick))
-    benchmarks.update(_bench_full_tick(quick))
+    full_tick = _bench_full_tick(quick)
+    benchmarks.update(full_tick["benchmarks"])
     benchmarks.update(_bench_training_step(quick))
     rollouts = _bench_rollouts(quick)
     benchmarks.update(rollouts["benchmarks"])
@@ -324,6 +361,7 @@ def run_bench(quick: bool = False) -> dict[str, Any]:
         "benchmarks": benchmarks,
         "speedups": speedups,
         "episodes_per_minute": rollouts["episodes_per_minute"],
+        "events_per_sim_hour": full_tick["events_per_sim_hour"],
     }
 
 
@@ -382,6 +420,20 @@ def validate_bench_payload(payload: Any) -> list[str]:
                 problems.append(
                     f"episodes_per_minute.{key} must be a positive integer"
                 )
+    eph = payload.get("events_per_sim_hour")
+    if not isinstance(eph, dict):
+        problems.append("events_per_sim_hour must be an object")
+    else:
+        for key in ("events", "ticks_processed", "grid_ticks"):
+            value = eph.get(key)
+            if not isinstance(value, int) or value <= 0:
+                problems.append(
+                    f"events_per_sim_hour.{key} must be a positive integer"
+                )
+        for key in ("sim_hours", "per_hour"):
+            value = eph.get(key)
+            if not isinstance(value, (int, float)) or value <= 0:
+                problems.append(f"events_per_sim_hour.{key} must be positive")
     return problems
 
 
@@ -420,6 +472,12 @@ def format_bench_table(payload: dict[str, Any]) -> str:
         f"2 workers {epm['workers_2']:.0f}, "
         f"{epm['n_workers']} workers {epm['workers_n']:.0f}  "
         f"({epm['episodes']} episodes)"
+    )
+    eph = payload["events_per_sim_hour"]
+    lines.append(
+        f"event kernel: {eph['events']} events over {eph['sim_hours']:.1f} sim h "
+        f"({eph['per_hour']:.0f} events/sim-h), "
+        f"{eph['ticks_processed']}/{eph['grid_ticks']} grid ticks processed"
     )
     lines.append(f"peak RSS: {payload['peak_rss_kib'] / 1024.0:.1f} MiB")
     return "\n".join(lines)

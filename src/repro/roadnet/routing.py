@@ -113,7 +113,7 @@ def route_from_tree(
         seg_ids.append(sid)
         node = network.segment(sid).u
     seg_ids.reverse()
-    return _route_from_segments(network, src, seg_ids)
+    return route_from_segments(network, src, seg_ids)
 
 
 def shortest_path(
@@ -137,7 +137,13 @@ def shortest_path(
     return route_from_tree(network, src, dst, prev_seg)
 
 
-def _route_from_segments(network: RoadNetwork, src: int, seg_ids: list[int]) -> Route:
+def route_from_segments(network: RoadNetwork, src: int, seg_ids: list[int]) -> Route:
+    """Build a :class:`Route` from a contiguous segment sequence.
+
+    Travel time and length are re-summed from the segment records, so a
+    route built from any search's segment walk carries exactly the floats
+    a direct construction would.
+    """
     nodes = [src]
     time_s = 0.0
     length = 0.0
@@ -154,7 +160,7 @@ def _route_from_segments(network: RoadNetwork, src: int, seg_ids: list[int]) -> 
 def append_segment(network: RoadNetwork, head: Route, segment_id: int) -> Route:
     """Extend a route that ends at a segment's head landmark with the
     segment itself (the paper's route-to-``e_j`` destination semantics)."""
-    return _route_from_segments(network, head.src, list(head.segment_ids) + [segment_id])
+    return route_from_segments(network, head.src, list(head.segment_ids) + [segment_id])
 
 
 def shortest_time_from(

@@ -154,7 +154,8 @@ class EvalRolloutTask:
         self, context: Any, spec: EpisodeSpec, beat: Beat
     ) -> dict[str, Any]:
         from repro.dispatch.nearest import NearestDispatcher
-        from repro.sim.engine import RescueSimulator, SimulationConfig
+        from repro.sim.engine import SimulationConfig
+        from repro.sim.kernel import build_simulator
         from repro.sim.metrics import SimulationMetrics
 
         sim_seed = episode_sim_seed(spec)
@@ -164,7 +165,7 @@ class EvalRolloutTask:
             num_teams=self.num_teams,
             seed=sim_seed,
         )
-        sim = RescueSimulator(
+        sim = build_simulator(
             self.scenario,
             list(self.requests),
             NearestDispatcher(),
@@ -257,7 +258,8 @@ class TrainingCollectTask:
 
         from repro.core.rl_dispatcher import MobiRescueDispatcher, make_agent
         from repro.rollouts.merge import drain_transitions
-        from repro.sim.engine import RescueSimulator, SimulationConfig
+        from repro.sim.engine import SimulationConfig
+        from repro.sim.kernel import build_simulator
         from repro.sim.requests import remap_to_operable, requests_from_rescues
         from repro.weather.storms import SECONDS_PER_DAY
 
@@ -281,7 +283,7 @@ class TrainingCollectTask:
             self.scenario, context["predictor"], context["feed"], agent, cfg,
             training=True,
         )
-        sim = RescueSimulator(
+        sim = build_simulator(
             self.scenario,
             requests,
             dispatcher,

@@ -42,10 +42,10 @@ from repro.service.ingest import (
 from repro.service.records import IngestSchema
 from repro.sim.engine import (
     IncidentEvent,
-    RescueSimulator,
     SimulationConfig,
     SimulationResult,
 )
+from repro.sim.kernel import build_simulator
 from repro.sim.requests import RescueRequest
 
 if TYPE_CHECKING:
@@ -242,7 +242,7 @@ class DispatchService:
             latency_hook=latency_hook,
         )
 
-        self._sim = RescueSimulator(
+        self._sim = build_simulator(
             scenario,
             requests,
             self.resilient_dispatcher,

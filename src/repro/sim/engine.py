@@ -178,6 +178,7 @@ class RescueSimulator:
         #: equivalence tests pass a DirectRouter to reproduce seed behavior).
         self.router = router if router is not None else default_router(scenario.network)
         self.hospitals: list[Hospital] = scenario.hospitals
+        self._hospital_nodes = {h.node_id for h in scenario.hospitals}
         self.dispatcher = dispatcher
         self.config = config
         self.requests = sorted(requests, key=lambda r: r.time_s)
@@ -193,6 +194,10 @@ class RescueSimulator:
         )
         self._action_queue: list[tuple[float, int, dict[int, TeamCommand]]] = []
         self._action_counter = itertools.count()
+        #: Index of the first not-yet-activated request (requests are sorted).
+        self._activation_cursor = 0
+        self._next_dispatch = config.t0_s
+        self._cycle_index = 0
         #: Fault layer: ``None`` means zero-cost (no per-step branching
         #: beyond one identity check).  A null injector is dropped here.
         self.faults = faults if faults is not None and not faults.is_null else None
@@ -280,12 +285,28 @@ class RescueSimulator:
 
     # -- request lifecycle ---------------------------------------------------------
 
-    def _activate_requests(self, upto_t: float, queue: deque[RescueRequest]) -> None:
-        newly: list[RescueRequest] = []
-        while queue and queue[0].time_s <= upto_t:
-            req = queue.popleft()
+    def _take_due_requests(self, upto_t: float) -> list[RescueRequest]:
+        """Indexed pop of every not-yet-active request with ``time_s <= t``.
+
+        ``self.requests`` is sorted by time, so an advancing cursor replaces
+        the old deque-head rescan; activation order is unchanged (pinned by
+        ``tests/test_activation_order.py``).  The event kernel overrides
+        this with its :class:`~repro.sim.kernel.state.RequestArray` pop.
+        """
+        start = self._activation_cursor
+        reqs = self.requests
+        end, n = start, len(reqs)
+        while end < n and reqs[end].time_s <= upto_t:
+            end += 1
+        if end == start:
+            return []
+        self._activation_cursor = end
+        return reqs[start:end]
+
+    def _activate_requests(self, upto_t: float) -> None:
+        newly = self._take_due_requests(upto_t)
+        for req in newly:
             self._pending.setdefault(req.segment_id, deque()).append(req)
-            newly.append(req)
         if newly:
             incident = self._guard.observe_requests(newly)
             if incident is not None:
@@ -391,6 +412,15 @@ class RescueSimulator:
 
     # -- movement -----------------------------------------------------------------------
 
+    def _hospital_leg_route(self, node: int, hosp: int) -> Route | None:
+        """The routing call behind every drive-to-hospital / depot leg.
+
+        ``hosp`` is always ``_nearest_hospital_node(node)``; the event
+        kernel overrides this pair with one shared nearest-hospital field
+        per closed set instead of one search per query.
+        """
+        return self.router.route(node, hosp, closed=self._closed)
+
     def _route_to_hospital(self, team: RescueTeam, t: float) -> None:
         hosp = self._nearest_hospital_node(team.node)
         if hosp is None:
@@ -399,7 +429,7 @@ class RescueSimulator:
         if hosp == team.node:
             self._deliver(team, t)
             return
-        route = self.router.route(team.node, hosp, closed=self._closed)
+        route = self._hospital_leg_route(team.node, hosp)
         if route is None or route.is_trivial:
             team.stop()
             return
@@ -425,15 +455,14 @@ class RescueSimulator:
         ):
             return  # already en route to exactly this destination
         if cmd.is_depot:
-            hospital_nodes = {h.node_id for h in self.hospitals}
-            if team.node in hospital_nodes:
+            if team.node in self._hospital_nodes:
                 team.stop()
                 return
             hosp = self._nearest_hospital_node(team.node)
             if hosp is None or hosp == team.node:
                 team.stop()
                 return
-            route = self.router.route(team.node, hosp, closed=self._closed)
+            route = self._hospital_leg_route(team.node, hosp)
             if route is None or route.is_trivial:
                 team.stop()
                 return
@@ -588,61 +617,81 @@ class RescueSimulator:
 
     # -- main loop -------------------------------------------------------------------------------
 
+    def _serving_count(self, action: dict[int, TeamCommand]) -> int:
+        """Teams counted as serving for this cycle's sample: commanded to a
+        segment this cycle, or already driving to a hospital / an assigned
+        segment — minus teams a depot command just recalled."""
+        serving_ids = {tid for tid, c in action.items() if not c.is_depot}
+        serving_ids.update(
+            tm.team_id
+            for tm in self._teams
+            if tm.state is TeamState.TO_HOSPITAL
+            or (tm.state is TeamState.TO_SEGMENT and tm.target_segment is not None)
+        )
+        # A depot command overrides an in-flight serving leg.
+        serving_ids -= {tid for tid, c in action.items() if c.is_depot}
+        return len(serving_ids)
+
+    def _dispatch_cycle(self, t: float) -> None:
+        """One dispatch cycle: refresh closures, invoke the guarded
+        dispatcher, queue its commands behind the computation delay, and
+        record the serving sample."""
+        self._closed = self._closed_now(t)
+        self._reanchor_pending()
+        obs = self._observation(t)
+        action, ran = self._dispatch_cycle_action(obs, t, self._cycle_index)
+        apply_at = t + self.dispatcher.computation_delay_s
+        if self.faults is not None:
+            apply_at += self.faults.comm_latency_s
+        heapq.heappush(
+            self._action_queue, (apply_at, next(self._action_counter), action)
+        )
+        self._result.serving_samples.append((t, self._serving_count(action)))
+        if ran:
+            incident = self._guard.on_cycle_end(obs)
+            if incident is not None:
+                self._record_incident("hook_error", t, detail=incident)
+        if self._on_cycle is not None:
+            self._on_cycle(self._cycle_index, t, ran)
+        self._next_dispatch += self.config.dispatch_period_s
+        self._cycle_index += 1
+
+    def _deliver_command(self, team: RescueTeam, cmd: TeamCommand, apply_t: float) -> None:
+        """Hand one due command to one team (or drop it on a radio outage)."""
+        if self.faults is not None and self.faults.comm_blocked(team.team_id, apply_t):
+            self._record_incident(
+                "dropped_command", apply_t, team_id=team.team_id,
+                detail="radio outage",
+            )
+            return
+        team.pending_assignment = cmd
+
+    def _apply_due_actions(self, t: float) -> None:
+        while self._action_queue and self._action_queue[0][0] <= t:
+            apply_t, _, action = heapq.heappop(self._action_queue)
+            for team in self._teams:
+                cmd = action.get(team.team_id)
+                if cmd is None or not team.is_assignable:
+                    continue
+                self._deliver_command(team, cmd, apply_t)
+
+    def _advance_teams(self, t: float) -> None:
+        for team in self._teams:
+            if self.faults is not None and self._update_breakdown(team, t):
+                continue
+            self._advance_team(team, t)
+
     def run(self) -> SimulationResult:
         cfg = self.config
-        queue = deque(self.requests)
         t = cfg.t0_s
-        next_dispatch = cfg.t0_s
-        cycle_index = 0
+        self._activation_cursor = 0
+        self._next_dispatch = cfg.t0_s
+        self._cycle_index = 0
         while t <= cfg.t1_s:
-            self._activate_requests(t, queue)
-            if t >= next_dispatch:
-                self._closed = self._closed_now(t)
-                self._reanchor_pending()
-                obs = self._observation(t)
-                action, ran = self._dispatch_cycle_action(obs, t, cycle_index)
-                apply_at = t + self.dispatcher.computation_delay_s
-                if self.faults is not None:
-                    apply_at += self.faults.comm_latency_s
-                heapq.heappush(
-                    self._action_queue, (apply_at, next(self._action_counter), action)
-                )
-                serving_ids = {tid for tid, c in action.items() if not c.is_depot}
-                serving_ids.update(
-                    tm.team_id
-                    for tm in self._teams
-                    if tm.state is TeamState.TO_HOSPITAL
-                    or (tm.state is TeamState.TO_SEGMENT and tm.target_segment is not None)
-                )
-                # A depot command overrides an in-flight serving leg.
-                serving_ids -= {tid for tid, c in action.items() if c.is_depot}
-                self._result.serving_samples.append((t, len(serving_ids)))
-                if ran:
-                    incident = self._guard.on_cycle_end(obs)
-                    if incident is not None:
-                        self._record_incident("hook_error", t, detail=incident)
-                if self._on_cycle is not None:
-                    self._on_cycle(cycle_index, t, ran)
-                next_dispatch += cfg.dispatch_period_s
-                cycle_index += 1
-            while self._action_queue and self._action_queue[0][0] <= t:
-                apply_t, _, action = heapq.heappop(self._action_queue)
-                for team in self._teams:
-                    cmd = action.get(team.team_id)
-                    if cmd is None or not team.is_assignable:
-                        continue
-                    if self.faults is not None and self.faults.comm_blocked(
-                        team.team_id, apply_t
-                    ):
-                        self._record_incident(
-                            "dropped_command", apply_t, team_id=team.team_id,
-                            detail="radio outage",
-                        )
-                        continue
-                    team.pending_assignment = cmd
-            for team in self._teams:
-                if self.faults is not None and self._update_breakdown(team, t):
-                    continue
-                self._advance_team(team, t)
+            self._activate_requests(t)
+            if t >= self._next_dispatch:
+                self._dispatch_cycle(t)
+            self._apply_due_actions(t)
+            self._advance_teams(t)
             t += cfg.step_s
         return self._result

@@ -1,0 +1,363 @@
+"""Structure-of-arrays team and request state for the event kernel.
+
+:class:`TeamArray` keeps the scan-hot fields of every team in numpy
+columns (position, state code, remaining capacity, wake-up time, repair
+time, leg progress), so per-tick questions — *which teams need attention
+at tick t?*, *is any idle team standing at this segment?* — are single
+vectorized expressions instead of Python loops over ``RescueTeam``
+objects.  Ragged per-team payloads (route node/segment tuples, absolute
+node-arrival times, passenger lists, the deferred dispatch command) stay
+in plain Python lists, exactly as the seed engine keeps them.
+
+:class:`TeamArrayView` is a zero-copy per-team facade over one column
+index with the full attribute/method surface of
+:class:`repro.sim.teams.RescueTeam` — the seed engine's team logic runs
+on views unchanged, every write lands in the columns, and the randomized
+round-trip suite (``tests/test_kernel_team_array.py``) pins view state
+bit-equal to a ``RescueTeam`` driven through the same mutations.
+
+The ``wake_s`` column is the kernel's scheduling contract: for every team
+it holds the earliest absolute time at which the seed tick body could do
+anything observable to that team (next node arrival while driving, repair
+completion while broken down, "now" when idle with a deferred command,
+``+inf`` otherwise).  Every mutator keeps it current and adds the team to
+the ``dirty`` set, which the engine drains once per processed tick to
+reschedule wake events — over-eager wake-ups are harmless (the tick body
+is a provable no-op), missed wake-ups are the only hazard, hence the
+conservative rule.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.roadnet.routing import Route
+from repro.sim.requests import RescueRequest
+from repro.sim.teams import TeamState
+
+_STATE_CODE = {TeamState.IDLE: 0, TeamState.TO_SEGMENT: 1, TeamState.TO_HOSPITAL: 2}
+_NO_TARGET = -1
+
+
+class _PassengerList(list[int]):
+    """Passenger list that mirrors its length into the capacity column."""
+
+    __slots__ = ("_array", "_i")
+
+    def __init__(self, array: "TeamArray", i: int) -> None:
+        super().__init__()
+        self._array = array
+        self._i = i
+
+    def append(self, request_id: int) -> None:
+        super().append(request_id)
+        self._array.capacity_left[self._i] = self._array.capacity - len(self)
+
+    def clear(self) -> None:
+        super().clear()
+        self._array.capacity_left[self._i] = self._array.capacity
+
+
+class TeamArray:
+    """Columnar state of the whole fleet (see module docstring)."""
+
+    def __init__(self, capacity: int, nodes: Iterable[int]) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        node_list = [int(n) for n in nodes]
+        n = len(node_list)
+        if n < 1:
+            raise ValueError("need at least one team")
+        self.capacity = int(capacity)
+        self.num_teams = n
+        # -- numpy columns (the vectorized-scan surface) --------------------
+        self.node = np.array(node_list, dtype=np.int64)
+        self.state_code = np.zeros(n, dtype=np.int8)
+        self.capacity_left = np.full(n, capacity, dtype=np.int64)
+        self.next_node_idx = np.zeros(n, dtype=np.int64)
+        self.target_segment = np.full(n, _NO_TARGET, dtype=np.int64)
+        self.leg_start_s = np.zeros(n, dtype=np.float64)
+        self.total_pickups = np.zeros(n, dtype=np.int64)
+        self.down_until_s = np.full(n, np.nan, dtype=np.float64)
+        self.wake_s = np.full(n, np.inf, dtype=np.float64)
+        # -- ragged per-team payloads --------------------------------------
+        self.state: list[TeamState] = [TeamState.IDLE] * n
+        self.route_nodes: list[tuple[int, ...]] = [()] * n
+        self.route_segments: list[tuple[int, ...]] = [()] * n
+        self.node_times: list[np.ndarray | None] = [None] * n
+        self.passengers: list[_PassengerList] = [_PassengerList(self, i) for i in range(n)]
+        self.pending_assignment: list[object | None] = [None] * n
+        #: Teams whose ``wake_s`` changed since the engine last drained
+        #: this set (scheduling only, never results).
+        self.dirty: set[int] = set()
+        self._views = [TeamArrayView(self, i) for i in range(n)]
+
+    def views(self) -> "list[TeamArrayView]":
+        return list(self._views)
+
+    def view(self, i: int) -> "TeamArrayView":
+        return self._views[i]
+
+    def _recompute_wake(self, i: int) -> None:
+        down = self.down_until_s[i]
+        if down == down:  # not NaN: broken down, wake at repair completion
+            wake = float(down)
+        elif self.state[i] is not TeamState.IDLE:
+            idx = int(self.next_node_idx[i])
+            times = self.node_times[i]
+            if times is not None and idx < len(times):
+                wake = float(times[idx])
+            else:
+                wake = float("inf")
+        elif self.pending_assignment[i] is not None:
+            wake = float("-inf")  # apply the deferred command this tick
+        else:
+            wake = float("inf")
+        if wake != self.wake_s[i]:
+            self.wake_s[i] = wake
+            self.dirty.add(i)
+
+    def attention(self, t: float) -> np.ndarray:
+        """Ascending indices of teams the tick body must visit at ``t``."""
+        return np.flatnonzero(self.wake_s <= t)
+
+    def serving_ids(self) -> set[int]:
+        """Teams driving to a hospital or to an assigned segment — the
+        fleet half of the seed serving-sample census, as one vectorized
+        expression."""
+        mask = (self.state_code == 2) | (
+            (self.state_code == 1) & (self.target_segment != _NO_TARGET)
+        )
+        return set(np.flatnonzero(mask).tolist())
+
+    def idle_team_at(self, nodes: tuple[int, int]) -> int | None:
+        """First (lowest-id) idle, operable team with spare capacity
+        standing at either endpoint — the seed ``_immediate_pickup`` scan
+        as one vectorized expression."""
+        mask = (
+            (self.state_code == 0)
+            & (self.down_until_s != self.down_until_s)  # NaN == operational
+            & (self.capacity_left > 0)
+            & ((self.node == nodes[0]) | (self.node == nodes[1]))
+        )
+        hits = np.flatnonzero(mask)
+        return int(hits[0]) if hits.size else None
+
+
+class TeamArrayView:
+    """One team's :class:`RescueTeam`-shaped window into the columns."""
+
+    __slots__ = ("_a", "_i")
+
+    def __init__(self, array: TeamArray, i: int) -> None:
+        self._a = array
+        self._i = i
+
+    # -- identity -----------------------------------------------------------
+
+    @property
+    def team_id(self) -> int:
+        return self._i
+
+    @property
+    def capacity(self) -> int:
+        return self._a.capacity
+
+    # -- columns ------------------------------------------------------------
+
+    @property
+    def node(self) -> int:
+        return int(self._a.node[self._i])
+
+    @node.setter
+    def node(self, value: int) -> None:
+        self._a.node[self._i] = int(value)
+
+    @property
+    def state(self) -> TeamState:
+        return self._a.state[self._i]
+
+    @state.setter
+    def state(self, value: TeamState) -> None:
+        self._a.state[self._i] = value
+        self._a.state_code[self._i] = _STATE_CODE[value]
+        self._a._recompute_wake(self._i)
+
+    @property
+    def passengers(self) -> _PassengerList:
+        return self._a.passengers[self._i]
+
+    @property
+    def route_nodes(self) -> tuple[int, ...]:
+        return self._a.route_nodes[self._i]
+
+    @property
+    def route_segments(self) -> tuple[int, ...]:
+        return self._a.route_segments[self._i]
+
+    @property
+    def node_times(self) -> np.ndarray | None:
+        return self._a.node_times[self._i]
+
+    @property
+    def next_node_idx(self) -> int:
+        return int(self._a.next_node_idx[self._i])
+
+    @next_node_idx.setter
+    def next_node_idx(self, value: int) -> None:
+        self._a.next_node_idx[self._i] = int(value)
+        self._a._recompute_wake(self._i)
+
+    @property
+    def target_segment(self) -> int | None:
+        value = int(self._a.target_segment[self._i])
+        return None if value == _NO_TARGET else value
+
+    @property
+    def leg_start_s(self) -> float:
+        return float(self._a.leg_start_s[self._i])
+
+    @leg_start_s.setter
+    def leg_start_s(self, value: float) -> None:
+        self._a.leg_start_s[self._i] = float(value)
+
+    @property
+    def pending_assignment(self) -> object | None:
+        return self._a.pending_assignment[self._i]
+
+    @pending_assignment.setter
+    def pending_assignment(self, value: object | None) -> None:
+        self._a.pending_assignment[self._i] = value
+        self._a._recompute_wake(self._i)
+
+    @property
+    def total_pickups(self) -> int:
+        return int(self._a.total_pickups[self._i])
+
+    @total_pickups.setter
+    def total_pickups(self, value: int) -> None:
+        self._a.total_pickups[self._i] = int(value)
+
+    @property
+    def down_until_s(self) -> float | None:
+        value = float(self._a.down_until_s[self._i])
+        return None if value != value else value
+
+    # -- derived properties (seed formulas) ---------------------------------
+
+    @property
+    def capacity_left(self) -> int:
+        return self._a.capacity - len(self._a.passengers[self._i])
+
+    @property
+    def is_driving(self) -> bool:
+        return self._a.state[self._i] is not TeamState.IDLE
+
+    @property
+    def is_down(self) -> bool:
+        return self.down_until_s is not None
+
+    @property
+    def is_assignable(self) -> bool:
+        return self._a.state[self._i] is not TeamState.TO_HOSPITAL and not self.is_down
+
+    @property
+    def arrival_time_s(self) -> float | None:
+        times = self._a.node_times[self._i]
+        return None if times is None else float(times[-1])
+
+    # -- transitions (seed RescueTeam semantics) -----------------------------
+
+    def begin_leg(
+        self,
+        route: Route,
+        speed_multiplier: float,
+        segment_times_s: np.ndarray,
+        t_now: float,
+        state: TeamState,
+        target_segment: int | None,
+    ) -> None:
+        if state is TeamState.IDLE:
+            raise ValueError("a leg must target a segment or a hospital")
+        if len(segment_times_s) != len(route.segment_ids):
+            raise ValueError("segment_times_s must align with the route")
+        if route.src != self.node:
+            raise ValueError(
+                f"route starts at {route.src} but team {self._i} is at {self.node}"
+            )
+        a, i = self._a, self._i
+        a.route_nodes[i] = route.nodes
+        a.route_segments[i] = route.segment_ids
+        a.node_times[i] = np.concatenate([[t_now], t_now + np.cumsum(segment_times_s)])
+        a.next_node_idx[i] = 1
+        a.state[i] = state
+        a.state_code[i] = _STATE_CODE[state]
+        a.target_segment[i] = _NO_TARGET if target_segment is None else int(target_segment)
+        a.leg_start_s[i] = float(t_now)
+        a._recompute_wake(i)
+
+    def stop(self) -> None:
+        a, i = self._a, self._i
+        a.route_nodes[i] = ()
+        a.route_segments[i] = ()
+        a.node_times[i] = None
+        a.next_node_idx[i] = 0
+        a.target_segment[i] = _NO_TARGET
+        a.state[i] = TeamState.IDLE
+        a.state_code[i] = 0
+        a._recompute_wake(i)
+
+    def break_down(self, repair_done_s: float) -> None:
+        if self.is_driving:
+            self.stop()
+        self._a.down_until_s[self._i] = float(repair_done_s)
+        self._a._recompute_wake(self._i)
+
+    def repair(self) -> None:
+        self._a.down_until_s[self._i] = np.nan
+        self._a._recompute_wake(self._i)
+
+
+class RequestArray:
+    """Activation-time column over the sorted request list.
+
+    Activation is an indexed pop: a cursor over the presorted
+    ``time_s`` column replaces the seed's repeated deque head rescans,
+    and ``next_time`` is what the kernel schedules its next
+    request-activation event from.
+    """
+
+    def __init__(self, requests: list[RescueRequest]) -> None:
+        self.requests = requests
+        self.time_s = np.array([r.time_s for r in requests], dtype=np.float64)
+        if np.any(self.time_s[1:] < self.time_s[:-1]):
+            raise ValueError("requests must be sorted by time")
+        self.segment_id = np.array([r.segment_id for r in requests], dtype=np.int64)
+        self.cursor = 0
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def next_time(self) -> float | None:
+        """Activation time of the next inactive request, if any."""
+        if self.cursor >= len(self.requests):
+            return None
+        return float(self.time_s[self.cursor])
+
+    def take_due(self, upto_t: float) -> list[RescueRequest]:
+        """Pop every request with ``time_s <= upto_t``, in order."""
+        start = self.cursor
+        end = int(np.searchsorted(self.time_s, upto_t, side="right"))
+        if end <= start:
+            return []
+        self.cursor = end
+        return self.requests[start:end]
+
+
+def team_array_from_views(views: "list[TeamArrayView] | list[Any]") -> TeamArray | None:
+    """The backing :class:`TeamArray` when ``views`` came from one."""
+    if views and isinstance(views[0], TeamArrayView):
+        return views[0]._a
+    return None

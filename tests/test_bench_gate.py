@@ -66,6 +66,8 @@ class TestBenchPayload:
         assert payload["speedups"]["prediction"] >= 3.0
         # The cached full-tick run must at minimum not regress materially.
         assert payload["speedups"]["full_tick"] >= 0.5
+        # The event kernel's acceptance floor over the cached tick loop.
+        assert payload["speedups"]["event_kernel"] >= 5.0
 
     def test_table_renders(self, payload):
         table = format_bench_table(payload)

@@ -1,0 +1,158 @@
+"""Property suite for the kernel's deterministic event scheduler.
+
+Randomized schedule/cancel/reschedule/pop sequences are driven against a
+transparent sorted-list oracle that mirrors the :class:`EventHeap`
+contract — pop order is ``(time, kind, team_id, insertion sequence)``,
+cancelled events never surface, every live event pops exactly once.
+Two hundred independent sequences (20 seeds x 10 sequences) cover the
+tombstone machinery from every angle the engine uses it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.kernel import Event, EventHeap, EventKind
+
+_KINDS = list(EventKind)
+
+
+class _Oracle:
+    """Reference semantics: a plain list, sorted on demand."""
+
+    def __init__(self) -> None:
+        self._live: dict[int, tuple[float, int, int, int]] = {}
+        self._seq = 0
+        self._token = 0
+
+    def schedule(self, time: float, kind: EventKind, team_id: int) -> int:
+        token = self._token
+        self._token += 1
+        self._live[token] = (time, int(kind), team_id, self._seq)
+        self._seq += 1
+        return token
+
+    def cancel(self, token: int) -> bool:
+        return self._live.pop(token, None) is not None
+
+    def reschedule(self, token: int, time: float) -> int:
+        _, kind, team_id, _ = self._live.pop(token)
+        return self.schedule(time, EventKind(kind), team_id)
+
+    def pop(self) -> Event | None:
+        if not self._live:
+            return None
+        token = min(self._live, key=self._live.__getitem__)
+        time, kind, team_id, _ = self._live.pop(token)
+        return Event(time, EventKind(kind), team_id)
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+
+def _drive(rng: np.random.Generator, ops: int) -> None:
+    heap, oracle = EventHeap(), _Oracle()
+    pairs: list[tuple[int, int]] = []  # (heap token, oracle token), live only
+    for _ in range(ops):
+        roll = rng.random()
+        if roll < 0.45 or not pairs:
+            time = float(rng.integers(0, 10))  # small grid forces ties
+            kind = _KINDS[int(rng.integers(len(_KINDS)))]
+            team_id = int(rng.integers(-1, 4))
+            pairs.append(
+                (heap.schedule(time, kind, team_id),
+                 oracle.schedule(time, kind, team_id))
+            )
+        elif roll < 0.60:
+            ht, ot = pairs.pop(int(rng.integers(len(pairs))))
+            assert heap.cancel(ht) is True
+            assert oracle.cancel(ot) is True
+            assert heap.cancel(ht) is False  # tokens are single-use
+        elif roll < 0.75:
+            i = int(rng.integers(len(pairs)))
+            ht, ot = pairs[i]
+            time = float(rng.integers(0, 10))
+            pairs[i] = (heap.reschedule(ht, time), oracle.reschedule(ot, time))
+            with pytest.raises(KeyError):
+                heap.reschedule(ht, time)  # the old token is dead
+        else:
+            expected = oracle.pop()
+            peeked = heap.peek()
+            got = heap.pop()
+            assert got == expected
+            assert peeked == expected
+            if got is not None:
+                pairs = [(ht, ot) for ht, ot in pairs if ot in oracle._live]
+        assert len(heap) == len(oracle)
+    # Drain: both must empty in exactly the same order, never losing or
+    # duplicating a live event, with non-decreasing times throughout.
+    drained: list[Event] = []
+    expected_live = len(oracle)
+    while True:
+        expected = oracle.pop()
+        got = heap.pop()
+        assert got == expected
+        if got is None:
+            break
+        drained.append(got)
+    assert len(heap) == 0
+    assert len(drained) == expected_live
+    assert all(a.time <= b.time for a, b in zip(drained, drained[1:]))
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_randomized_sequences_match_oracle(seed):
+    """10 sequences per seed: 200 randomized scenarios in total."""
+    rng = np.random.default_rng(seed)
+    for _ in range(10):
+        _drive(rng, ops=int(rng.integers(20, 80)))
+
+
+class TestOrderingContract:
+    def test_tie_break_is_time_kind_team_then_insertion(self):
+        heap = EventHeap()
+        heap.schedule(1.0, EventKind.ARRIVAL, 2)
+        heap.schedule(1.0, EventKind.ARRIVAL, 1)
+        heap.schedule(1.0, EventKind.DISPATCH_CYCLE, 9)
+        heap.schedule(0.5, EventKind.REPAIR, 5)
+        heap.schedule(1.0, EventKind.ARRIVAL, 1)  # same key: insertion order
+        assert heap.pop() == Event(0.5, EventKind.REPAIR, 5)
+        assert heap.pop() == Event(1.0, EventKind.DISPATCH_CYCLE, 9)
+        assert heap.pop() == Event(1.0, EventKind.ARRIVAL, 1)
+        assert heap.pop() == Event(1.0, EventKind.ARRIVAL, 1)
+        assert heap.pop() == Event(1.0, EventKind.ARRIVAL, 2)
+        assert heap.pop() is None
+
+    def test_kind_order_mirrors_seed_phase_order(self):
+        """Within a tick: activation, dispatch, flood/closure, command
+        application, then team events — the seed tick body's phase order."""
+        values = [int(k) for k in _KINDS]
+        assert values == sorted(values)
+        assert EventKind.REQUEST_ACTIVATION < EventKind.DISPATCH_CYCLE
+        assert EventKind.DISPATCH_CYCLE < EventKind.ACTION_APPLY
+        assert EventKind.ACTION_APPLY < EventKind.BREAKDOWN
+        assert EventKind.REPAIR < EventKind.ARRIVAL
+
+    def test_popped_counter_counts_live_pops_only(self):
+        heap = EventHeap()
+        t1 = heap.schedule(1.0, EventKind.ARRIVAL, 0)
+        heap.schedule(2.0, EventKind.ARRIVAL, 1)
+        heap.cancel(t1)
+        assert heap.pop() == Event(2.0, EventKind.ARRIVAL, 1)
+        assert heap.pop() is None
+        assert heap.popped == 1
+
+    def test_nan_time_rejected(self):
+        heap = EventHeap()
+        with pytest.raises(ValueError):
+            heap.schedule(float("nan"), EventKind.ARRIVAL, 0)
+
+    def test_cancelled_event_never_surfaces_via_peek(self):
+        heap = EventHeap()
+        token = heap.schedule(1.0, EventKind.ARRIVAL, 0)
+        heap.schedule(2.0, EventKind.REPAIR, 1)
+        assert heap.peek() == Event(1.0, EventKind.ARRIVAL, 0)
+        heap.cancel(token)
+        assert heap.peek() == Event(2.0, EventKind.REPAIR, 1)
+        assert len(heap) == 1
