@@ -18,16 +18,26 @@ coordinator: SIGKILL the whole coordinator (workers included) mid-
 campaign, resume against the same result store, and assert the merged
 fingerprint is bit-identical to an uninterrupted serial run.
 
+A third phase targets the self-healing training loop: a victim runs
+``sentinel_training`` with train-mild fault injection, the parent waits
+for the journal to record the first rollback recovery, SIGKILLs the
+victim, resumes — and asserts the resumed recovery is bit-identical to
+an *uninterrupted* faulted run.  (train-mild keeps every recovery on
+the ladder's rollback rung, which makes that equivalence hold for any
+kill timing.)
+
 Exit status 0 on success, 1 on any mismatch.  CI runs this on every
 push.  Usage::
 
-    python scripts/kill_resume_smoke.py                   # both phases
-    python scripts/kill_resume_smoke.py child DIR         # internal: victim
-    python scripts/kill_resume_smoke.py rollout-child DIR # internal: victim
+    python scripts/kill_resume_smoke.py                    # all phases
+    python scripts/kill_resume_smoke.py child DIR          # internal: victim
+    python scripts/kill_resume_smoke.py rollout-child DIR  # internal: victim
+    python scripts/kill_resume_smoke.py sentinel-child DIR # internal: victim
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 import signal
 import subprocess
@@ -56,6 +66,13 @@ ROLLOUT_EPISODES = 8
 ROLLOUT_KILL_AFTER_CELLS = 3
 ROLLOUT_SEED = 11
 ROLLOUT_WORKERS = 2
+
+# Sentinel phase: train-mild keeps every recovery on the rollback rung
+# (all max_attempts=1, transient), so resumed recovery == uninterrupted
+# recovery bit-for-bit no matter where the SIGKILL lands.
+SENTINEL_EPISODES = 3
+SENTINEL_PROFILE = "train-mild"
+SENTINEL_SEED = 0  # train-mild @ seed 0 fires faults in episodes 0 and 1
 
 
 def rollout_task_and_specs():
@@ -169,6 +186,96 @@ def rollout_phase() -> dict[str, bool]:
     }
 
 
+def run_sentinel_victim(checkpoint_dir: str, scenario=None, bundle=None):
+    """One self-healing training run with train-mild fault injection."""
+    from repro.core.config import MobiRescueConfig
+    from repro.faults import TrainingFaultInjector, get_train_profile
+    from repro.training import sentinel_training
+
+    if scenario is None:
+        scenario, bundle = build_dataset()
+    injector = TrainingFaultInjector(
+        get_train_profile(SENTINEL_PROFILE), seed=SENTINEL_SEED
+    )
+    return sentinel_training(
+        scenario,
+        bundle,
+        MobiRescueConfig(seed=SENTINEL_SEED),
+        episodes=SENTINEL_EPISODES,
+        num_teams=NUM_TEAMS,
+        checkpoint_dir=checkpoint_dir,
+        injector=injector,
+    )
+
+
+def wait_and_kill_sentinel(
+    proc: subprocess.Popen, journal_path: pathlib.Path
+) -> None:
+    """SIGKILL the victim once its journal records the first recovery."""
+    deadline = time.monotonic() + KILL_TIMEOUT_S
+    while time.monotonic() < deadline:
+        if journal_path.exists():
+            try:
+                journal = json.loads(journal_path.read_text())
+            except json.JSONDecodeError:
+                journal = {}  # unreachable with atomic writes, but harmless
+            if journal.get("recoveries"):
+                proc.send_signal(signal.SIGKILL)
+                proc.wait()
+                return
+        if proc.poll() is not None:
+            print(f"warning: sentinel child finished before the kill "
+                  f"(rc={proc.returncode})")
+            return
+        time.sleep(0.02)
+    proc.kill()
+    proc.wait()
+    raise SystemExit(
+        f"sentinel child recorded no recovery within {KILL_TIMEOUT_S:.0f}s"
+    )
+
+
+def sentinel_phase(scenario, bundle) -> dict[str, bool]:
+    """SIGKILL self-healing training mid-recovery, resume, compare."""
+    print(f"[smoke] sentinel reference: {SENTINEL_EPISODES} episodes with "
+          f"{SENTINEL_PROFILE} faults, uninterrupted")
+    with tempfile.TemporaryDirectory() as tmp:
+        ref_dir = pathlib.Path(tmp) / "sentinel-ref"
+        killed_dir = pathlib.Path(tmp) / "sentinel-killed"
+        killed_dir.mkdir()
+        reference = run_sentinel_victim(str(ref_dir), scenario, bundle)
+
+        print("[smoke] spawning sentinel victim; killing at the first "
+              "journalled recovery...")
+        proc = subprocess.Popen(
+            [sys.executable, __file__, "sentinel-child", str(killed_dir)],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.STDOUT,
+        )
+        wait_and_kill_sentinel(proc, killed_dir / "sentinel-journal.json")
+
+        print("[smoke] resuming the faulted run from journal + checkpoints...")
+        resumed = run_sentinel_victim(str(killed_dir), scenario, bundle)
+
+    ref_state = reference.trained.agent.get_state()
+    res_state = resumed.trained.agent.get_state()
+    return {
+        "sentinel faults detected": bool(reference.anomalies),
+        "sentinel recovery rolled back": bool(resumed.recoveries),
+        "sentinel agent state": (
+            set(ref_state) == set(res_state)
+            and all(np.array_equal(ref_state[k], res_state[k]) for k in ref_state)
+        ),
+        "sentinel service rates": (
+            reference.trained.episode_service_rates
+            == resumed.trained.episode_service_rates
+        ),
+        "sentinel anomaly trail": (
+            reference.journal["anomaly_count"] == resumed.journal["anomaly_count"]
+        ),
+    }
+
+
 def wait_and_kill(proc: subprocess.Popen, checkpoint_dir: pathlib.Path) -> int:
     """SIGKILL ``proc`` once ``KILL_AFTER`` checkpoints are committed."""
     target = checkpoint_dir / f"{CHECKPOINT_PREFIX}{KILL_AFTER:06d}" / "manifest.json"
@@ -246,6 +353,7 @@ def main() -> int:
             ),
         }
     checks.update(rollout_phase())
+    checks.update(sentinel_phase(scenario, bundle))
 
     for name, ok in checks.items():
         print(f"[smoke] {name}: {'identical' if ok else 'MISMATCH'}")
@@ -262,5 +370,8 @@ if __name__ == "__main__":
         sys.exit(0)
     if len(sys.argv) >= 3 and sys.argv[1] == "rollout-child":
         run_rollout_child(sys.argv[2])
+        sys.exit(0)
+    if len(sys.argv) >= 3 and sys.argv[1] == "sentinel-child":
+        run_sentinel_victim(sys.argv[2])
         sys.exit(0)
     sys.exit(main())

@@ -263,7 +263,7 @@ def cmd_simulate(args) -> int:
 
 
 def cmd_train(args) -> int:
-    from repro.core import save_trained, supervised_training
+    from repro.core import save_trained
     from repro.core.persistence import list_checkpoints
     from repro.core.runner import RetryPolicy, Supervisor
     from repro.data import build_michael_dataset
@@ -282,22 +282,56 @@ def cmd_train(args) -> int:
 
     print("building the Michael (training) dataset...", file=sys.stderr)
     scenario, bundle = build_michael_dataset(population_size=args.population)
-    supervisor = Supervisor(
-        policy=RetryPolicy(
-            max_attempts=args.max_attempts,
-            attempt_timeout_s=args.attempt_timeout if args.attempt_timeout > 0 else None,
-        ),
-        name="train",
-        seed=args.seed,
+    policy = RetryPolicy(
+        max_attempts=args.max_attempts,
+        attempt_timeout_s=args.attempt_timeout if args.attempt_timeout > 0 else None,
     )
-    trained = supervised_training(
-        scenario,
-        bundle,
-        checkpoint_dir=args.checkpoint_dir,
-        episodes=args.episodes,
-        checkpoint_every=args.checkpoint_every,
-        supervisor=supervisor,
-    )
+    if args.no_sentinel:
+        from repro.core import supervised_training
+
+        supervisor = Supervisor(policy=policy, name="train", seed=args.seed)
+        trained = supervised_training(
+            scenario,
+            bundle,
+            checkpoint_dir=args.checkpoint_dir,
+            episodes=args.episodes,
+            checkpoint_every=args.checkpoint_every,
+            supervisor=supervisor,
+        )
+    else:
+        from repro.core.config import MobiRescueConfig
+        from repro.training import supervised_sentinel_training
+
+        supervisor = Supervisor(policy=policy, name="train-sentinel", seed=args.seed)
+        result = supervised_sentinel_training(
+            scenario,
+            bundle,
+            MobiRescueConfig(seed=args.seed),
+            checkpoint_dir=args.checkpoint_dir,
+            episodes=args.episodes,
+            supervisor=supervisor,
+            progress=lambda msg: print(msg, file=sys.stderr),
+        )
+        for anomaly in result.anomalies:
+            print(
+                f"anomaly: {anomaly['kind']} at episode {anomaly['episode']} "
+                f"attempt {anomaly['attempt']} step {anomaly['step']}",
+                file=sys.stderr,
+            )
+        for recovery in result.recoveries:
+            print(
+                f"recovery: level {recovery['level']} {recovery['actions']} "
+                f"at episode {recovery['episode']}",
+                file=sys.stderr,
+            )
+        if result.aborted:
+            print(
+                f"training ABORTED; forensics bundle: {result.forensics_path}",
+                file=sys.stderr,
+            )
+            return 1
+        trained = result.trained
+        assert trained is not None
     rates = " ".join(f"{r:.2f}" for r in trained.episode_service_rates)
     print(f"trained {trained.episodes_run} episode(s); service rates: {rates}")
     if supervisor.incidents:
@@ -427,6 +461,8 @@ def cmd_chaos(args) -> int:
         return _run_rollout_chaos(args, seeds)
     if args.profile.startswith("shard-"):
         return _run_shard_chaos(args, seeds)
+    if args.profile.startswith("train-"):
+        return _run_train_chaos(args, seeds)
     from repro.service.chaos import ChaosConfig, run_chaos
 
     try:
@@ -499,6 +535,46 @@ def _run_rollout_chaos(args, seeds: tuple[int, ...]) -> int:
             print(f"VIOLATION: {violation}", file=sys.stderr)
         return 1
     print("all worker chaos invariants held")
+    return 0
+
+
+def _run_train_chaos(args, seeds: tuple[int, ...]) -> int:
+    from repro.faults.profiles import get_train_profile
+    from repro.training import TrainChaosConfig, run_train_chaos
+
+    try:
+        get_train_profile(args.profile)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    config = TrainChaosConfig(
+        profile=args.profile,
+        seeds=seeds,
+        episodes=2 if args.quick else 4,
+        population_size=300 if args.quick else args.population,
+        num_teams=8 if args.quick else 15,
+        work_dir=args.work_dir or None,
+    )
+    report = run_train_chaos(
+        config,
+        out_path=args.out or None,
+        progress=lambda msg: print(msg, file=sys.stderr),
+    )
+    for run in report["runs"]:
+        print(
+            f"seed {run['seed']}: {run['applied_count']} faults applied, "
+            f"{len(run['anomalies'])} anomalies, "
+            f"{len(run['recoveries'])} recoveries"
+            f"{', ABORTED' if run['aborted'] else ''}, "
+            f"{'OK' if run['ok'] else 'VIOLATED'}"
+        )
+    if args.out:
+        print(f"wrote {args.out}")
+    if not report["ok"]:
+        for violation in report["violations"]:
+            print(f"VIOLATION: {violation}", file=sys.stderr)
+        return 1
+    print("all training chaos invariants held")
     return 0
 
 
@@ -816,6 +892,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--attempt-timeout", type=float, default=0.0,
         help="per-attempt wall-clock deadline, seconds (0 = off)",
     )
+    p.add_argument(
+        "--no-sentinel", action="store_true",
+        help="disable the numeric-health sentinel and its recovery "
+             "ladder (docs/TRAINING_HEALTH.md); identical final weights "
+             "either way on a healthy run",
+    )
     p.add_argument("--save", type=str, default="", help="save trained models (.npz)")
     p.set_defaults(func=cmd_train)
 
@@ -828,9 +910,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault profile composed over env + components "
              "(none, mild, severe, blackout), a shard profile "
              "(shard-kill, shard-stall, shard-skew, shard-blackout) to "
-             "run the sharded-topology harness, or a worker profile "
+             "run the sharded-topology harness, a worker profile "
              "(worker-kill, worker-stall, worker-blackout) to run the "
-             "parallel-rollout harness",
+             "parallel-rollout harness, or a training profile "
+             "(train-none, train-mild, train-severe, train-blackout) to "
+             "run the self-healing-training harness",
     )
     p.add_argument(
         "--seeds", type=str, default="0,1", help="comma-separated chaos seeds"
@@ -846,6 +930,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--out", type=str, default="",
         help="write the JSON chaos report here (atomic)",
+    )
+    p.add_argument(
+        "--work-dir", type=str, default="",
+        help="train-* profiles: persist per-seed run directories "
+             "(checkpoints, journals, forensics bundles) here instead "
+             "of a throwaway tempdir",
     )
     p.set_defaults(func=cmd_chaos)
 
@@ -930,11 +1020,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "service-report",
-        help="unified service-health report from a chaos or loadgen artifact",
+        help="unified service-health report from a chaos, loadgen, or "
+             "training artifact",
     )
     p.add_argument(
         "input", type=str,
-        help="path to a chaos campaign report or loadgen artifact (JSON)",
+        help="path to a chaos campaign report (service, worker, shard, or "
+             "train-*), a loadgen artifact, or a training forensics "
+             "bundle's incidents.json",
     )
     p.add_argument(
         "--out", type=str, default="",

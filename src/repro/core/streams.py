@@ -102,6 +102,24 @@ STREAM_WORKER_CORRUPT: Final = _register(114, "worker-corrupt", "faults")
 STREAM_ROLLOUT_EPISODE: Final = _register(115, "rollout-episode", "rollouts")
 STREAM_ROLLOUT_BACKOFF: Final = _register(116, "rollout-backoff", "rollouts")
 
+# -- training faults (repro.faults, PR 10) ------------------------------------
+# Training faults key per episode: (seed, tag, episode id).  The sampled
+# fate decides both whether the episode is affected and at which learn
+# step the fault fires, so a schedule is bit-identical across reruns and
+# independent of how many recovery attempts the sentinel makes.
+
+STREAM_TRAIN_NAN_GRAD: Final = _register(117, "train-fault-nan-gradient", "faults")
+STREAM_TRAIN_CORRUPT_REPLAY: Final = _register(118, "train-fault-corrupt-replay", "faults")
+STREAM_TRAIN_REWARD_SPIKE: Final = _register(119, "train-fault-reward-spike", "faults")
+STREAM_TRAIN_CKPT_BITROT: Final = _register(120, "train-fault-checkpoint-bitrot", "faults")
+
+# -- training health (repro.training, PR 10) ----------------------------------
+# Escalation rung 1 re-perturbs exploration after a rollback: the agent's
+# action stream is re-seeded (seed, tag, anomaly idx) so a replay that
+# diverged once explores a deterministically *different* trajectory.
+
+STREAM_TRAIN_REPERTURB: Final = _register(121, "train-recovery-perturb", "training")
+
 # -- load generation (repro.service.sharding.loadgen, PR 6) -------------------
 # Home placement keys (seed, tag); per-tick jitter keys (seed, tag, tick).
 

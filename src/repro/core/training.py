@@ -124,13 +124,118 @@ def _flooded_days(bundle: TraceBundle) -> list[int]:
     return days
 
 
+@dataclass
+class TrainingSetup:
+    """Everything the episode loop needs, fresh or restored.
+
+    Both the plain loop here and the self-healing loop in
+    :mod:`repro.training` drive episodes through the same setup and the
+    same :func:`run_training_episode`, which is what makes the sentinel's
+    fault-free trajectory bit-identical to this module's by construction.
+    """
+
+    cfg: MobiRescueConfig
+    predictor: RequestPredictor
+    feed: PopulationFeed
+    agent: DQNAgent
+    flooded_days: list[int]
+
+
+def prepare_training(
+    scenario: CharlotteScenario,
+    bundle: TraceBundle,
+    config: MobiRescueConfig | None = None,
+) -> TrainingSetup:
+    """Stage-1 pipeline + model construction for a fresh training run."""
+    cfg = config or MobiRescueConfig()
+    matched = _deployment_pipeline(scenario, bundle)
+    training_set = build_training_set(
+        scenario,
+        bundle,
+        matched=matched,
+        negatives_per_positive=cfg.negatives_per_positive,
+        seed=cfg.seed,
+    )
+    predictor = RequestPredictor(
+        scenario, kernel=cfg.svm_kernel, c=cfg.svm_c, gamma=cfg.svm_gamma, seed=cfg.seed
+    ).fit(training_set)
+    feed = PopulationFeed(matched)
+    agent = make_agent(cfg)
+    pretrain_agent(agent, cfg)
+    # Pretraining already encodes a sensible policy; exploration refines it
+    # rather than drowning it.
+    agent.epsilon = 0.3
+    return TrainingSetup(cfg, predictor, feed, agent, _flooded_days(bundle))
+
+
+def setup_from_checkpoint(
+    checkpoint: "TrainingCheckpoint",
+    scenario: CharlotteScenario,
+    bundle: TraceBundle,
+) -> TrainingSetup:
+    """Rebuild a :class:`TrainingSetup` from a committed checkpoint."""
+    # Lazy import; see _run_episodes.
+    from repro.core import persistence
+
+    cfg = checkpoint.config
+    matched = _deployment_pipeline(scenario, bundle)
+    predictor = persistence.restore_predictor(checkpoint, scenario)
+    feed = PopulationFeed(matched)
+    agent = make_agent(cfg)
+    agent.set_state(checkpoint.agent_state)
+    return TrainingSetup(cfg, predictor, feed, agent, _flooded_days(bundle))
+
+
+def run_training_episode(
+    scenario: CharlotteScenario,
+    bundle: TraceBundle,
+    setup: TrainingSetup,
+    ep: int,
+    *,
+    num_teams: int,
+    team_capacity: int,
+) -> float | None:
+    """One exploration episode; returns its service rate, or ``None`` when
+    the episode's flooded day produced no operable requests (in which case
+    no training randomness is consumed at all)."""
+    cfg = setup.cfg
+    day = setup.flooded_days[ep % len(setup.flooded_days)]
+    t0, t1 = day * SECONDS_PER_DAY, (day + 1) * SECONDS_PER_DAY
+    requests = remap_to_operable(
+        requests_from_rescues(bundle.rescues, t0, t1),
+        scenario.network,
+        scenario.flood,
+    )
+    if not requests:
+        return None
+    dispatcher = MobiRescueDispatcher(
+        scenario, setup.predictor, setup.feed, setup.agent, cfg, training=True
+    )
+    sim = build_simulator(
+        scenario,
+        requests,
+        dispatcher,
+        SimulationConfig(
+            t0_s=t0,
+            t1_s=t1,
+            num_teams=num_teams,
+            team_capacity=team_capacity,
+            seed=cfg.seed + ep,
+        ),
+    )
+    result = sim.run()
+    final_pickups: dict[int, int] = defaultdict(int)
+    for p in result.pickups:
+        final_pickups[p.team_id] += 1
+    dispatcher.finish_episode(dict(final_pickups))
+    n = len(requests)
+    return len(result.pickups) / n if n else 0.0
+
+
 def _run_episodes(
     scenario: CharlotteScenario,
     bundle: TraceBundle,
-    cfg: MobiRescueConfig,
-    predictor: RequestPredictor,
-    feed: PopulationFeed,
-    agent: DQNAgent,
+    setup: TrainingSetup,
     *,
     start_episode: int,
     episodes: int,
@@ -149,38 +254,14 @@ def _run_episodes(
     run interrupted at episode *k* and resumed is bit-identical to one
     that never stopped.
     """
-    flooded_days = _flooded_days(bundle)
+    cfg, predictor, agent = setup.cfg, setup.predictor, setup.agent
     for ep in range(start_episode, episodes):
-        day = flooded_days[ep % len(flooded_days)]
-        t0, t1 = day * SECONDS_PER_DAY, (day + 1) * SECONDS_PER_DAY
-        requests = remap_to_operable(
-            requests_from_rescues(bundle.rescues, t0, t1),
-            scenario.network,
-            scenario.flood,
+        rate = run_training_episode(
+            scenario, bundle, setup, ep,
+            num_teams=num_teams, team_capacity=team_capacity,
         )
-        if requests:
-            dispatcher = MobiRescueDispatcher(
-                scenario, predictor, feed, agent, cfg, training=True
-            )
-            sim = build_simulator(
-                scenario,
-                requests,
-                dispatcher,
-                SimulationConfig(
-                    t0_s=t0,
-                    t1_s=t1,
-                    num_teams=num_teams,
-                    team_capacity=team_capacity,
-                    seed=cfg.seed + ep,
-                ),
-            )
-            result = sim.run()
-            final_pickups: dict[int, int] = defaultdict(int)
-            for p in result.pickups:
-                final_pickups[p.team_id] += 1
-            dispatcher.finish_episode(dict(final_pickups))
-            n = len(requests)
-            service_rates.append(len(result.pickups) / n if n else 0.0)
+        if rate is not None:
+            service_rates.append(rate)
         if checkpoint_dir is not None and (
             (ep + 1) % checkpoint_every == 0 or ep + 1 == episodes
         ):
@@ -229,33 +310,12 @@ def train_mobirescue(
         raise ValueError("episodes must be positive")
     if checkpoint_every < 1:
         raise ValueError("checkpoint_every must be positive")
-    cfg = config or MobiRescueConfig()
-
-    matched = _deployment_pipeline(scenario, bundle)
-    training_set = build_training_set(
-        scenario,
-        bundle,
-        matched=matched,
-        negatives_per_positive=cfg.negatives_per_positive,
-        seed=cfg.seed,
-    )
-    predictor = RequestPredictor(
-        scenario, kernel=cfg.svm_kernel, c=cfg.svm_c, gamma=cfg.svm_gamma, seed=cfg.seed
-    ).fit(training_set)
-    feed = PopulationFeed(matched)
-    agent = make_agent(cfg)
-    pretrain_agent(agent, cfg)
-    # Pretraining already encodes a sensible policy; exploration refines it
-    # rather than drowning it.
-    agent.epsilon = 0.3
+    setup = prepare_training(scenario, bundle, config)
 
     return _run_episodes(
         scenario,
         bundle,
-        cfg,
-        predictor,
-        feed,
-        agent,
+        setup,
         start_episode=0,
         episodes=episodes,
         num_teams=num_teams,
@@ -303,20 +363,12 @@ def resume_training(
             raise ArtifactError(f"no valid checkpoint under {checkpoint_dir}")
         checkpoint, _ = found
 
-    cfg = checkpoint.config
-    matched = _deployment_pipeline(scenario, bundle)
-    predictor = persistence.restore_predictor(checkpoint, scenario)
-    feed = PopulationFeed(matched)
-    agent = make_agent(cfg)
-    agent.set_state(checkpoint.agent_state)
+    setup = setup_from_checkpoint(checkpoint, scenario, bundle)
 
     return _run_episodes(
         scenario,
         bundle,
-        cfg,
-        predictor,
-        feed,
-        agent,
+        setup,
         start_episode=checkpoint.episodes_done,
         episodes=episodes,
         num_teams=num_teams,

@@ -23,13 +23,18 @@ Typical use::
 """
 
 from repro.faults.models import (
+    CheckpointBitrotFault,
     CommLossFault,
     DispatcherFailureFault,
+    CorruptReplaySampleFault,
     FaultInjector,
     FaultModel,
     GpsDropoutFault,
     HotShardSkewFault,
     InjectedDispatcherFault,
+    NaNGradientFault,
+    NULL_TRAINING_PLAN,
+    RewardSpikeFault,
     OutageWindow,
     RoadClosureFault,
     ShardFaultInjector,
@@ -37,6 +42,9 @@ from repro.faults.models import (
     ShardKillFault,
     ShardStallFault,
     TeamBreakdownFault,
+    TrainingFaultInjector,
+    TrainingFaultPlan,
+    TrainingFaultProfile,
     WorkerCorruptResultFault,
     WorkerCrashFault,
     WorkerFaultInjector,
@@ -48,16 +56,20 @@ from repro.faults.models import (
 from repro.faults.profiles import (
     PROFILES,
     SHARD_PROFILES,
+    TRAIN_PROFILES,
     WORKER_PROFILES,
     FaultProfile,
     get_profile,
     get_shard_profile,
+    get_train_profile,
     get_worker_profile,
     make_injector,
 )
 
 __all__ = [
+    "CheckpointBitrotFault",
     "CommLossFault",
+    "CorruptReplaySampleFault",
     "DispatcherFailureFault",
     "FaultInjector",
     "FaultModel",
@@ -65,8 +77,11 @@ __all__ = [
     "GpsDropoutFault",
     "HotShardSkewFault",
     "InjectedDispatcherFault",
+    "NaNGradientFault",
+    "NULL_TRAINING_PLAN",
     "OutageWindow",
     "PROFILES",
+    "RewardSpikeFault",
     "RoadClosureFault",
     "SHARD_PROFILES",
     "ShardFaultInjector",
@@ -74,6 +89,10 @@ __all__ = [
     "ShardKillFault",
     "ShardStallFault",
     "TeamBreakdownFault",
+    "TRAIN_PROFILES",
+    "TrainingFaultInjector",
+    "TrainingFaultPlan",
+    "TrainingFaultProfile",
     "WORKER_PROFILES",
     "WorkerCorruptResultFault",
     "WorkerCrashFault",
@@ -83,6 +102,7 @@ __all__ = [
     "WorkerStallFault",
     "get_profile",
     "get_shard_profile",
+    "get_train_profile",
     "get_worker_profile",
     "make_injector",
     "sample_windows",

@@ -38,6 +38,10 @@ from repro.core.streams import (
     STREAM_SHARD_KILL,
     STREAM_SHARD_SKEW,
     STREAM_SHARD_STALL,
+    STREAM_TRAIN_CKPT_BITROT,
+    STREAM_TRAIN_CORRUPT_REPLAY,
+    STREAM_TRAIN_NAN_GRAD,
+    STREAM_TRAIN_REWARD_SPIKE,
     STREAM_WORKER_CORRUPT,
     STREAM_WORKER_CRASH,
     STREAM_WORKER_STALL,
@@ -896,3 +900,241 @@ class WorkerFaultInjector:
         if poisoned:
             return -1
         return self._stall_fate(episode_id) + n_crash + self._corrupt_fate(episode_id)
+
+
+# -- training faults ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NaNGradientFault:
+    """A numeric blow-up poisons the Q-network mid-episode.
+
+    Affected episodes have one weight component of the online network
+    overwritten with NaN at a sampled learn step, on their first
+    ``max_attempts`` recovery attempts (``persistent`` episodes blow up
+    on *every* attempt — the sentinel must eventually abort rather than
+    retry forever).  NaN then propagates through every subsequent
+    forward pass, exactly like a real fp overflow in the optimizer.
+    """
+
+    p_affected: float = 0.0
+    max_attempts: int = 1
+    persistent: bool = False
+    #: Faults fire at a learn step uniform in ``[1, max_step]``.
+    max_step: int = 40
+
+    @property
+    def enabled(self) -> bool:
+        return self.p_affected > 0.0
+
+
+@dataclass(frozen=True)
+class CorruptReplaySampleFault:
+    """Replay-buffer rows are overwritten with NaN garbage (bad memory,
+    a torn write in a future mmap'd buffer).  The sentinel's replay
+    integrity screen must catch it before the episode commits."""
+
+    p_affected: float = 0.0
+    max_attempts: int = 1
+    rows: int = 4
+    max_step: int = 40
+
+    @property
+    def enabled(self) -> bool:
+        return self.p_affected > 0.0 and self.rows > 0
+
+
+@dataclass(frozen=True)
+class RewardSpikeFault:
+    """Stored rewards are corrupted to an absurd magnitude (sensor glitch,
+    unit mix-up) — the classic silent divergence seed: Q-targets explode
+    a few steps later."""
+
+    p_affected: float = 0.0
+    max_attempts: int = 1
+    rows: int = 2
+    magnitude: float = 1.0e6
+    max_step: int = 40
+
+    @property
+    def enabled(self) -> bool:
+        return self.p_affected > 0.0 and self.rows > 0
+
+
+@dataclass(frozen=True)
+class CheckpointBitrotFault:
+    """A committed checkpoint rots on disk (cosmic ray, bad sector).
+
+    Affected episodes have one byte of their committed ``state.npz``
+    flipped after the commit.  Detection happens where it matters: the
+    manifest verification in ``find_latest_valid_checkpoint`` must
+    quarantine the rotten checkpoint during rollback, or the final
+    integrity sweep must flag it — either way it never restores.
+    """
+
+    p_affected: float = 0.0
+
+    @property
+    def enabled(self) -> bool:
+        return self.p_affected > 0.0
+
+
+@dataclass(frozen=True)
+class TrainingFaultProfile:
+    """One parameterisation of the training fault families."""
+
+    name: str
+    nan_gradient: NaNGradientFault = NaNGradientFault()
+    corrupt_replay: CorruptReplaySampleFault = CorruptReplaySampleFault()
+    reward_spike: RewardSpikeFault = RewardSpikeFault()
+    checkpoint_bitrot: CheckpointBitrotFault = CheckpointBitrotFault()
+
+    @property
+    def is_null(self) -> bool:
+        return not (
+            self.nan_gradient.enabled
+            or self.corrupt_replay.enabled
+            or self.reward_spike.enabled
+            or self.checkpoint_bitrot.enabled
+        )
+
+
+@dataclass(frozen=True)
+class TrainingFaultPlan:
+    """What the injector does to one ``(episode, attempt)`` of training.
+
+    Each field is the learn step at which that family fires (``None``
+    when it does not).  The plan is a pure function of ``(seed, episode
+    id, attempt)``: recovery attempts beyond a family's ``max_attempts``
+    get a clean plan, which is exactly what lets a rollback-and-replay
+    converge — unless the episode is ``persistent``, in which case the
+    sentinel's ladder must end in an abort.
+    """
+
+    nan_at_step: int | None = None
+    corrupt_replay_at_step: int | None = None
+    corrupt_rows: int = 0
+    reward_spike_at_step: int | None = None
+    spike_rows: int = 0
+    spike_magnitude: float = 0.0
+    persistent: bool = False
+
+    @property
+    def is_null(self) -> bool:
+        return (
+            self.nan_at_step is None
+            and self.corrupt_replay_at_step is None
+            and self.reward_spike_at_step is None
+        )
+
+
+#: The do-nothing plan, shared so the learn-step tap allocates nothing.
+NULL_TRAINING_PLAN = TrainingFaultPlan()
+
+
+class TrainingFaultInjector:
+    """Deterministic per-episode oracle for training faults.
+
+    Keyed exactly like :class:`WorkerFaultInjector`: each episode's fate
+    for each family comes from a generator seeded ``(seed, family tag,
+    episode id)``, sampled lazily and cached — independent of query
+    order and of how many recovery attempts the sentinel makes.
+    """
+
+    def __init__(self, profile: TrainingFaultProfile, seed: int = 0) -> None:
+        if seed < 0:
+            raise ValueError("seed must be non-negative")
+        self.profile = profile
+        self.seed = int(seed)
+        #: episode id -> (n_faulted_attempts, persistent, learn step)
+        self._nan: dict[int, tuple[int, bool, int]] = {}
+        #: episode id -> (n_faulted_attempts, learn step)
+        self._replay: dict[int, tuple[int, int]] = {}
+        self._spike: dict[int, tuple[int, int]] = {}
+        #: episode id -> rots?
+        self._bitrot: dict[int, bool] = {}
+
+    @property
+    def is_null(self) -> bool:
+        return self.profile.is_null
+
+    def _rng(self, tag: int, episode_id: int) -> np.random.Generator:
+        return np.random.default_rng([self.seed, tag, int(episode_id)])
+
+    def _nan_fate(self, episode_id: int) -> tuple[int, bool, int]:
+        model = self.profile.nan_gradient
+        if not model.enabled:
+            return (0, False, 0)
+        if episode_id not in self._nan:
+            rng = self._rng(STREAM_TRAIN_NAN_GRAD, episode_id)
+            affected = bool(rng.random() < model.p_affected)
+            step = int(rng.integers(1, model.max_step + 1))
+            n = model.max_attempts if affected else 0
+            self._nan[episode_id] = (n, model.persistent and affected, step)
+        return self._nan[episode_id]
+
+    def _replay_fate(self, episode_id: int) -> tuple[int, int]:
+        model = self.profile.corrupt_replay
+        if not model.enabled:
+            return (0, 0)
+        if episode_id not in self._replay:
+            rng = self._rng(STREAM_TRAIN_CORRUPT_REPLAY, episode_id)
+            affected = bool(rng.random() < model.p_affected)
+            step = int(rng.integers(1, model.max_step + 1))
+            self._replay[episode_id] = (model.max_attempts if affected else 0, step)
+        return self._replay[episode_id]
+
+    def _spike_fate(self, episode_id: int) -> tuple[int, int]:
+        model = self.profile.reward_spike
+        if not model.enabled:
+            return (0, 0)
+        if episode_id not in self._spike:
+            rng = self._rng(STREAM_TRAIN_REWARD_SPIKE, episode_id)
+            affected = bool(rng.random() < model.p_affected)
+            step = int(rng.integers(1, model.max_step + 1))
+            self._spike[episode_id] = (model.max_attempts if affected else 0, step)
+        return self._spike[episode_id]
+
+    def persistent(self, episode_id: int) -> bool:
+        """Does this episode blow up on every recovery attempt?"""
+        return self._nan_fate(episode_id)[1]
+
+    def plan(self, episode_id: int, attempt: int) -> TrainingFaultPlan:
+        """The training fault plan for one ``(episode, attempt)`` pair."""
+        if self.profile.is_null:
+            return NULL_TRAINING_PLAN
+        n_nan, persistent, nan_step = self._nan_fate(episode_id)
+        n_replay, replay_step = self._replay_fate(episode_id)
+        n_spike, spike_step = self._spike_fate(episode_id)
+        nan_at = nan_step if (persistent or attempt < n_nan) else None
+        replay_at = replay_step if attempt < n_replay else None
+        spike_at = spike_step if attempt < n_spike else None
+        if nan_at is None and replay_at is None and spike_at is None:
+            return NULL_TRAINING_PLAN
+        return TrainingFaultPlan(
+            nan_at_step=nan_at,
+            corrupt_replay_at_step=replay_at,
+            corrupt_rows=self.profile.corrupt_replay.rows,
+            reward_spike_at_step=spike_at,
+            spike_rows=self.profile.reward_spike.rows,
+            spike_magnitude=self.profile.reward_spike.magnitude,
+            persistent=persistent,
+        )
+
+    def bitrot(self, episode_id: int) -> bool:
+        """Does the checkpoint committed for this episode rot on disk?"""
+        model = self.profile.checkpoint_bitrot
+        if not model.enabled:
+            return False
+        if episode_id not in self._bitrot:
+            rng = self._rng(STREAM_TRAIN_CKPT_BITROT, episode_id)
+            self._bitrot[episode_id] = bool(rng.random() < model.p_affected)
+        return self._bitrot[episode_id]
+
+    def faulted_attempts(self, episode_id: int) -> int:
+        """Recovery attempts this episode sacrifices to transient faults
+        (-1 when persistent: no retry budget ever suffices)."""
+        n_nan, persistent, _ = self._nan_fate(episode_id)
+        if persistent:
+            return -1
+        return max(n_nan, self._replay_fate(episode_id)[0], self._spike_fate(episode_id)[0])

@@ -27,20 +27,25 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.faults.models import (
+    CheckpointBitrotFault,
     CommLossFault,
     ComponentFaultProfile,
     CorruptRecordFault,
+    CorruptReplaySampleFault,
     DispatcherFailureFault,
     FaultInjector,
     GpsDropoutFault,
     HotShardSkewFault,
+    NaNGradientFault,
     PolicyLatencyFault,
     PredictorExceptionFault,
+    RewardSpikeFault,
     RoadClosureFault,
     ShardFaultProfile,
     ShardKillFault,
     ShardStallFault,
     TeamBreakdownFault,
+    TrainingFaultProfile,
     WorkerCorruptResultFault,
     WorkerCrashFault,
     WorkerFaultProfile,
@@ -220,6 +225,46 @@ WORKER_PROFILES: dict[str, WorkerFaultProfile] = {
         corrupt=WorkerCorruptResultFault(p_affected=0.3, max_corruptions=1),
     ),
 }
+
+
+#: Training fault profiles exercise the self-healing loop
+#: (docs/TRAINING_HEALTH.md).  ``train-mild`` throws only transient
+#: single-attempt faults — a pure rollback-and-replay must absorb every
+#: one.  ``train-severe`` repeats faults across attempts (climbing the
+#: re-perturbation and learning-rate rungs) and rots checkpoints on
+#: disk.  ``train-blackout`` blows up on *every* attempt: the only
+#: correct outcome is an abort with a forensics bundle.
+TRAIN_PROFILES: dict[str, TrainingFaultProfile] = {
+    "train-none": TrainingFaultProfile(name="train-none"),
+    "train-mild": TrainingFaultProfile(
+        name="train-mild",
+        nan_gradient=NaNGradientFault(p_affected=0.4, max_attempts=1),
+        corrupt_replay=CorruptReplaySampleFault(p_affected=0.25, max_attempts=1),
+        reward_spike=RewardSpikeFault(p_affected=0.3, max_attempts=1),
+    ),
+    "train-severe": TrainingFaultProfile(
+        name="train-severe",
+        nan_gradient=NaNGradientFault(p_affected=0.5, max_attempts=2),
+        corrupt_replay=CorruptReplaySampleFault(p_affected=0.4, max_attempts=2),
+        reward_spike=RewardSpikeFault(p_affected=0.4, max_attempts=3),
+        checkpoint_bitrot=CheckpointBitrotFault(p_affected=0.35),
+    ),
+    "train-blackout": TrainingFaultProfile(
+        name="train-blackout",
+        nan_gradient=NaNGradientFault(p_affected=1.0, max_attempts=1, persistent=True),
+    ),
+}
+
+
+def get_train_profile(name: str) -> TrainingFaultProfile:
+    """Look up a shipped training fault profile by name."""
+    try:
+        return TRAIN_PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(TRAIN_PROFILES))
+        raise ValueError(
+            f"unknown training-fault profile {name!r} (choose from: {known})"
+        ) from None
 
 
 def get_worker_profile(name: str) -> WorkerFaultProfile:

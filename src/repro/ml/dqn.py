@@ -10,7 +10,7 @@ experiences).
 from __future__ import annotations
 
 import json
-from collections.abc import Mapping
+from collections.abc import Callable, Mapping
 from dataclasses import dataclass
 
 import numpy as np
@@ -59,6 +59,11 @@ class DQNAgent:
         self.rng = np.random.default_rng(config.seed)
         self.epsilon = config.epsilon_start
         self.learn_steps = 0
+        #: Optional per-step tap called as ``observer(agent, loss)`` after
+        #: every completed :meth:`learn` update.  The agent never passes it
+        #: randomness and ignores its return value, so a read-only observer
+        #: (the training sentinel) cannot perturb the weight trajectory.
+        self.observer: Callable[[DQNAgent, float], None] | None = None
 
     def q_values(self, state: np.ndarray) -> np.ndarray:
         """Q(s, .) for one state."""
@@ -112,6 +117,8 @@ class DQNAgent:
         self.epsilon = max(cfg.epsilon_end, self.epsilon * cfg.epsilon_decay)
         if self.learn_steps % cfg.target_sync_every == 0:
             self.sync_target()
+        if self.observer is not None:
+            self.observer(self, loss)
         return loss
 
     def sync_target(self) -> None:

@@ -58,6 +58,14 @@ class MLP:
         self.layer_sizes = tuple(int(s) for s in layer_sizes)
         self.learning_rate = float(learning_rate)
         self.huber_delta = huber_delta
+        #: Opt-in gradient diagnostics for the training sentinel.  Off by
+        #: default so the hot path pays nothing; enabling it only *reads*
+        #: gradients (never alters the update), so the weight trajectory
+        #: is bit-identical either way.
+        self.grad_stats_enabled = False
+        #: Largest |gradient| component seen in the most recent backward
+        #: pass (0.0 until :attr:`grad_stats_enabled` is set).
+        self.last_grad_max = 0.0
         rng = np.random.default_rng(seed)
         self.layers: list[_Layer] = []
         for fan_in, fan_out in zip(self.layer_sizes, self.layer_sizes[1:]):
@@ -153,6 +161,19 @@ class MLP:
             grad = grad @ layer.w.T
             self._adam_update(layer.w, gw, layer.adam_w)
             self._adam_update(layer.b, gb, layer.adam_b)
+        if self.grad_stats_enabled:
+            # The loop leaves gw/gb bound to the INPUT layer's gradients,
+            # through which the chain rule funnels every downstream NaN
+            # or blow-up (``grad @ w.T`` propagates NaN, and the ReLU
+            # mask multiplies by 0.0 which keeps it) — so screening this
+            # one layer sees them all at a fraction of the cost.
+            # max(max, -min) == |·| peak without an np.abs temporary; a
+            # NaN poisons the gw reductions, which come first, so the
+            # builtin max returns it rather than masking it.
+            self.last_grad_max = max(
+                float(gw.max()), -float(gw.min()),
+                float(gb.max()), -float(gb.min()),
+            )
 
     def _adam_update(
         self,

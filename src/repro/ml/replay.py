@@ -68,6 +68,23 @@ class ReplayBuffer:
             self._dones[idx],
         )
 
+    def views(self) -> dict[str, np.ndarray]:
+        """Live array views of the populated region (no copy).
+
+        The views share memory with the buffer: the training sentinel's
+        integrity screens read them in place, and the chaos harness's
+        fault injectors corrupt rows through them.  Shapes follow
+        ``len(self)``, so an empty buffer yields empty views.
+        """
+        n = self._size
+        return {
+            "states": self._states[:n],
+            "actions": self._actions[:n],
+            "rewards": self._rewards[:n],
+            "next_states": self._next_states[:n],
+            "dones": self._dones[:n],
+        }
+
     # -- checkpointing --------------------------------------------------------
 
     def get_state(self) -> dict[str, np.ndarray]:

@@ -279,6 +279,15 @@ class TrainingCollectTask:
         if not requests:
             return {"day": day, "requests": 0, "service_rate": 0.0,
                     "transitions": []}
+        # The numeric-health sentinel screens every learn step; it only
+        # ever *reads* agent state, so collection is bit-identical with
+        # or without it.  The serial reference runs this same task, so
+        # both sides raise (and quarantine) identically.
+        from repro.training.health import SentinelConfig, TrainingSentinel
+
+        sentinel = TrainingSentinel(SentinelConfig())
+        sentinel.begin_attempt(spec.episode_id, 0)
+        agent.observer = sentinel.observe
         dispatcher = MobiRescueDispatcher(
             self.scenario, context["predictor"], context["feed"], agent, cfg,
             training=True,
@@ -301,6 +310,14 @@ class TrainingCollectTask:
         for p in result.pickups:
             final_pickups[p.team_id] += 1
         dispatcher.finish_episode(dict(final_pickups))
+        agent.observer = None
+        sentinel.screen_params(agent)
+        sentinel.screen_replay(agent.buffer)
+        anomalies = sentinel.drain()
+        if anomalies:
+            from repro.training.health import TrainingAnomalyError
+
+            raise TrainingAnomalyError(anomalies)
         return {
             "day": day,
             "requests": len(requests),

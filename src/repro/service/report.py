@@ -28,6 +28,7 @@ def build_service_report(
     incidents: list[dict[str, Any]] | None = None,
     incident_kinds: dict[str, int] | None = None,
     supervisor: dict[str, Any] | None = None,
+    training: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Assemble the unified report payload from its sections."""
     per_shard = ingest.get("per_shard")
@@ -59,6 +60,7 @@ def build_service_report(
         "incidents": incidents or [],
         "incident_kinds": dict(sorted((incident_kinds or {}).items())),
         "supervisor": supervisor or {},
+        "training": training or {},
     }
 
 
@@ -90,10 +92,46 @@ def extract_service_report(payload: dict[str, Any]) -> dict[str, Any]:
             ingest=ingest,
             supervisor=payload.get("supervisor") or {},
         )
+    if payload.get("format") == TRAIN_FORENSICS_FORMAT_NAME:
+        anomalies = payload.get("anomalies") or []
+        kinds: dict[str, int] = {}
+        for anomaly in anomalies:
+            if isinstance(anomaly, dict):
+                kind = str(anomaly.get("kind", "?"))
+                kinds[kind] = kinds.get(kind, 0) + 1
+        return build_service_report(
+            source="train-forensics",
+            ingest={},
+            incidents=list(anomalies),
+            incident_kinds=kinds,
+            training={
+                "aborted": True,
+                "reason": payload.get("reason"),
+                "seed": payload.get("seed"),
+                "level": payload.get("level"),
+                "lr_scale": payload.get("lr_scale"),
+                "recoveries": payload.get("recoveries") or [],
+            },
+        )
     run = _first_run(payload)
     if run is None:
         raise ValueError(
             "input is neither a loadgen artifact nor a chaos campaign report"
+        )
+    if str(payload.get("profile", "")).startswith("train-"):
+        return build_service_report(
+            source=f"chaos:{payload['profile']}",
+            ingest={},
+            incidents=run.get("anomalies") or [],
+            incident_kinds=run.get("anomaly_kinds") or {},
+            training={
+                "profile": payload["profile"],
+                "applied_faults": run.get("applied_count", 0),
+                "recoveries": run.get("recoveries") or [],
+                "aborted": run.get("aborted", False),
+                "clean_identical": run.get("clean_identical"),
+                "committed_checkpoints": run.get("committed_checkpoints", 0),
+            },
         )
     summary = run.get("chaos") or run.get("clean") or {}
     return build_service_report(
@@ -111,6 +149,10 @@ def extract_service_report(payload: dict[str, Any]) -> dict[str, Any]:
 #: The loadgen format name, duplicated here to keep this module import-
 #: light (report extraction must not pull numpy via the loadgen module).
 LOADGEN_FORMAT_NAME = "repro-loadgen"
+
+#: Same deal for the training forensics bundle's ``incidents.json``
+#: (``repro.training.loop.FORENSICS_FORMAT``).
+TRAIN_FORENSICS_FORMAT_NAME = "repro-train-forensics"
 
 
 def format_service_report(report: dict[str, Any]) -> str:
@@ -149,6 +191,24 @@ def format_service_report(report: dict[str, Any]) -> str:
             "  incidents: "
             + ", ".join(f"{kind}={count}" for kind, count in sorted(kinds.items()))
         )
+    training = report.get("training") or {}
+    if training:
+        if "profile" in training:
+            lines.append(
+                f"  training chaos [{training['profile']}]: "
+                f"faults={training.get('applied_faults', 0)} "
+                f"recoveries={len(training.get('recoveries') or [])} "
+                f"aborted={training.get('aborted', False)} "
+                f"clean_identical={training.get('clean_identical')} "
+                f"checkpoints={training.get('committed_checkpoints', 0)}"
+            )
+        else:
+            lines.append(
+                f"  training forensics: reason={training.get('reason', '?')} "
+                f"seed={training.get('seed')} level={training.get('level')} "
+                f"lr_scale={training.get('lr_scale')} "
+                f"recoveries={len(training.get('recoveries') or [])}"
+            )
     supervisor = report.get("supervisor") or {}
     if supervisor:
         lines.append(

@@ -68,6 +68,10 @@ class TestBenchPayload:
         assert payload["speedups"]["full_tick"] >= 0.5
         # The event kernel's acceptance floor over the cached tick loop.
         assert payload["speedups"]["event_kernel"] >= 5.0
+        # Inverted pair: sentinel-on over sentinel-off learn steps.  The
+        # numeric-health screen must stay within 10% of free (same-machine
+        # ratio, self-checked for bit-equality inside the workload).
+        assert payload["speedups"]["sentinel_overhead"] <= 1.10
 
     def test_table_renders(self, payload):
         table = format_bench_table(payload)

@@ -378,6 +378,11 @@ def test_stream_registry_values_are_frozen():
         "STREAM_WORKER_CORRUPT": 114,
         "STREAM_ROLLOUT_EPISODE": 115,
         "STREAM_ROLLOUT_BACKOFF": 116,
+        "STREAM_TRAIN_NAN_GRAD": 117,
+        "STREAM_TRAIN_CORRUPT_REPLAY": 118,
+        "STREAM_TRAIN_REWARD_SPIKE": 119,
+        "STREAM_TRAIN_CKPT_BITROT": 120,
+        "STREAM_TRAIN_REPERTURB": 121,
         "STREAM_LOADGEN_HOMES": 201,
         "STREAM_LOADGEN_JITTER": 202,
         "STREAM_MOBILITY_DIRTY": 999_983,

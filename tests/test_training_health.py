@@ -1,0 +1,286 @@
+"""Unit tests for the numeric-health sentinel's detectors and rings.
+
+Everything here runs on synthetic values and a tiny throwaway DQN agent
+— the full-training behaviours (golden equivalence, rollback recovery,
+abort forensics) live in tests/test_training_recovery.py.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    NULL_TRAINING_PLAN,
+    TRAIN_PROFILES,
+    TrainingFaultInjector,
+    get_train_profile,
+)
+from repro.ml.dqn import DQNAgent, DQNConfig
+from repro.ml.replay import ReplayBuffer, Transition
+from repro.training.health import (
+    ANOMALY_KINDS,
+    Anomaly,
+    IncidentRing,
+    RingStats,
+    SentinelConfig,
+    TrainingAnomalyError,
+    TrainingSentinel,
+    replay_checksum,
+)
+
+
+def tiny_agent(seed: int = 0) -> DQNAgent:
+    return DQNAgent(DQNConfig(state_dim=4, num_actions=3, batch_size=8, seed=seed))
+
+
+def make_sentinel(**overrides) -> TrainingSentinel:
+    sentinel = TrainingSentinel(SentinelConfig(**overrides))
+    sentinel.begin_attempt(0, 0)
+    return sentinel
+
+
+class TestRingStats:
+    def test_zscore_none_until_full(self):
+        ring = RingStats(4)
+        for x in (1.0, 2.0, 3.0):
+            assert ring.zscore(10.0) is None
+            ring.push(x)
+        ring.push(4.0)
+        assert ring.zscore(10.0) is not None
+
+    def test_zscore_matches_numpy(self):
+        ring = RingStats(8)
+        values = [0.3, 1.7, -0.2, 0.9, 2.4, 0.1, 1.1, 0.6]
+        for x in values:
+            ring.push(x)
+        w = np.asarray(values)
+        expected = (5.0 - w.mean()) / w.std()
+        assert ring.zscore(5.0) == pytest.approx(expected, rel=1e-9)
+
+    def test_eviction_keeps_window_stats_fresh(self):
+        ring = RingStats(4)
+        for x in (100.0, 1.0, 2.0, 3.0, 4.0):  # 100.0 evicted
+            ring.push(x)
+        w = np.asarray([1.0, 2.0, 3.0, 4.0])
+        expected = (9.0 - w.mean()) / w.std()
+        assert ring.zscore(9.0) == pytest.approx(expected, rel=1e-9)
+
+    def test_degenerate_window_is_none(self):
+        ring = RingStats(4)
+        for _ in range(4):
+            ring.push(2.0)
+        assert ring.zscore(100.0) is None
+
+    def test_clear_resets(self):
+        ring = RingStats(3)
+        for x in (1.0, 2.0, 3.0):
+            ring.push(x)
+        ring.clear()
+        assert len(ring) == 0
+        assert ring.zscore(1.0) is None
+
+    def test_determinism(self):
+        a, b = RingStats(16), RingStats(16)
+        rng = np.random.default_rng(7)
+        for x in rng.normal(size=64):
+            a.push(float(x))
+            b.push(float(x))
+            assert a.zscore(3.0) == b.zscore(3.0)
+
+
+class TestIncidentRing:
+    def test_bounded_with_drop_count(self):
+        ring = IncidentRing(2)
+        for i in range(5):
+            ring.push(Anomaly("nan-loss", 0, 0, i, float(i), "x"))
+        assert len(ring) == 2
+        assert ring.dropped == 3
+        assert [a.step for a in ring.items()] == [3, 4]
+
+    def test_as_json_reports_drops(self):
+        ring = IncidentRing(1)
+        ring.push(Anomaly("nan-loss", 0, 0, 1, 1.0, "x"))
+        ring.push(Anomaly("nan-loss", 0, 0, 2, 2.0, "y"))
+        payload = ring.as_json()
+        assert payload["dropped"] == 1
+        assert len(payload["incidents"]) == 1
+
+
+class TestAnomaly:
+    def test_json_maps_non_finite_value_to_none(self):
+        a = Anomaly("nan-loss", 1, 0, 7, float("nan"), "boom")
+        assert a.as_json()["value"] is None
+        b = Anomaly("q-explosion", 1, 0, 7, 123.0, "big")
+        assert b.as_json()["value"] == 123.0
+
+    def test_unknown_kind_rejected(self):
+        sentinel = make_sentinel()
+        with pytest.raises(ValueError):
+            sentinel.record("made-up-kind", 0, 0.0, "nope")
+        assert "nan-loss" in ANOMALY_KINDS
+
+
+class TestObserve:
+    def test_nan_loss_detected_and_deduped(self):
+        sentinel = make_sentinel()
+        agent = tiny_agent()
+        sentinel.observe(agent, float("nan"))
+        sentinel.observe(agent, float("nan"))
+        kinds = [a.kind for a in sentinel.drain()]
+        assert kinds == ["nan-loss"]
+        # A fresh attempt screens anew.
+        sentinel.begin_attempt(0, 1)
+        sentinel.observe(agent, float("inf"))
+        assert [a.kind for a in sentinel.drain()] == ["nan-loss"]
+
+    def test_td_divergence_needs_z_and_absolute_floor(self):
+        sentinel = make_sentinel(td_window=8)
+        agent = tiny_agent()
+        # Fill the window with small, non-degenerate losses.
+        for i in range(8):
+            sentinel.observe(agent, 0.01 + 0.001 * (i % 3))
+        # Statistically extreme but absolutely tiny: NOT divergence
+        # (natural early-training losses spike hundreds of sigma).
+        sentinel.observe(agent, 1.0)
+        assert sentinel.drain() == []
+        sentinel.observe(agent, 1.0e4)  # extreme AND above the floor
+        assert [a.kind for a in sentinel.drain()] == ["td-divergence"]
+
+    def test_grad_explosion(self):
+        sentinel = make_sentinel()
+        agent = tiny_agent()
+        agent.q_net.last_grad_max = 1.0e9
+        sentinel.observe(agent, 0.01)
+        assert [a.kind for a in sentinel.drain()] == ["grad-explosion"]
+        sentinel.begin_attempt(0, 1)
+        agent.q_net.last_grad_max = float("nan")
+        sentinel.observe(agent, 0.01)
+        assert [a.kind for a in sentinel.drain()] == ["grad-explosion"]
+
+    def test_grad_stats_track_injected_nan(self):
+        agent = tiny_agent()
+        agent.q_net.grad_stats_enabled = True
+        rng = np.random.default_rng(0)
+        for _ in range(16):
+            agent.remember(
+                rng.normal(size=4), int(rng.integers(3)), 1.0,
+                rng.normal(size=4), False,
+            )
+        agent.learn()
+        assert math.isfinite(agent.q_net.last_grad_max)
+        agent.q_net.layers[0].w[0, 0] = np.nan
+        agent.learn()
+        assert math.isnan(agent.q_net.last_grad_max)
+
+
+class TestBoundaryScreens:
+    def test_param_screens(self):
+        sentinel = make_sentinel()
+        agent = tiny_agent()
+        sentinel.screen_params(agent)
+        assert sentinel.drain() == []
+        agent.q_net.layers[0].w[0, 0] = np.nan
+        sentinel.screen_params(agent)
+        assert [a.kind for a in sentinel.drain()] == ["nan-param"]
+        sentinel.begin_attempt(0, 1)
+        agent.q_net.layers[0].w[0, 0] = 1.0e6
+        sentinel.screen_params(agent)
+        assert [a.kind for a in sentinel.drain()] == ["q-explosion"]
+
+    def test_replay_screens(self):
+        sentinel = make_sentinel()
+        buffer = ReplayBuffer(capacity=8, state_dim=3)
+        state = np.zeros(3)
+        for _ in range(4):
+            buffer.push(Transition(state, 0, 1.0, state, False))
+        sentinel.screen_replay(buffer)
+        assert sentinel.drain() == []
+        buffer.views()["states"][1] = np.nan
+        sentinel.screen_replay(buffer)
+        assert [a.kind for a in sentinel.drain()] == ["replay-corrupt"]
+        sentinel.begin_attempt(0, 1)
+        buffer.views()["states"][1] = 0.0
+        buffer.views()["rewards"][0] = 1.0e7
+        sentinel.screen_replay(buffer)
+        assert [a.kind for a in sentinel.drain()] == ["replay-reward-bound"]
+
+    def test_reward_collapse(self):
+        sentinel = make_sentinel()
+        healthy = [0.80, 0.90, 0.85, 0.95, 0.90]
+        sentinel.screen_rewards(healthy)
+        assert sentinel.drain() == []
+        sentinel.screen_rewards(healthy + [0.05])
+        assert [a.kind for a in sentinel.drain()] == ["reward-collapse"]
+
+    def test_reward_screen_inert_below_min_samples(self):
+        sentinel = make_sentinel()
+        sentinel.screen_rewards([0.9, 0.9, 0.01])
+        assert sentinel.drain() == []
+
+
+class TestReplayChecksum:
+    def test_stable_and_content_sensitive(self):
+        def fill(buffer):
+            rng = np.random.default_rng(1)
+            for _ in range(5):
+                buffer.push(
+                    Transition(rng.normal(size=3), 1, 0.5, rng.normal(size=3), False)
+                )
+
+        a, b = ReplayBuffer(8, 3), ReplayBuffer(8, 3)
+        fill(a)
+        fill(b)
+        assert replay_checksum(a) == replay_checksum(b)
+        b.views()["rewards"][0] += 1.0
+        assert replay_checksum(a) != replay_checksum(b)
+
+
+class TestAnomalyError:
+    def test_carries_anomalies_and_kinds(self):
+        anomalies = [
+            Anomaly("nan-loss", 0, 0, 3, float("nan"), "x"),
+            Anomaly("grad-explosion", 0, 0, 4, 1e9, "y"),
+        ]
+        err = TrainingAnomalyError(anomalies)
+        assert err.anomalies == anomalies
+        assert "grad-explosion" in str(err)
+        assert "nan-loss" in str(err)
+
+
+class TestFaultInjector:
+    def test_plans_are_deterministic(self):
+        profile = get_train_profile("train-severe")
+        a = TrainingFaultInjector(profile, seed=3)
+        b = TrainingFaultInjector(profile, seed=3)
+        for ep in range(6):
+            for attempt in range(3):
+                assert a.plan(ep, attempt) == b.plan(ep, attempt)
+            assert a.bitrot(ep) == b.bitrot(ep)
+
+    def test_null_profile_never_fires(self):
+        injector = TrainingFaultInjector(TRAIN_PROFILES["train-none"], seed=0)
+        for ep in range(8):
+            assert injector.plan(ep, 0) == NULL_TRAINING_PLAN
+            assert not injector.bitrot(ep)
+
+    def test_transient_faults_exhaust_their_attempt_budget(self):
+        profile = get_train_profile("train-severe")
+        injector = TrainingFaultInjector(profile, seed=0)
+        for ep in range(8):
+            budget = injector.faulted_attempts(ep)
+            if budget < 0:
+                continue  # persistent (not present in severe)
+            assert injector.plan(ep, budget + 5).is_null
+
+    def test_blackout_is_persistent(self):
+        injector = TrainingFaultInjector(TRAIN_PROFILES["train-blackout"], seed=0)
+        assert injector.persistent(0)
+        for attempt in range(6):
+            assert injector.plan(0, attempt).nan_at_step is not None
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError):
+            get_train_profile("train-bogus")
